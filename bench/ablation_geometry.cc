@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Ablation A4 — cache geometry sweep.
+ *
+ * The consistency problem's size is the number of cache pages
+ * ("colours" = set span / page size). The paper's introduction frames
+ * the architectural trade: a larger direct-mapped virtually indexed
+ * cache buys cycle time but grows the colour count, and hence the
+ * potential consistency work; shrinking the span to the page size
+ * (small cache or high associativity) eliminates the problem but costs
+ * capacity/conflict misses.
+ *
+ * This bench sweeps the data/instruction cache size from 4 KB
+ * (1 colour — no aliasing problem) to 256 KB (64 colours, the real
+ * 720's data cache) under configs A and F, reporting elapsed time,
+ * cache hit rate, and consistency operations.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+
+using namespace vic;
+using namespace vic::bench;
+
+int
+main()
+{
+    banner("Ablation: cache size / colour count sweep",
+           "Wheeler & Bershad 1992, Section 1 (the architectural "
+           "trade-off)");
+
+    const std::uint64_t kib = 1024;
+    const std::uint64_t sizes[] = {4 * kib, 16 * kib, 64 * kib,
+                                   256 * kib};
+
+    bool shapes_ok = true;
+    for (const auto &cfg :
+         {PolicyConfig::configA(), PolicyConfig::configF()}) {
+        Table t({"D-cache", "Colours", "Elapsed (s)", "Hit rate %",
+                 "Cons faults", "D flushes", "D purges"});
+        for (std::uint64_t size : sizes) {
+            MachineParams mp = MachineParams::hp720();
+            mp.dcacheBytes = size;
+            mp.icacheBytes = size;
+
+            KernelBuild wl;
+            RunResult r = runWorkload(wl, cfg, mp);
+            checkOracle(r);
+
+            const double hits = double(r.stat("dcache.hits"));
+            const double misses = double(r.stat("dcache.misses"));
+
+            t.row();
+            t.cell(format("%llu KB", (unsigned long long)(size / kib)));
+            t.cell(std::uint64_t(mp.dcacheGeometry().numColours()));
+            t.cell(r.seconds, 4);
+            t.cell(100.0 * hits / (hits + misses), 2);
+            t.cell(r.consistencyFaults());
+            t.cell(r.dPageFlushes());
+            t.cell(r.dPagePurges());
+
+            if (mp.dcacheGeometry().numColours() == 1)
+                shapes_ok &= r.stat("pmap.d_flush.alias") == 0 &&
+                             r.stat("pmap.d_purge.alias") == 0;
+        }
+        std::printf("--- kernel-build under %s ---\n", cfg.name.c_str());
+        t.print();
+        std::printf("\n");
+    }
+
+    std::printf("expected shapes:\n");
+    std::printf("  1 colour  -> no alias consistency work at all, but "
+                "the worst hit rate;\n");
+    std::printf("  more colours -> better hit rates; under A the "
+                "consistency work grows with\n");
+    std::printf("  sharing opportunities, under F it stays almost "
+                "flat — the paper's point\n");
+    std::printf("  that careful management removes the software "
+                "penalty of big VI caches.\n");
+    std::printf("SHAPE CHECK: %s (one colour => no alias "
+                "operations)\n", shapes_ok ? "PASS" : "FAIL");
+    return shapes_ok ? 0 : 1;
+}

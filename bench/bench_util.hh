@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries: the three paper workloads at
+ * their calibrated sizes, and common report formatting.
+ */
+
+#ifndef VIC_BENCH_BENCH_UTIL_HH
+#define VIC_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/afs_bench.hh"
+#include "workload/contrived_alias.hh"
+#include "workload/kernel_build.hh"
+#include "workload/latex_bench.hh"
+#include "workload/runner.hh"
+
+namespace vic::bench
+{
+
+/** The three benchmark programs of the paper's evaluation, at the
+ *  calibrated scale (Table 1 gains of 5-10%). */
+inline std::vector<std::unique_ptr<Workload>>
+paperWorkloads()
+{
+    std::vector<std::unique_ptr<Workload>> out;
+    out.push_back(std::make_unique<AfsBench>());
+    out.push_back(std::make_unique<LatexBench>());
+    out.push_back(std::make_unique<KernelBuild>());
+    return out;
+}
+
+/** Factory for one paper workload by index (fresh instance per run). */
+inline std::unique_ptr<Workload>
+paperWorkload(std::size_t idx)
+{
+    switch (idx) {
+      case 0: return std::make_unique<AfsBench>();
+      case 1: return std::make_unique<LatexBench>();
+      default: return std::make_unique<KernelBuild>();
+    }
+}
+
+inline constexpr std::size_t numPaperWorkloads = 3;
+
+/** Banner for a bench binary. */
+inline void
+banner(const char *title, const char *paper_ref)
+{
+    std::printf("==============================================="
+                "=====================\n");
+    std::printf("%s\n", title);
+    std::printf("reproduces: %s\n", paper_ref);
+    std::printf("machine: scaled HP 9000/720 (50 MHz, VIPT "
+                "write-back D-cache)\n");
+    std::printf("==============================================="
+                "=====================\n\n");
+}
+
+/** Oracle verdict line; aborts the bench on violations so a broken
+ *  build cannot silently print plausible numbers. */
+inline void
+checkOracle(const RunResult &r)
+{
+    if (r.oracleViolations != 0) {
+        std::fprintf(stderr,
+                     "FATAL: %llu consistency violations in %s/%s\n",
+                     (unsigned long long)r.oracleViolations,
+                     r.workload.c_str(), r.policy.c_str());
+        std::exit(1);
+    }
+}
+
+} // namespace vic::bench
+
+#endif // VIC_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Experiment M1 — wall-clock microbenchmarks (google-benchmark) of the
+ * primitives whose costs the paper's arguments rest on:
+ *
+ *  - cache hit/miss/flush/purge paths of the simulator,
+ *  - the CacheControl bookkeeping (bit-vector ops, protection walk),
+ *  - consistency-fault round trips,
+ *  - TLB translation.
+ *
+ * These measure the SIMULATOR's real speed (host nanoseconds), which
+ * is what bounds experiment turnaround; the simulated-cycle costs are
+ * printed by the table benches.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/bitvector.hh"
+#include "core/classic_pmap.hh"
+#include "core/lazy_pmap.hh"
+#include "machine/cpu.hh"
+#include "core/spec_executor.hh"
+#include "machine/machine.hh"
+
+#include <unordered_map>
+
+namespace
+{
+
+using namespace vic;
+
+void
+BM_CacheReadHit(benchmark::State &state)
+{
+    Machine m{MachineParams::hp720()};
+    Cache &c = m.dcache();
+    c.read(VirtAddr(0), PhysAddr(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(c.read(VirtAddr(0), PhysAddr(0)));
+}
+BENCHMARK(BM_CacheReadHit);
+
+void
+BM_CacheReadMissConflict(benchmark::State &state)
+{
+    Machine m{MachineParams::hp720()};
+    Cache &c = m.dcache();
+    bool flip = false;
+    for (auto _ : state) {
+        // Two physical lines fighting over one set: every read misses.
+        benchmark::DoNotOptimize(
+            c.read(VirtAddr(0), PhysAddr(flip ? 0 : 64 * 1024)));
+        flip = !flip;
+    }
+}
+BENCHMARK(BM_CacheReadMissConflict);
+
+void
+BM_CacheFlushAbsentLine(benchmark::State &state)
+{
+    Machine m{MachineParams::hp720()};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            m.dcache().flushLine(VirtAddr(4096), PhysAddr(4096)));
+}
+BENCHMARK(BM_CacheFlushAbsentLine);
+
+void
+BM_CachePurgePage(benchmark::State &state)
+{
+    Machine m{MachineParams::hp720()};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            m.dcache().purgePage(VirtAddr(0), PhysAddr(0)));
+}
+BENCHMARK(BM_CachePurgePage);
+
+void
+BM_BitVectorStaleUpdate(benchmark::State &state)
+{
+    // The hot bookkeeping of Figure 1's fourth stanza: or-and-clear of
+    // the mapped/stale vectors.
+    BitVector mapped(std::uint32_t(state.range(0)));
+    BitVector stale(std::uint32_t(state.range(0)));
+    mapped.set(3);
+    for (auto _ : state) {
+        stale.orWith(mapped);
+        mapped.clearAll();
+        mapped.set(3);
+        benchmark::DoNotOptimize(stale.count());
+    }
+}
+BENCHMARK(BM_BitVectorStaleUpdate)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_TlbTranslateHit(benchmark::State &state)
+{
+    Machine m{MachineParams::hp720()};
+    m.pageTable().enter(SpaceVa(1, VirtAddr(0x1000)), 2,
+                        Protection::readWrite());
+    m.tlb().translate(SpaceVa(1, VirtAddr(0x1000)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            m.tlb().translate(SpaceVa(1, VirtAddr(0x1000))));
+    }
+}
+BENCHMARK(BM_TlbTranslateHit);
+
+void
+BM_CpuStoreHit(benchmark::State &state)
+{
+    Machine m{MachineParams::hp720()};
+    LazyPmap pmap(m, PolicyConfig::configF());
+    Cpu cpu(m);
+    cpu.setSpace(1);
+    cpu.setFaultHandler([&](const Fault &f) {
+        return pmap.resolveConsistencyFault(f.address, f.access);
+    });
+    pmap.enter(SpaceVa(1, VirtAddr(0x1000)), 2, Protection::all(),
+               AccessType::Store, {});
+    cpu.store(VirtAddr(0x1000), 1);
+    std::uint32_t v = 0;
+    for (auto _ : state)
+        cpu.store(VirtAddr(0x1000), ++v);
+}
+BENCHMARK(BM_CpuStoreHit);
+
+void
+BM_ConsistencyFaultRoundTrip(benchmark::State &state)
+{
+    // The full cost of one alias ping-pong step: trap + CacheControl
+    // (flush + purge + protection walk) + retry.
+    Machine m{MachineParams::hp720()};
+    LazyPmap pmap(m, PolicyConfig::configF());
+    Cpu cpu(m);
+    cpu.setSpace(1);
+    cpu.setFaultHandler([&](const Fault &f) {
+        return pmap.resolveConsistencyFault(f.address, f.access);
+    });
+    pmap.enter(SpaceVa(1, VirtAddr(0x1000)), 2, Protection::all(),
+               AccessType::Store, {});
+    pmap.enter(SpaceVa(1, VirtAddr(0x2000)), 2, Protection::all(),
+               AccessType::Load, {});
+    bool flip = false;
+    for (auto _ : state) {
+        cpu.store(flip ? VirtAddr(0x1000) : VirtAddr(0x2000), 1);
+        flip = !flip;
+    }
+}
+BENCHMARK(BM_ConsistencyFaultRoundTrip);
+
+void
+BM_CacheControlDmaRead(benchmark::State &state)
+{
+    Machine m{MachineParams::hp720()};
+    LazyPmap pmap(m, PolicyConfig::configF());
+    for (auto _ : state)
+        pmap.dmaRead(2, true);
+}
+BENCHMARK(BM_CacheControlDmaRead);
+
+void
+BM_ClassicBreakAliasRoundTrip(benchmark::State &state)
+{
+    Machine m{MachineParams::hp720()};
+    ClassicPmap pmap(m, PolicyConfig::configA());
+    Cpu cpu(m);
+    cpu.setSpace(1);
+    std::unordered_map<std::uint64_t, bool> known;
+    cpu.setFaultHandler([&](const Fault &f) {
+        if (pmap.resolveConsistencyFault(f.address, f.access))
+            return true;
+        if (f.type == FaultType::Unmapped) {
+            pmap.enter(f.address, 2, Protection::all(), f.access, {});
+            return true;
+        }
+        return false;
+    });
+    pmap.enter(SpaceVa(1, VirtAddr(0x1000)), 2, Protection::all(),
+               AccessType::Store, {});
+    pmap.enter(SpaceVa(1, VirtAddr(0x2000)), 2, Protection::all(),
+               AccessType::Load, {});
+    bool flip = false;
+    for (auto _ : state) {
+        cpu.store(flip ? VirtAddr(0x1000) : VirtAddr(0x2000), 1);
+        flip = !flip;
+    }
+}
+BENCHMARK(BM_ClassicBreakAliasRoundTrip);
+
+void
+BM_SpecExecutorApply(benchmark::State &state)
+{
+    SpecExecutor spec(16);
+    int i = 0;
+    for (auto _ : state) {
+        spec.apply(i % 2 ? MemOp::CpuWrite : MemOp::CpuRead,
+                   CachePageId(i % 16));
+        ++i;
+    }
+}
+BENCHMARK(BM_SpecExecutorApply);
+
+void
+BM_StateDecode(benchmark::State &state)
+{
+    CacheStateVector v(64);
+    v.mapped.set(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(v.decode(3));
+}
+BENCHMARK(BM_StateDecode);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

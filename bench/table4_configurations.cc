@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Table 4 — "Performance of three benchmark programs using variously
+ * configured versions of Mach 3.0": the six cumulative configurations
+ *
+ *   A old, B +lazy unmap, C +align pages, D +aligned prepare,
+ *   E +need data, F +will overwrite
+ *
+ * against afs-bench, latex-paper and kernel-build, reporting elapsed
+ * time, mapping/consistency faults, page flushes (total, DMA-read,
+ * data->instruction), page purges (D and I, DMA-write), and average
+ * cycles per flush/purge — plus the paper's Section 5.1 summary
+ * numbers for configuration F.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace vic;
+using namespace vic::bench;
+
+namespace
+{
+
+double
+avgCycles(const RunResult &r, const char *cycles, std::uint64_t count)
+{
+    return count == 0 ? 0.0 : double(r.stat(cycles)) / double(count);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    banner("Table 4: the six consistency-management configurations",
+           "Wheeler & Bershad 1992, Table 4 (Section 5)");
+
+    const auto configs = PolicyConfig::table4Sweep();
+
+    // Keep results for the totals row and the Section 5.1 analysis.
+    std::vector<RunResult> config_f;
+    bool shapes_ok = true;
+
+    for (std::size_t w = 0; w < numPaperWorkloads; ++w) {
+        std::string wname;
+        Table t({"Config", "Elapsed (s)", "Map faults", "Cons faults",
+                 "D flushes", "DMA-rd flushes", "D->I flushes",
+                 "D purges", "I purges", "DMA-wr purges",
+                 "cyc/flush", "cyc/purge"});
+        std::vector<RunResult> per_config;
+        for (const auto &cfg : configs) {
+            auto wl = paperWorkload(w);
+            wname = wl->name();
+            RunResult r = runWorkload(*wl, cfg);
+            checkOracle(r);
+            per_config.push_back(r);
+
+            const std::uint64_t flush_ops =
+                r.stat("dcache.flush_present") +
+                r.stat("dcache.flush_absent");
+            const std::uint64_t purge_ops =
+                r.stat("dcache.purge_present") +
+                r.stat("dcache.purge_absent");
+
+            t.row();
+            t.cell(r.policy);
+            t.cell(r.seconds, 4);
+            t.cell(r.mappingFaults());
+            t.cell(r.consistencyFaults());
+            t.cell(r.dPageFlushes());
+            t.cell(r.dmaReadFlushes());
+            t.cell(r.stat("pmap.d_flush.ifetch"));
+            t.cell(r.dPagePurges());
+            t.cell(r.iPagePurges());
+            t.cell(r.dmaWritePurges() +
+                   r.stat("pmap.i_purge.dma_write"));
+            t.cell(avgCycles(r, "dcache.flush_cycles", flush_ops), 1);
+            t.cell(avgCycles(r, "dcache.purge_cycles", purge_ops), 1);
+
+            if (&cfg == &configs.back())
+                config_f.push_back(r);
+        }
+        std::printf("--- %s ---\n", wname.c_str());
+        t.print();
+        std::printf("\n");
+
+        // The paper's structural claims for this workload.
+        for (std::size_t i = 1; i < per_config.size(); ++i) {
+            shapes_ok &= per_config[i].cycles <=
+                         per_config[i - 1].cycles;  // monotone A->F
+            shapes_ok &= per_config[i].mappingFaults() ==
+                         per_config[0].mappingFaults();
+        }
+        shapes_ok &= per_config.back().consistencyFaults() * 4 <
+                     per_config.front().consistencyFaults() + 4;
+    }
+
+    // Totals for configuration F (the paper's bottom rows + the
+    // Section 5.1 overhead accounting).
+    std::uint64_t flushes = 0, purges_d = 0, purges_i = 0;
+    std::uint64_t dma_rd = 0, d2i = 0, dma_wr = 0;
+    std::uint64_t cons_faults = 0;
+    double seconds = 0;
+    Cycles purge_cycles = 0, nondma_purge_pages = 0;
+    for (const auto &r : config_f) {
+        flushes += r.dPageFlushes();
+        purges_d += r.dPagePurges();
+        purges_i += r.iPagePurges();
+        dma_rd += r.dmaReadFlushes();
+        d2i += r.stat("pmap.d_flush.ifetch");
+        dma_wr += r.dmaWritePurges();
+        cons_faults += r.consistencyFaults();
+        seconds += r.seconds;
+        purge_cycles += r.stat("dcache.purge_cycles");
+        nondma_purge_pages += r.dPagePurges() - r.dmaWritePurges();
+    }
+    (void)nondma_purge_pages;
+
+    std::printf("=== configuration F totals across the three "
+                "benchmarks ===\n");
+    std::printf("elapsed time              : %.4f s\n", seconds);
+    std::printf("page flushes (D)          : %llu  (DMA-read %llu + "
+                "data->instruction %llu)\n",
+                (unsigned long long)flushes,
+                (unsigned long long)dma_rd, (unsigned long long)d2i);
+    if (flushes == dma_rd + d2i) {
+        std::printf("  -> matches the paper's identity: flushes = "
+                    "DMA-read flushes + D->I copies\n");
+    } else {
+        shapes_ok = false;
+    }
+    std::printf("page purges (D+I)         : %llu  (DMA-write %llu = "
+                "%.1f%%)\n",
+                (unsigned long long)(purges_d + purges_i),
+                (unsigned long long)dma_wr,
+                purges_d + purges_i
+                    ? 100.0 * double(dma_wr) / double(purges_d + purges_i)
+                    : 0.0);
+    std::printf("consistency faults        : %llu\n",
+                (unsigned long long)cons_faults);
+    std::printf("time purging data cache   : %.4f s (%.2f%% of total) "
+                "-- the paper: 1.50 s = 0.22%%\n",
+                double(purge_cycles) / 50e6,
+                100.0 * double(purge_cycles) / 50e6 / seconds);
+    std::printf("SHAPE CHECK: %s (monotone A->F, constant mapping "
+                "faults, collapsing consistency faults,\n"
+                "             config-F flush identity)\n",
+                shapes_ok ? "PASS" : "FAIL");
+    return shapes_ok ? 0 : 1;
+}

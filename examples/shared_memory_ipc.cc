@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Example: sharing memory and passing pages between tasks.
+ *
+ * Demonstrates the three sharing mechanisms whose consistency the
+ * paper's algorithm manages, and how kernel address selection makes
+ * them cheap:
+ *
+ *  1. shared memory mapped at kernel-chosen (aligning) addresses —
+ *     no consistency operations at all;
+ *  2. shared memory forced to non-aligning addresses — every
+ *     ownership change costs a fault plus flush/purge;
+ *  3. IPC page transfer — with an aligned destination the moved page
+ *     is still warm in the cache when the receiver touches it;
+ *  4. copy-on-write — private copies prepared through aligned kernel
+ *     windows.
+ *
+ * Build & run:  ./build/examples/shared_memory_ipc
+ */
+
+#include <cstdio>
+
+#include "machine/machine.hh"
+#include "oracle/consistency_oracle.hh"
+#include "os/kernel.hh"
+
+using namespace vic;
+
+namespace
+{
+
+struct OpCounts
+{
+    std::uint64_t faults, flushes, purges;
+};
+
+OpCounts
+snapshot(Machine &m)
+{
+    return {m.stats().value("os.consistency_faults"),
+            m.stats().value("pmap.d_page_flushes"),
+            m.stats().value("pmap.d_page_purges")};
+}
+
+void
+report(const char *what, Machine &m, const OpCounts &before)
+{
+    OpCounts now = snapshot(m);
+    std::printf("%-42s faults=%-5llu flushes=%-5llu purges=%llu\n",
+                what,
+                (unsigned long long)(now.faults - before.faults),
+                (unsigned long long)(now.flushes - before.flushes),
+                (unsigned long long)(now.purges - before.purges));
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    Machine machine{MachineParams::hp720()};
+    ConsistencyOracle oracle(machine.memory().sizeBytes());
+    machine.setObserver(&oracle);
+    Kernel kernel(machine, PolicyConfig::configF());
+
+    TaskId producer = kernel.createTask();
+    TaskId consumer = kernel.createTask();
+    const std::uint32_t colours =
+        machine.dcache().geometry().numColours();
+
+    // --- 1. Shared memory, kernel-chosen addresses -------------------
+    {
+        auto obj = std::make_shared<VmObject>(VmObject::anonymous(1));
+        VirtAddr p_va = kernel.vmMapShared(producer, obj,
+                                           Protection::readWrite());
+        // Let the consumer's address align with the producer's.
+        VirtAddr aligned = kernel.addressSpace(consumer).allocateVa(
+            1, kernel.pmap().dColourOf(p_va));
+        VirtAddr c_va = kernel.vmMapShared(
+            consumer, obj, Protection::readWrite(), aligned);
+
+        OpCounts before = snapshot(machine);
+        for (std::uint32_t i = 0; i < 64; ++i) {
+            kernel.userStore(producer, p_va.plus(4 * i), i);
+            if (kernel.userLoad(consumer, c_va.plus(4 * i)) != i)
+                std::printf("  MISMATCH!\n");
+        }
+        report("aligned shared memory, 64 hand-offs:", machine, before);
+    }
+
+    // --- 2. Shared memory at clashing addresses ----------------------
+    {
+        auto obj = std::make_shared<VmObject>(VmObject::anonymous(1));
+        VirtAddr p_va = kernel.vmMapShared(producer, obj,
+                                           Protection::readWrite());
+        CachePageId clash =
+            (kernel.pmap().dColourOf(p_va) + colours / 2) % colours;
+        VirtAddr c_va = kernel.vmMapShared(
+            consumer, obj, Protection::readWrite(),
+            kernel.addressSpace(consumer).allocateVa(1, clash));
+
+        OpCounts before = snapshot(machine);
+        for (std::uint32_t i = 0; i < 64; ++i) {
+            kernel.userStore(producer, p_va.plus(4 * i), i);
+            if (kernel.userLoad(consumer, c_va.plus(4 * i)) != i)
+                std::printf("  MISMATCH!\n");
+        }
+        report("UNALIGNED shared memory, 64 hand-offs:", machine,
+               before);
+    }
+
+    // --- 3. IPC page transfer ----------------------------------------
+    {
+        OpCounts before = snapshot(machine);
+        for (int round = 0; round < 8; ++round) {
+            VirtAddr src = kernel.vmAllocate(producer, 1);
+            kernel.userTouchPage(producer, src, true, 0x1000u * round);
+            VirtAddr dst =
+                kernel.ipcTransferPage(producer, src, consumer);
+            kernel.userTouchPage(consumer, dst, false);
+            kernel.vmDeallocate(consumer, dst);
+        }
+        report("IPC page transfer x8 (aligned dest):", machine, before);
+    }
+
+    // --- 4. Copy-on-write ---------------------------------------------
+    {
+        VirtAddr proto = kernel.vmAllocate(producer, 1);
+        kernel.userTouchPage(producer, proto, true, 0xbeef);
+        auto obj = kernel.regionObject(producer, proto);
+
+        OpCounts before = snapshot(machine);
+        VirtAddr cow = kernel.vmMapCow(consumer, obj);
+        kernel.userLoad(consumer, cow);        // shares the frame
+        kernel.userStore(consumer, cow, 123);  // gets a private copy
+        report("copy-on-write share + private write:", machine, before);
+
+        std::printf("  producer still sees %#x, consumer sees %u\n",
+                    kernel.userLoad(producer, proto),
+                    kernel.userLoad(consumer, cow));
+    }
+
+    std::printf("\noracle: %llu transfers checked, %llu violations%s\n",
+                (unsigned long long)oracle.checkedCount(),
+                (unsigned long long)oracle.violationCount(),
+                oracle.clean() ? " -- all sharing was consistent" : "");
+    return oracle.clean() ? 0 : 1;
+}

@@ -1,0 +1,291 @@
+#include "cache/cache.hh"
+
+#include "common/logging.hh"
+
+namespace vic
+{
+
+Cache::Cache(std::string cache_name, const CacheGeometry &geom,
+             const CacheCosts &cache_costs, WritePolicy write_policy,
+             PhysicalMemory &memory, CycleClock &clock, StatSet &stat_set)
+    : cacheName(std::move(cache_name)), geo(geom), costs(cache_costs),
+      policy(write_policy), mem(memory), clk(clock),
+      lines(geo.numLines()),
+      data(std::uint64_t(geo.numLines()) * geo.wordsPerLine(), 0),
+      statReads(stat_set.counter(cacheName + ".reads")),
+      statWrites(stat_set.counter(cacheName + ".writes")),
+      statHits(stat_set.counter(cacheName + ".hits")),
+      statMisses(stat_set.counter(cacheName + ".misses")),
+      statWriteBacks(stat_set.counter(cacheName + ".write_backs")),
+      statFills(stat_set.counter(cacheName + ".fills")),
+      statFlushPresent(stat_set.counter(cacheName + ".flush_present")),
+      statFlushAbsent(stat_set.counter(cacheName + ".flush_absent")),
+      statPurgePresent(stat_set.counter(cacheName + ".purge_present")),
+      statPurgeAbsent(stat_set.counter(cacheName + ".purge_absent")),
+      statFlushCycles(stat_set.counter(cacheName + ".flush_cycles")),
+      statPurgeCycles(stat_set.counter(cacheName + ".purge_cycles"))
+{
+}
+
+std::uint64_t
+Cache::indexBits(VirtAddr va, PhysAddr pa) const
+{
+    return geo.indexing() == Indexing::Virtual ? va.value : pa.value;
+}
+
+int
+Cache::findWay(std::uint32_t set, PhysAddr pa) const
+{
+    const std::uint64_t tag = pa.value / geo.lineBytes();
+    for (std::uint32_t w = 0; w < geo.associativity(); ++w) {
+        const Line &l = lines[lineId(set, w)];
+        if (l.valid && l.tag == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+std::uint32_t
+Cache::victimWay(std::uint32_t set) const
+{
+    std::uint32_t victim = 0;
+    std::uint64_t oldest = ~std::uint64_t(0);
+    for (std::uint32_t w = 0; w < geo.associativity(); ++w) {
+        const Line &l = lines[lineId(set, w)];
+        if (!l.valid)
+            return w;
+        if (l.lastUse < oldest) {
+            oldest = l.lastUse;
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+void
+Cache::writeBack(std::uint32_t line_id)
+{
+    Line &l = lines[line_id];
+    vic_assert(l.valid && l.dirty, "write-back of non-dirty line");
+    PhysAddr base(l.tag * geo.lineBytes());
+    mem.writeWords(base, lineData(line_id), geo.wordsPerLine());
+    l.dirty = false;
+    ++statWriteBacks;
+    clk.advance(costs.writeBackPenalty);
+}
+
+void
+Cache::fill(std::uint32_t line_id, PhysAddr pa)
+{
+    Line &l = lines[line_id];
+    PhysAddr base(geo.lineBase(pa.value));
+    mem.readWords(base, lineData(line_id), geo.wordsPerLine());
+    l.valid = true;
+    l.dirty = false;
+    l.tag = pa.value / geo.lineBytes();
+    ++statFills;
+    clk.advance(costs.missPenalty);
+}
+
+std::uint32_t
+Cache::read(VirtAddr va, PhysAddr pa)
+{
+    vic_assert(va.value % 4 == 0 && pa.value % 4 == 0,
+               "unaligned cache access");
+    ++statReads;
+    const std::uint32_t set = geo.setIndex(indexBits(va, pa));
+    int way = findWay(set, pa);
+    clk.advance(costs.hit);
+    if (way < 0) {
+        ++statMisses;
+        const std::uint32_t victim = victimWay(set);
+        const std::uint32_t id = lineId(set, victim);
+        if (lines[id].valid && lines[id].dirty)
+            writeBack(id);
+        fill(id, pa);
+        way = static_cast<int>(victim);
+    } else {
+        ++statHits;
+    }
+    const std::uint32_t id = lineId(set, static_cast<std::uint32_t>(way));
+    lines[id].lastUse = ++useTick;
+    const std::uint32_t word_in_line =
+        static_cast<std::uint32_t>((pa.value / 4) % geo.wordsPerLine());
+    return lineData(id)[word_in_line];
+}
+
+void
+Cache::write(VirtAddr va, PhysAddr pa, std::uint32_t value)
+{
+    vic_assert(va.value % 4 == 0 && pa.value % 4 == 0,
+               "unaligned cache access");
+    ++statWrites;
+    const std::uint32_t set = geo.setIndex(indexBits(va, pa));
+    int way = findWay(set, pa);
+    clk.advance(costs.hit);
+
+    if (policy == WritePolicy::WriteThrough) {
+        // No write-allocate: a miss writes straight to memory.
+        mem.writeWord(pa, value);
+        if (way < 0) {
+            ++statMisses;
+            return;
+        }
+        ++statHits;
+        const std::uint32_t id =
+            lineId(set, static_cast<std::uint32_t>(way));
+        lines[id].lastUse = ++useTick;
+        const std::uint32_t word_in_line =
+            static_cast<std::uint32_t>((pa.value / 4) %
+                                       geo.wordsPerLine());
+        lineData(id)[word_in_line] = value;
+        return;
+    }
+
+    // Write-back, write-allocate.
+    if (way < 0) {
+        ++statMisses;
+        const std::uint32_t victim = victimWay(set);
+        const std::uint32_t id = lineId(set, victim);
+        if (lines[id].valid && lines[id].dirty)
+            writeBack(id);
+        fill(id, pa);
+        way = static_cast<int>(victim);
+    } else {
+        ++statHits;
+    }
+    const std::uint32_t id = lineId(set, static_cast<std::uint32_t>(way));
+    lines[id].lastUse = ++useTick;
+    lines[id].dirty = true;
+    const std::uint32_t word_in_line =
+        static_cast<std::uint32_t>((pa.value / 4) % geo.wordsPerLine());
+    lineData(id)[word_in_line] = value;
+}
+
+bool
+Cache::removeLine(VirtAddr va, PhysAddr pa, bool write_back)
+{
+    const std::uint32_t set = geo.setIndex(indexBits(va, pa));
+    const int way = findWay(set, pa);
+    const bool present = way >= 0;
+
+    const Cycles cost = (present || costs.uniformOpCost)
+        ? costs.opLinePresent
+        : costs.opLineAbsent;
+    clk.advance(cost);
+
+    if (write_back) {
+        statFlushCycles += cost;
+        present ? ++statFlushPresent : ++statFlushAbsent;
+    } else {
+        statPurgeCycles += cost;
+        present ? ++statPurgePresent : ++statPurgeAbsent;
+    }
+
+    if (!present)
+        return false;
+
+    const std::uint32_t id = lineId(set, static_cast<std::uint32_t>(way));
+    if (write_back && lines[id].dirty)
+        writeBack(id);
+    lines[id].valid = false;
+    lines[id].dirty = false;
+    return true;
+}
+
+bool
+Cache::flushLine(VirtAddr va, PhysAddr pa)
+{
+    return removeLine(va, pa, true);
+}
+
+bool
+Cache::purgeLine(VirtAddr va, PhysAddr pa)
+{
+    return removeLine(va, pa, false);
+}
+
+std::uint32_t
+Cache::flushPage(VirtAddr page_va, PhysAddr page_pa)
+{
+    std::uint32_t present = 0;
+    for (std::uint32_t off = 0; off < geo.pageBytes();
+         off += geo.lineBytes()) {
+        if (flushLine(page_va.plus(off), page_pa.plus(off)))
+            ++present;
+    }
+    return present;
+}
+
+std::uint32_t
+Cache::purgePage(VirtAddr page_va, PhysAddr page_pa)
+{
+    std::uint32_t present = 0;
+    for (std::uint32_t off = 0; off < geo.pageBytes();
+         off += geo.lineBytes()) {
+        if (purgeLine(page_va.plus(off), page_pa.plus(off)))
+            ++present;
+    }
+    return present;
+}
+
+void
+Cache::purgeAll()
+{
+    for (auto &l : lines) {
+        l.valid = false;
+        l.dirty = false;
+    }
+}
+
+void
+Cache::snoopInvalidateLine(PhysAddr pa_line)
+{
+    const std::uint64_t tag = pa_line.value / geo.lineBytes();
+    forEachCandidateSet(pa_line, [&](std::uint32_t set) {
+        for (std::uint32_t w = 0; w < geo.associativity(); ++w) {
+            Line &l = lines[lineId(set, w)];
+            if (l.valid && l.tag == tag) {
+                l.valid = false;
+                l.dirty = false;
+            }
+        }
+    });
+}
+
+bool
+Cache::snoopWriteBackLine(PhysAddr pa_line)
+{
+    const std::uint64_t tag = pa_line.value / geo.lineBytes();
+    bool wrote = false;
+    forEachCandidateSet(pa_line, [&](std::uint32_t set) {
+        for (std::uint32_t w = 0; w < geo.associativity(); ++w) {
+            const std::uint32_t id = lineId(set, w);
+            Line &l = lines[id];
+            if (l.valid && l.tag == tag && l.dirty) {
+                writeBack(id);
+                wrote = true;
+            }
+        }
+    });
+    return wrote;
+}
+
+Cache::Probe
+Cache::probe(VirtAddr va, PhysAddr pa) const
+{
+    Probe p;
+    const std::uint32_t set = geo.setIndex(indexBits(va, pa));
+    const int way = findWay(set, pa);
+    if (way < 0)
+        return p;
+    const std::uint32_t id = lineId(set, static_cast<std::uint32_t>(way));
+    p.present = true;
+    p.dirty = lines[id].dirty;
+    const std::uint32_t word_in_line =
+        static_cast<std::uint32_t>((pa.value / 4) % geo.wordsPerLine());
+    p.word = lineData(id)[word_in_line];
+    return p;
+}
+
+} // namespace vic

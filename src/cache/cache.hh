@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Functional and cycle-timed cache simulator.
+ *
+ * Models the HP 9000 Series 700 cache organisation of the paper:
+ * virtually indexed, physically tagged, write-back, direct mapped —
+ * plus the alternative organisations of Section 3.3 (physically
+ * indexed, write-through, set associative) behind the same interface.
+ *
+ * The simulator stores real data. Because the index comes from the
+ * virtual address while the tag comes from the physical address, a
+ * physical line mapped at two unaligned virtual addresses occupies two
+ * cache lines with independent data — so stale reads, shadowed DMA
+ * input and lost write-backs genuinely occur when consistency is
+ * mismanaged. The two cache control operations the hardware exports,
+ * flush and purge by virtual address, are modelled with the 720's
+ * measured cost asymmetry (an operation on a line that is present is
+ * several times more expensive than on an absent one, Section 2.3).
+ */
+
+#ifndef VIC_CACHE_CACHE_HH
+#define VIC_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/cache_geometry.hh"
+#include "common/cycle_clock.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/physical_memory.hh"
+
+namespace vic
+{
+
+/** Write policy of the cache (Section 3.3 distinguishes the two by the
+ *  existence of the dirty state). */
+enum class WritePolicy : std::uint8_t
+{
+    WriteBack,
+    WriteThrough,
+};
+
+/** Per-operation cycle costs. Defaults approximate the 50 MHz 720 as
+ *  characterised in the paper. */
+struct CacheCosts
+{
+    Cycles hit = 1;             ///< load/store hit
+    Cycles missPenalty = 15;    ///< line fill from memory
+    Cycles writeBackPenalty = 15; ///< dirty victim write-back
+
+    /** Flush/purge of a line that is present: slow (memory traffic /
+     *  pipeline drain). The paper: "a purge or flush of a virtual
+     *  address can be up to seven times slower when the data is in the
+     *  cache as opposed to when it isn't". */
+    Cycles opLinePresent = 14;
+    /** Flush/purge of an absent line: fast. */
+    Cycles opLineAbsent = 2;
+    /** If true, line flush/purge costs opLinePresent regardless of
+     *  presence — the 720's instruction cache "requires constant time
+     *  to purge ... regardless of its contents" (Section 5.1). */
+    bool uniformOpCost = false;
+};
+
+class Cache
+{
+  public:
+    /**
+     * @param cache_name prefix for statistics (e.g. "dcache")
+     * @param geom       geometry (size, line, page, ways, indexing)
+     * @param cache_costs cycle cost table
+     * @param write_policy write-back or write-through
+     * @param memory     backing physical memory
+     * @param clock      cycle clock charged by every operation
+     * @param stat_set   statistics registry
+     */
+    Cache(std::string cache_name, const CacheGeometry &geom,
+          const CacheCosts &cache_costs, WritePolicy write_policy,
+          PhysicalMemory &memory, CycleClock &clock, StatSet &stat_set);
+
+    const CacheGeometry &geometry() const { return geo; }
+    WritePolicy writePolicy() const { return policy; }
+    const std::string &name() const { return cacheName; }
+
+    /** CPU load of the aligned word at (@p va -> @p pa). */
+    std::uint32_t read(VirtAddr va, PhysAddr pa);
+
+    /** CPU store of the aligned word at (@p va -> @p pa). */
+    void write(VirtAddr va, PhysAddr pa, std::uint32_t value);
+
+    /**
+     * Hardware "flush virtual address": remove the line containing
+     * @p va from the cache, writing it back first if dirty. The line is
+     * located by indexing with @p va and comparing the physical tag
+     * against @p pa, as on PA-RISC.
+     *
+     * @return true iff a matching line was present.
+     */
+    bool flushLine(VirtAddr va, PhysAddr pa);
+
+    /** Hardware "purge virtual address": remove without write-back.
+     *  @return true iff a matching line was present. */
+    bool purgeLine(VirtAddr va, PhysAddr pa);
+
+    /** Flush every line of the page mapped at (@p page_va -> @p page_pa).
+     *  @return number of lines that were present. */
+    std::uint32_t flushPage(VirtAddr page_va, PhysAddr page_pa);
+
+    /** Purge every line of the page at (@p page_va -> @p page_pa).
+     *  @return number of lines that were present. */
+    std::uint32_t purgePage(VirtAddr page_va, PhysAddr page_pa);
+
+    /** Invalidate the whole cache without write-back (power-up). */
+    void purgeAll();
+
+    /**
+     * Coherent-DMA support (Section 3.3, "DMA can access the cache"):
+     * invalidate every line whose tag covers @p pa_line, regardless of
+     * which set it sits in. Used by a snooping DmaEngine on DMA-write.
+     */
+    void snoopInvalidateLine(PhysAddr pa_line);
+
+    /**
+     * Coherent-DMA support: if any line holding @p pa_line is dirty,
+     * write it back so memory is current. Used by a snooping DmaEngine
+     * on DMA-read. @return true iff a write-back occurred.
+     */
+    bool snoopWriteBackLine(PhysAddr pa_line);
+
+    /** Result of a non-intrusive lookup, for tests and the oracle. */
+    struct Probe
+    {
+        bool present = false; ///< valid line with matching tag at va's set
+        bool dirty = false;
+        std::uint32_t word = 0; ///< cached value of the probed word
+    };
+
+    /** Inspect the cache without charging cycles or changing state. */
+    Probe probe(VirtAddr va, PhysAddr pa) const;
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t tag = 0; ///< physical line number (pa / lineBytes)
+        std::uint64_t lastUse = 0;
+    };
+
+    std::string cacheName;
+    CacheGeometry geo;
+    CacheCosts costs;
+    WritePolicy policy;
+    PhysicalMemory &mem;
+    CycleClock &clk;
+
+    std::vector<Line> lines;
+    std::vector<std::uint32_t> data;
+    std::uint64_t useTick = 0;
+
+    Counter &statReads;
+    Counter &statWrites;
+    Counter &statHits;
+    Counter &statMisses;
+    Counter &statWriteBacks;
+    Counter &statFills;
+    Counter &statFlushPresent;
+    Counter &statFlushAbsent;
+    Counter &statPurgePresent;
+    Counter &statPurgeAbsent;
+    Counter &statFlushCycles; ///< cycles spent in flush operations
+    Counter &statPurgeCycles; ///< cycles spent in purge operations
+
+    std::uint64_t indexBits(VirtAddr va, PhysAddr pa) const;
+    std::uint32_t lineId(std::uint32_t set, std::uint32_t way) const
+    { return set * geo.associativity() + way; }
+    std::uint32_t *lineData(std::uint32_t line_id)
+    { return data.data() + std::uint64_t(line_id) * geo.wordsPerLine(); }
+    const std::uint32_t *lineData(std::uint32_t line_id) const
+    { return data.data() + std::uint64_t(line_id) * geo.wordsPerLine(); }
+
+    /** Find a valid way in @p set whose tag covers @p pa.
+     *  @return way index or -1. */
+    int findWay(std::uint32_t set, PhysAddr pa) const;
+
+    /** Choose a victim way in @p set (invalid first, else LRU). */
+    std::uint32_t victimWay(std::uint32_t set) const;
+
+    /** Write line @p line_id back to memory. */
+    void writeBack(std::uint32_t line_id);
+
+    /** Fill line @p line_id from memory for @p pa's line. */
+    void fill(std::uint32_t line_id, PhysAddr pa);
+
+    /** Shared flush/purge implementation. */
+    bool removeLine(VirtAddr va, PhysAddr pa, bool write_back);
+
+    /**
+     * Visit every set that could hold the line at physical address
+     * @p pa_line. A virtual index shares the page-offset bits with
+     * the physical address, so only the colour bits are unknown —
+     * one candidate set per span colour instead of a full scan.
+     */
+    template <typename Fn>
+    void
+    forEachCandidateSet(PhysAddr pa_line, Fn &&fn) const
+    {
+        const std::uint32_t lines_per_page = geo.linesPerPage();
+        const std::uint32_t off_line = static_cast<std::uint32_t>(
+            (pa_line.value % geo.pageBytes()) / geo.lineBytes());
+        const std::uint32_t span = geo.spanColours();
+        for (std::uint32_t c = 0; c < span; ++c) {
+            const std::uint32_t set =
+                (c * lines_per_page + off_line) & (geo.numSets() - 1);
+            fn(set);
+        }
+    }
+};
+
+} // namespace vic
+
+#endif // VIC_CACHE_CACHE_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fixed-width dynamic bit vector.
+ *
+ * The consistency algorithm keeps, per resident physical page, two bit
+ * vectors indexed by cache page ("P[p].mapped" and "P[p].stale" in the
+ * paper, Section 4.1). The number of cache pages is small (cache size /
+ * page size, e.g. 64 for a 256 KB cache with 4 KB pages), so the hot
+ * operations — bitwise OR, clear, find-first, population count — are a
+ * handful of word instructions. That cheapness is itself one of the
+ * paper's claims ("the data structures used by the algorithm lend
+ * themselves to efficient state modification") and is measured by the
+ * micro_ops bench.
+ */
+
+#ifndef VIC_COMMON_BITVECTOR_HH
+#define VIC_COMMON_BITVECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace vic
+{
+
+class BitVector
+{
+  public:
+    BitVector() = default;
+
+    /** Construct a vector of @p nbits bits, all clear. */
+    explicit BitVector(std::uint32_t nbits);
+
+    /** Number of bits this vector holds. */
+    std::uint32_t size() const { return numBits; }
+
+    /** @return the value of bit @p idx. */
+    bool test(std::uint32_t idx) const;
+
+    /** Set bit @p idx. */
+    void set(std::uint32_t idx);
+
+    /** Clear bit @p idx. */
+    void reset(std::uint32_t idx);
+
+    /** Assign bit @p idx. */
+    void assign(std::uint32_t idx, bool value);
+
+    /** Clear all bits. */
+    void clearAll();
+
+    /** Bitwise OR @p other into this vector. Sizes must match. */
+    void orWith(const BitVector &other);
+
+    /** @return true iff any bit is set. */
+    bool any() const;
+
+    /** @return true iff no bit is set. */
+    bool none() const { return !any(); }
+
+    /** Number of set bits. */
+    std::uint32_t count() const;
+
+    /** Index of the first set bit; size() if none. */
+    std::uint32_t findFirst() const;
+
+    /** Index of the first clear bit; size() if none. */
+    std::uint32_t findFirstClear() const;
+
+    /** @return true iff exactly one bit is set. */
+    bool exactlyOne() const { return count() == 1; }
+
+    bool operator==(const BitVector &other) const = default;
+
+  private:
+    static constexpr std::uint32_t bitsPerWord = 64;
+
+    std::uint32_t numBits = 0;
+    std::vector<std::uint64_t> words;
+
+    void checkIndex(std::uint32_t idx) const;
+};
+
+} // namespace vic
+
+#endif // VIC_COMMON_BITVECTOR_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Global simulated cycle counter.
+ *
+ * Plays the role of the HP 9000/720's on-chip cycle counter used for
+ * the paper's measurements: every component charges its modelled cost
+ * here, and benches convert cycles to "elapsed seconds" at the paper's
+ * 50 MHz clock rate.
+ */
+
+#ifndef VIC_COMMON_CYCLE_CLOCK_HH
+#define VIC_COMMON_CYCLE_CLOCK_HH
+
+#include "common/types.hh"
+
+namespace vic
+{
+
+class CycleClock
+{
+  public:
+    /** Current simulated time in cycles. */
+    Cycles now() const { return current; }
+
+    /** Charge @p n cycles. */
+    void advance(Cycles n) { current += n; }
+
+    /** Reset to zero (between workload runs). */
+    void reset() { current = 0; }
+
+  private:
+    Cycles current = 0;
+};
+
+} // namespace vic
+
+#endif // VIC_COMMON_CYCLE_CLOCK_HH

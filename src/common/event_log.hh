@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Optional ring-buffer event log.
+ *
+ * When enabled, components append one-line descriptions of the
+ * consistency-relevant events they perform (cache page flushes and
+ * purges with their reasons, faults, DMA preparation, pageouts).
+ * Disabled by default: the hot paths pay a single branch. Used by the
+ * policy_explorer example's --trace option and by debugging sessions;
+ * the tests pin the ring semantics.
+ */
+
+#ifndef VIC_COMMON_EVENT_LOG_HH
+#define VIC_COMMON_EVENT_LOG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vic
+{
+
+class EventLog
+{
+  public:
+    EventLog() = default;
+
+    /** Start recording, keeping the most recent @p capacity events. */
+    void
+    enable(std::size_t capacity)
+    {
+        ring.assign(capacity, {});
+        head = 0;
+        total = 0;
+        active = capacity > 0;
+    }
+
+    /** Stop recording and drop the buffer. */
+    void
+    disable()
+    {
+        ring.clear();
+        active = false;
+    }
+
+    /** @return true iff events are being recorded. Check this before
+     *  building an expensive message. */
+    bool enabled() const { return active; }
+
+    /** Append one event (no-op when disabled). */
+    void
+    log(std::string text)
+    {
+        if (!active)
+            return;
+        ring[head] = std::move(text);
+        head = (head + 1) % ring.size();
+        ++total;
+    }
+
+    /** Events ever logged (including overwritten ones). */
+    std::uint64_t totalLogged() const { return total; }
+
+    /** The most recent events, oldest first, at most @p n (and at
+     *  most the ring capacity). */
+    std::vector<std::string>
+    recent(std::size_t n) const
+    {
+        std::vector<std::string> out;
+        if (!active)
+            return out;
+        const std::size_t cap = ring.size();
+        const std::size_t have =
+            total < cap ? static_cast<std::size_t>(total) : cap;
+        const std::size_t take = n < have ? n : have;
+        for (std::size_t i = 0; i < take; ++i) {
+            const std::size_t idx =
+                (head + cap - take + i) % cap;
+            out.push_back(ring[idx]);
+        }
+        return out;
+    }
+
+  private:
+    std::vector<std::string> ring;
+    std::size_t head = 0;
+    std::uint64_t total = 0;
+    bool active = false;
+};
+
+} // namespace vic
+
+#endif // VIC_COMMON_EVENT_LOG_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 panic/fatal split:
+ * panic() is for simulator invariant violations (a bug in this code),
+ * fatal() is for user errors (bad configuration), warn()/inform() are
+ * advisory.
+ */
+
+#ifndef VIC_COMMON_LOGGING_HH
+#define VIC_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace vic
+{
+
+/** Abort the simulation because an internal invariant was violated. */
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+
+/** Exit the simulation because of a user/configuration error. */
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+
+/** Print an advisory warning. */
+void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message. */
+void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string vformat(const char *fmt, std::va_list ap);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a failed vic_assert and abort. */
+[[noreturn]] void assertFailImpl(const char *file, int line,
+                                 const char *cond, const char *msg);
+
+} // namespace vic
+
+#define vic_panic(...) ::vic::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define vic_fatal(...) ::vic::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define vic_warn(...) ::vic::warnImpl(__VA_ARGS__)
+#define vic_inform(...) ::vic::informImpl(__VA_ARGS__)
+
+/** Checked invariant: like assert but always compiled in, with a
+ *  formatted message. */
+#define vic_assert(cond, ...)                                           \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::vic::assertFailImpl(__FILE__, __LINE__, #cond,            \
+                                  ::vic::format(__VA_ARGS__).c_str()); \
+        }                                                               \
+    } while (0)
+
+#endif // VIC_COMMON_LOGGING_HH

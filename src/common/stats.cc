@@ -1,0 +1,78 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vic
+{
+
+Counter &
+StatSet::counter(const std::string &name)
+{
+    auto it = index.find(name);
+    if (it != index.end())
+        return *it->second;
+    storage.emplace_back(name);
+    Counter &c = storage.back();
+    index.emplace(name, &c);
+    return c;
+}
+
+std::uint64_t
+StatSet::value(const std::string &name) const
+{
+    auto it = index.find(name);
+    return it == index.end() ? 0 : it->second->value();
+}
+
+void
+StatSet::clearAll()
+{
+    for (auto &c : storage)
+        c.clear();
+}
+
+std::vector<const Counter *>
+StatSet::all() const
+{
+    std::vector<const Counter *> out;
+    out.reserve(storage.size());
+    for (const auto &c : storage)
+        out.push_back(&c);
+    return out;
+}
+
+std::unordered_map<std::string, std::uint64_t>
+StatSet::snapshot() const
+{
+    std::unordered_map<std::string, std::uint64_t> out;
+    for (const auto &c : storage)
+        out.emplace(c.name(), c.value());
+    return out;
+}
+
+std::string
+StatSet::render(const std::string &prefix, bool include_zero) const
+{
+    std::vector<const Counter *> selected;
+    for (const auto &c : storage) {
+        if (c.name().rfind(prefix, 0) != 0)
+            continue;
+        if (c.value() == 0 && !include_zero)
+            continue;
+        selected.push_back(&c);
+    }
+    std::sort(selected.begin(), selected.end(),
+              [](const Counter *a, const Counter *b) {
+                  return a->name() < b->name();
+              });
+    std::string out;
+    for (const Counter *c : selected) {
+        out += format("%-36s %llu\n", c->name().c_str(),
+                      (unsigned long long)c->value());
+    }
+    return out;
+}
+
+} // namespace vic

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Named statistic counters.
+ *
+ * Each simulated machine owns a StatSet; components obtain stable
+ * references to named counters at construction time and bump them on the
+ * hot path with plain integer increments. Benches read the set back by
+ * name to print the paper's tables.
+ */
+
+#ifndef VIC_COMMON_STATS_HH
+#define VIC_COMMON_STATS_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace vic
+{
+
+/** A single monotonically increasing statistic. */
+class Counter
+{
+  public:
+    explicit Counter(std::string counter_name)
+        : name_(std::move(counter_name))
+    {}
+
+    const std::string &name() const { return name_; }
+    std::uint64_t value() const { return value_; }
+
+    void operator+=(std::uint64_t n) { value_ += n; }
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+
+    /** Reset to zero (used between workload phases). */
+    void clear() { value_ = 0; }
+
+  private:
+    std::string name_;
+    std::uint64_t value_ = 0;
+};
+
+/** An ordered collection of counters, keyed by name. */
+class StatSet
+{
+  public:
+    StatSet() = default;
+    StatSet(const StatSet &) = delete;
+    StatSet &operator=(const StatSet &) = delete;
+
+    /** Get (creating on first use) the counter called @p name. The
+     *  returned reference remains valid for the StatSet's lifetime. */
+    Counter &counter(const std::string &name);
+
+    /** Current value of @p name; 0 if the counter was never created. */
+    std::uint64_t value(const std::string &name) const;
+
+    /** Reset every counter to zero. */
+    void clearAll();
+
+    /** All counters in creation order. */
+    std::vector<const Counter *> all() const;
+
+    /** Capture a snapshot of all current values. */
+    std::unordered_map<std::string, std::uint64_t> snapshot() const;
+
+    /** Render all counters whose names start with @p prefix, sorted by
+     *  name, one per line ("name value\n"). Zero-valued counters are
+     *  skipped unless @p include_zero. */
+    std::string render(const std::string &prefix = "",
+                       bool include_zero = false) const;
+
+  private:
+    std::deque<Counter> storage;
+    std::unordered_map<std::string, Counter *> index;
+};
+
+} // namespace vic
+
+#endif // VIC_COMMON_STATS_HH

@@ -1,0 +1,88 @@
+#include "common/table.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace vic
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headerRow(std::move(headers))
+{
+}
+
+void
+Table::row()
+{
+    rows.emplace_back();
+}
+
+void
+Table::cell(const std::string &text)
+{
+    vic_assert(!rows.empty(), "Table::cell before Table::row");
+    rows.back().push_back(text);
+}
+
+void
+Table::cell(std::uint64_t v)
+{
+    cell(format("%llu", (unsigned long long)v));
+}
+
+void
+Table::cell(double v, int decimals)
+{
+    cell(format("%.*f", decimals, v));
+}
+
+void
+Table::blank()
+{
+    cell(std::string("-"));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(headerRow.size(), 0);
+    for (size_t i = 0; i < headerRow.size(); ++i)
+        widths[i] = headerRow[i].size();
+    for (const auto &r : rows) {
+        for (size_t i = 0; i < r.size() && i < widths.size(); ++i)
+            widths[i] = std::max(widths[i], r[i].size());
+    }
+
+    auto emit_row = [&](const std::vector<std::string> &r,
+                        std::string &out) {
+        for (size_t i = 0; i < widths.size(); ++i) {
+            const std::string &text = i < r.size() ? r[i] : std::string();
+            out += "| ";
+            out += text;
+            out.append(widths[i] - text.size() + 1, ' ');
+        }
+        out += "|\n";
+    };
+
+    std::string out;
+    emit_row(headerRow, out);
+    for (size_t i = 0; i < widths.size(); ++i) {
+        out += "|";
+        out.append(widths[i] + 2, '-');
+    }
+    out += "|\n";
+    for (const auto &r : rows)
+        emit_row(r, out);
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::string s = render();
+    std::fwrite(s.data(), 1, s.size(), stdout);
+    std::fflush(stdout);
+}
+
+} // namespace vic

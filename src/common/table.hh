@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Plain-text table printer used by the bench binaries to emit rows in
+ * the same layout as the paper's tables.
+ */
+
+#ifndef VIC_COMMON_TABLE_HH
+#define VIC_COMMON_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vic
+{
+
+class Table
+{
+  public:
+    /** Construct with column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent cell() calls fill it left to right. */
+    void row();
+
+    /** Append a string cell to the current row. */
+    void cell(const std::string &text);
+
+    /** Append an integer cell. */
+    void cell(std::uint64_t v);
+
+    /** Append a floating-point cell with @p decimals places. */
+    void cell(double v, int decimals = 2);
+
+    /** Append an empty cell. */
+    void blank();
+
+    /** Render the table with aligned columns. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headerRow;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace vic
+
+#endif // VIC_COMMON_TABLE_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The paper's consistency model (Section 3): four states per cache
+ * line/page with respect to a virtual address, and the transition rules
+ * of Table 2 as pure functions.
+ *
+ * For any virtual address a cache line is Empty, Present, Dirty or
+ * Stale. Six events change state: CPU-read, CPU-write, DMA-read,
+ * DMA-write, Purge and Flush. A transition may require a cache control
+ * operation (purge or flush) to be applied first; the rules are defined
+ * so that stale data is never transferred out of the memory system.
+ *
+ * These functions are the executable specification. The concrete
+ * CacheControl implementation (Figure 1 / LazyPmap) is verified against
+ * them by the model-checking tests, and the table2_transitions bench
+ * prints them in the paper's layout.
+ */
+
+#ifndef VIC_CORE_CACHE_PAGE_STATE_HH
+#define VIC_CORE_CACHE_PAGE_STATE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace vic
+{
+
+/** Consistency state of a cache line (or, at the implementation's
+ *  granularity, a cache page) with respect to a virtual address. */
+enum class CachePageState : std::uint8_t
+{
+    Empty,    ///< line does not contain the data at this address
+    Present,  ///< line contains the correct (consistent) data
+    Dirty,    ///< written by the CPU; memory may be stale w.r.t. it
+    Stale,    ///< a newer version exists in memory or another line
+};
+
+/** All states, for iteration in tests and benches. */
+inline constexpr std::array<CachePageState, 4> allCachePageStates = {
+    CachePageState::Empty, CachePageState::Present,
+    CachePageState::Dirty, CachePageState::Stale,
+};
+
+/** The memory-system events of the model, for iteration. */
+inline constexpr std::array<MemOp, 6> allMemOps = {
+    MemOp::CpuRead, MemOp::CpuWrite, MemOp::DmaRead,
+    MemOp::DmaWrite, MemOp::Purge, MemOp::Flush,
+};
+
+/** Human-readable state name. */
+const char *cachePageStateName(CachePageState s);
+
+/** One-letter state abbreviation (E/P/D/S), as in the paper. */
+char cachePageStateLetter(CachePageState s);
+
+/** Cache control operation required to force a transition. */
+enum class RequiredOp : std::uint8_t
+{
+    None,
+    Purge,
+    Flush,
+};
+
+/** Human-readable RequiredOp name. */
+const char *requiredOpName(RequiredOp op);
+
+/** A transition: the next state and the cache operation (if any) that
+ *  must be applied to the line to make the transition safe. */
+struct SpecTransition
+{
+    CachePageState next;
+    RequiredOp required = RequiredOp::None;
+
+    bool operator==(const SpecTransition &) const = default;
+};
+
+/**
+ * Table 2, second column: transition of the TARGET cache line — the
+ * line selected by the cache index function for the target virtual
+ * address of the operation.
+ *
+ * For DMA operations the notion of a target line does not apply (DMA
+ * bypasses the cache); the paper gives identical transitions in both
+ * columns, and this function returns them.
+ */
+SpecTransition targetTransition(CachePageState current, MemOp op);
+
+/**
+ * Table 2, third column: transition of every other cache line that
+ * shares the mapping with the target virtual address but does not
+ * align with it.
+ */
+SpecTransition otherTransition(CachePageState current, MemOp op);
+
+} // namespace vic
+
+#endif // VIC_CORE_CACHE_PAGE_STATE_HH

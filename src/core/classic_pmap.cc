@@ -1,0 +1,451 @@
+#include "core/classic_pmap.hh"
+
+#include "common/logging.hh"
+
+namespace vic
+{
+
+ClassicPmap::ClassicPmap(Machine &m, const PolicyConfig &policy_config)
+    : Pmap(m, policy_config)
+{
+}
+
+ClassicPmap::FrameMeta &
+ClassicPmap::getMeta(FrameId frame)
+{
+    return frames[frame];
+}
+
+bool
+ClassicPmap::conflicts(VirtAddr a, VirtAddr b) const
+{
+    if (cfg.breakAlignedAliases)
+        return true;
+    return !mach.dcache().geometry().aligned(a, b);
+}
+
+void
+ClassicPmap::cleanResidue(FrameId frame, FrameMeta &meta,
+                          const char *reason)
+{
+    if (!meta.residue)
+        return;
+    const Residue &r = *meta.residue;
+    if (r.dirty)
+        flushDataPage(frame, dColourOf(r.va.va), reason);
+    else
+        purgeDataPage(frame, dColourOf(r.va.va), reason);
+    if (r.exec)
+        purgeInstPage(frame, iColourOf(r.va.va), reason);
+    meta.residue.reset();
+}
+
+bool
+ClassicPmap::colourPossiblyDirty(const FrameMeta &meta,
+                                 CachePageId colour,
+                                 bool base_modified) const
+{
+    if (base_modified)
+        return true;
+    // The cache page is shared by every ALIGNED mapping of the frame:
+    // data written through one sibling is dirty in the very lines a
+    // purge through another sibling would discard. Any live aligned
+    // mapping with its modified bit set makes the colour dirty.
+    for (const auto &m : meta.mappings) {
+        if (dColourOf(m.va.va) != colour)
+            continue;
+        const PageTableEntry *pte = mach.pageTable().lookup(m.va);
+        if (pte && pte->modified)
+            return true;
+    }
+    return false;
+}
+
+void
+ClassicPmap::cleanThroughMapping(FrameId frame, const VaMapping &m,
+                                 bool flush_dirty, const char *reason)
+{
+    if (flush_dirty)
+        flushDataPage(frame, dColourOf(m.va.va), reason);
+    else
+        purgeDataPage(frame, dColourOf(m.va.va), reason);
+    if (m.vmProt.execute)
+        purgeInstPage(frame, iColourOf(m.va.va), reason);
+}
+
+void
+ClassicPmap::enterExecMode(FrameId frame, FrameMeta &meta,
+                           CachePageId icolour)
+{
+    // The newest data must reach memory before the instruction cache
+    // fills from it: flush every colour a live mapping may have
+    // dirtied (consuming the modified bits).
+    std::vector<CachePageId> flushed;
+    for (const auto &m : meta.mappings) {
+        const CachePageId c = dColourOf(m.va.va);
+        bool seen = false;
+        for (CachePageId f : flushed)
+            seen |= f == c;
+        if (seen)
+            continue;
+        const bool modified = mach.pageTable().clearModified(m.va);
+        if (colourPossiblyDirty(meta, c, modified)) {
+            flushDataPage(frame, c, "ifetch");
+            flushed.push_back(c);
+        }
+    }
+    // Without stale state, assume the instruction cache copy is old.
+    purgeInstPage(frame, icolour, "ifetch");
+
+    // Revoke write everywhere; a later store faults into write mode.
+    for (const auto &m : meta.mappings) {
+        const PageTableEntry *pte = mach.pageTable().lookup(m.va);
+        if (pte && pte->prot.write) {
+            Protection p = pte->prot;
+            p.write = false;
+            setHardwareProt(m.va, p);
+        }
+    }
+    meta.execMode = true;
+}
+
+void
+ClassicPmap::enterWriteMode(FrameMeta &meta)
+{
+    for (const auto &m : meta.mappings) {
+        const PageTableEntry *pte = mach.pageTable().lookup(m.va);
+        if (pte && pte->prot.execute) {
+            Protection p = pte->prot;
+            p.execute = false;
+            setHardwareProt(m.va, p);
+        }
+    }
+    meta.execMode = false;
+}
+
+void
+ClassicPmap::breakMapping(FrameId frame, FrameMeta &meta,
+                          const VaMapping &m, const char *reason)
+{
+    const bool modified = dropTranslation(m.va);
+    const bool dirty =
+        colourPossiblyDirty(meta, dColourOf(m.va.va), modified);
+    cleanThroughMapping(frame, m, dirty, reason);
+    bool removed = false;
+    for (auto &mapping : meta.mappings) {
+        if (mapping.va == m.va) {
+            mapping = meta.mappings.back();
+            meta.mappings.pop_back();
+            removed = true;
+            break;
+        }
+    }
+    vic_assert(removed, "breakMapping: mapping not found");
+}
+
+void
+ClassicPmap::enter(SpaceVa va, FrameId frame, Protection vm_prot,
+                   AccessType access, const EnterHints &hints)
+{
+    (void)hints;  // the classic strategies have no semantic hints
+    mach.clock().advance(mach.params().pmapOverheadCycles);
+    va.va = mach.pageTable().pageBase(va.va);
+    vic_assert(mach.pageTable().lookup(va) == nullptr,
+               "enter over live mapping space=%u va=%llx", va.space,
+               (unsigned long long)va.va.value);
+
+    FrameMeta &meta = getMeta(frame);
+
+    if (cfg.brokenNoConsistency) {
+        // Testing-only unsound mode: pretend the cache is physically
+        // indexed and do nothing about aliases or residue.
+        setTranslation(va, frame, vm_prot);
+        meta.mappings.push_back(VaMapping{va, vm_prot});
+        return;
+    }
+
+    // Tut-style residue: if the frame still has cache contents from a
+    // previous mapping, they must be removed unless the new address
+    // matches (equal address for Tut; aligned otherwise).
+    if (meta.residue) {
+        const Residue &r = *meta.residue;
+        const bool matches = cfg.equalVaOnly
+            ? r.va.va == va.va
+            : mach.dcache().geometry().aligned(r.va.va, va.va);
+        if (!matches) {
+            cleanResidue(frame, meta, "newmap");
+            // The new virtual page may hold this frame's stale data
+            // from an even earlier life; Tut removes both old and new
+            // cache pages.
+            purgeDataPage(frame, dColourOf(va.va), "newmap");
+            if (access == AccessType::IFetch)
+                purgeInstPage(frame, iColourOf(va.va), "newmap");
+        } else {
+            meta.residue.reset();
+        }
+    }
+
+    // Alias handling (Section 2.5's "old" strategy): a write breaks
+    // every conflicting mapping; a read breaks conflicting writable
+    // mappings and comes in read-only.
+    bool conflicting_alias = false;
+    std::vector<VaMapping> to_break;
+    for (const auto &m : meta.mappings) {
+        if (!conflicts(m.va.va, va.va))
+            continue;
+        conflicting_alias = true;
+        if (isWrite(access)) {
+            to_break.push_back(m);
+        } else {
+            const PageTableEntry *pte = mach.pageTable().lookup(m.va);
+            vic_assert(pte != nullptr, "mapping without translation");
+            if (pte->prot.write || pte->modified)
+                to_break.push_back(m);
+        }
+    }
+    for (const auto &m : to_break)
+        breakMapping(frame, meta, m, "alias");
+
+    // Effective protection: conflicting read aliases stay read-only so
+    // the next write traps and can break them.
+    Protection eff = vm_prot;
+    if (!isWrite(access) && conflicting_alias)
+        eff.write = false;
+
+    // Write-xor-execute discipline (see FrameMeta::execMode): the
+    // mode-switch fault performs the D-cache flush / I-cache purge
+    // that keep the split caches consistent.
+    if (access == AccessType::IFetch && eff.execute) {
+        if (!meta.execMode)
+            enterExecMode(frame, meta, iColourOf(va.va));
+        eff.write = false;
+    } else {
+        if (isWrite(access) && meta.execMode)
+            enterWriteMode(meta);
+        if (meta.execMode)
+            eff.write = false;
+        else
+            eff.execute = false;
+    }
+
+    setTranslation(va, frame, eff);
+    meta.mappings.push_back(VaMapping{va, vm_prot});
+}
+
+void
+ClassicPmap::remove(SpaceVa va)
+{
+    mach.clock().advance(mach.params().pmapOverheadCycles);
+    va.va = mach.pageTable().pageBase(va.va);
+    const PageTableEntry *pte = mach.pageTable().lookup(va);
+    if (!pte)
+        return;
+    const FrameId frame = pte->frame;
+    FrameMeta &meta = getMeta(frame);
+    VaMapping *m = nullptr;
+    for (auto &mapping : meta.mappings) {
+        if (mapping.va == va)
+            m = &mapping;
+    }
+    vic_assert(m != nullptr, "mapping list out of sync with page table");
+    const VaMapping removed_mapping = *m;
+
+    const bool modified = dropTranslation(va);
+    for (auto &mapping : meta.mappings) {
+        if (mapping.va == va) {
+            mapping = meta.mappings.back();
+            meta.mappings.pop_back();
+            break;
+        }
+    }
+
+    if (cfg.brokenNoConsistency) {
+        // Testing-only unsound mode: leave whatever is in the cache.
+    } else if (cfg.cleanOnUnmap) {
+        // Eager: remove the page from the cache right now, flushing if
+        // it might be dirty — including dirt written through an
+        // aligned sibling mapping, whose modified bit lives elsewhere.
+        const bool dirty = colourPossiblyDirty(
+            meta, dColourOf(removed_mapping.va.va), modified);
+        cleanThroughMapping(frame, removed_mapping, dirty, "unmap");
+    } else {
+        // Tut: remember the residue; clean it only if/when the frame
+        // is remapped at a non-matching address. A pre-existing
+        // residue at another address must be cleaned now — only one is
+        // tracked per frame.
+        if (meta.residue && meta.residue->va.va != va.va)
+            cleanResidue(frame, meta, "unmap");
+        meta.residue = Residue{va, modified,
+                               removed_mapping.vmProt.execute};
+    }
+}
+
+void
+ClassicPmap::protect(SpaceVa va, Protection vm_prot)
+{
+    va.va = mach.pageTable().pageBase(va.va);
+    const PageTableEntry *pte = mach.pageTable().lookup(va);
+    vic_assert(pte != nullptr, "protect of unmapped page");
+    FrameMeta &meta = getMeta(pte->frame);
+    for (auto &m : meta.mappings) {
+        if (m.va == va) {
+            m.vmProt = vm_prot;
+            setHardwareProt(va, pte->prot.intersect(vm_prot));
+            return;
+        }
+    }
+    vic_panic("mapping list out of sync with page table");
+}
+
+bool
+ClassicPmap::resolveConsistencyFault(SpaceVa va, AccessType access)
+{
+    va.va = mach.pageTable().pageBase(va.va);
+    const PageTableEntry *pte = mach.pageTable().lookup(va);
+    if (!pte)
+        return false;
+
+    const FrameId frame = pte->frame;
+    FrameMeta &meta = getMeta(frame);
+    VaMapping *m = nullptr;
+    for (auto &mapping : meta.mappings) {
+        if (mapping.va == va)
+            m = &mapping;
+    }
+    vic_assert(m != nullptr, "mapping list out of sync with page table");
+
+    if (!protPermits(m->vmProt, access))
+        return false;  // genuine VM-level denial
+
+    if (cfg.brokenNoConsistency) {
+        setHardwareProt(va, m->vmProt);
+        return access != AccessType::Load;
+    }
+
+    if (access == AccessType::IFetch) {
+        // Write-to-execute mode switch: flush the dirty data out,
+        // assume the instruction cache is stale, trap future writes.
+        if (!meta.execMode)
+            enterExecMode(frame, meta, iColourOf(va.va));
+        else
+            purgeInstPage(frame, iColourOf(va.va), "ifetch");
+        Protection eff = m->vmProt;
+        eff.write = false;
+        setHardwareProt(va, eff);
+        return true;
+    }
+
+    if (access != AccessType::Store)
+        return false;  // reads are never denied for consistency
+
+    // Execute-to-write mode switch, if needed.
+    if (meta.execMode)
+        enterWriteMode(meta);
+
+    // Write to an aliased page: break every conflicting mapping, then
+    // grant this one its VM protection (minus execute, which the next
+    // ifetch re-earns through the mode switch).
+    std::vector<VaMapping> to_break;
+    for (const auto &other : meta.mappings) {
+        if (other.va != va && conflicts(other.va.va, va.va))
+            to_break.push_back(other);
+    }
+    for (const auto &other : to_break)
+        breakMapping(frame, meta, other, "alias");
+
+    Protection eff = m->vmProt;
+    eff.execute = false;
+    setHardwareProt(va, eff);
+    return true;
+}
+
+void
+ClassicPmap::dmaRead(FrameId frame, bool need_data)
+{
+    (void)need_data;  // classic strategies always flush live data
+    if (cfg.brokenNoConsistency)
+        return;
+    auto it = frames.find(frame);
+    if (it == frames.end())
+        return;
+    FrameMeta &meta = it->second;
+
+    for (const auto &m : meta.mappings) {
+        // The hardware modified bit says whether this mapping could
+        // have dirtied the cache; clean mappings need nothing, since
+        // memory is already current.
+        if (mach.pageTable().clearModified(m.va))
+            flushDataPage(frame, dColourOf(m.va.va), "dma_read");
+    }
+    if (meta.residue && meta.residue->dirty) {
+        flushDataPage(frame, dColourOf(meta.residue->va.va), "dma_read");
+        meta.residue->dirty = false;
+    }
+}
+
+void
+ClassicPmap::dmaWrite(FrameId frame)
+{
+    if (cfg.brokenNoConsistency)
+        return;
+    auto it = frames.find(frame);
+    if (it == frames.end())
+        return;
+    FrameMeta &meta = it->second;
+
+    for (const auto &m : meta.mappings) {
+        mach.pageTable().clearModified(m.va);
+        purgeDataPage(frame, dColourOf(m.va.va), "dma_write");
+        if (m.vmProt.execute)
+            purgeInstPage(frame, iColourOf(m.va.va), "dma_write");
+    }
+    if (meta.residue) {
+        purgeDataPage(frame, dColourOf(meta.residue->va.va),
+                      "dma_write");
+        if (meta.residue->exec)
+            purgeInstPage(frame, iColourOf(meta.residue->va.va),
+                          "dma_write");
+        meta.residue.reset();
+    }
+}
+
+void
+ClassicPmap::frameFreed(FrameId frame)
+{
+    auto it = frames.find(frame);
+    if (it == frames.end())
+        return;
+    vic_assert(it->second.mappings.empty(),
+               "frame %llu freed with live mappings",
+               (unsigned long long)frame);
+    // Residue (Tut) survives the free list and is reconciled at the
+    // next enter, exactly like the lazy strategy's state.
+}
+
+std::vector<SpaceVa>
+ClassicPmap::mappingsOf(FrameId frame) const
+{
+    std::vector<SpaceVa> out;
+    auto it = frames.find(frame);
+    if (it == frames.end())
+        return out;
+    for (const auto &m : it->second.mappings)
+        out.push_back(m.va);
+    return out;
+}
+
+std::optional<CachePageId>
+ClassicPmap::preferredColour(FrameId frame) const
+{
+    auto it = frames.find(frame);
+    if (it == frames.end())
+        return std::nullopt;
+    const FrameMeta &meta = it->second;
+    if (meta.residue)
+        return dColourOf(meta.residue->va.va);
+    if (!meta.mappings.empty())
+        return dColourOf(meta.mappings.front().va.va);
+    return std::nullopt;
+}
+
+} // namespace vic

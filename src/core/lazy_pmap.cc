@@ -1,0 +1,359 @@
+#include "core/lazy_pmap.hh"
+
+#include "common/logging.hh"
+
+namespace vic
+{
+
+LazyPmap::LazyPmap(Machine &m, const PolicyConfig &policy_config)
+    : Pmap(m, policy_config),
+      dColours(m.dcache().geometry().numColours()),
+      iColours(m.icache().geometry().numColours()),
+      statSyncs(m.stats().counter("pmap.modified_bit_syncs"))
+{
+}
+
+PhysPageInfo &
+LazyPmap::getInfo(FrameId frame)
+{
+    auto it = pages.find(frame);
+    if (it != pages.end())
+        return it->second;
+    return pages.emplace(frame, PhysPageInfo(dColours, iColours))
+        .first->second;
+}
+
+const PhysPageInfo *
+LazyPmap::info(FrameId frame) const
+{
+    auto it = pages.find(frame);
+    return it == pages.end() ? nullptr : &it->second;
+}
+
+CachePageState
+LazyPmap::dataState(FrameId frame, CachePageId colour) const
+{
+    const PhysPageInfo *pi = info(frame);
+    return pi ? pi->dstate.decode(colour) : CachePageState::Empty;
+}
+
+CachePageState
+LazyPmap::instState(FrameId frame, CachePageId colour) const
+{
+    const PhysPageInfo *pi = info(frame);
+    return pi ? pi->istate.decode(colour) : CachePageState::Empty;
+}
+
+void
+LazyPmap::syncDirtyFromModifiedBits(PhysPageInfo &info)
+{
+    for (auto &m : info.mappings) {
+        if (mach.pageTable().clearModified(m.va)) {
+            ++statSyncs;
+            if (!info.dstate.cacheDirty) {
+                // A write was permitted without a fault, which the
+                // protection logic only allows while exactly one data
+                // cache page is mapped.
+                vic_assert(info.dstate.mapped.exactlyOne(),
+                           "modified bit with %u mapped colours",
+                           info.dstate.mapped.count());
+                info.dstate.cacheDirty = true;
+            }
+        }
+    }
+}
+
+Protection
+LazyPmap::cacheProtFor(const PhysPageInfo &info, const VaMapping &m) const
+{
+    const CachePageId cd = dColourOf(m.va.va);
+    const CachePageId ci = iColourOf(m.va.va);
+    const CacheStateVector &d = info.dstate;
+    const CacheStateVector &i = info.istate;
+
+    Protection p;
+
+    // Reads are safe iff this mapping's data cache page is mapped and
+    // not stale. (While some cache page is dirty it is the only mapped
+    // one, so unaligned reads are automatically denied.)
+    p.read = d.mapped.test(cd) && !d.stale.test(cd);
+
+    // Instruction fetches fill the instruction cache from memory, so
+    // they are additionally unsafe while ANY data cache page is dirty
+    // (memory would be stale) — instructions never align with data.
+    p.execute = i.mapped.test(ci) && !i.stale.test(ci) && !d.cacheDirty;
+
+    // Writes are safe if the page is already dirty through this
+    // aligned cache page, or — with the modified-bit optimisation — if
+    // this is the unique mapped data cache page and the page has no
+    // live instruction-cache presence to invalidate.
+    const bool dirty_here = d.cacheDirty && d.mapped.test(cd);
+    const bool modbit_ok = cfg.useModifiedBit && !d.cacheDirty &&
+        d.mapped.test(cd) && !d.stale.test(cd) &&
+        d.mapped.exactlyOne() && i.mapped.none();
+    p.write = dirty_here || modbit_ok;
+
+    return p;
+}
+
+void
+LazyPmap::applyProtections(PhysPageInfo &info)
+{
+    for (const auto &m : info.mappings)
+        setHardwareProt(m.va, m.vmProt.intersect(cacheProtFor(info, m)));
+}
+
+void
+LazyPmap::cacheControl(FrameId frame, PhysPageInfo &info, MemOp op,
+                       std::optional<SpaceVa> target, AccessType access,
+                       bool will_overwrite, bool need_data,
+                       const char *reason)
+{
+    mach.clock().advance(mach.params().pmapOverheadCycles);
+
+    if (cfg.useModifiedBit)
+        syncDirtyFromModifiedBits(info);
+
+    const bool cpu_op = op == MemOp::CpuRead || op == MemOp::CpuWrite;
+    vic_assert(cpu_op == target.has_value(),
+               "cacheControl: %s and target mismatch", memOpName(op));
+    vic_assert(!(op == MemOp::CpuWrite && access == AccessType::IFetch),
+               "instruction fetches cannot write");
+
+    std::optional<CachePageId> cd, ci;
+    if (target) {
+        cd = dColourOf(target->va);
+        ci = iColourOf(target->va);
+    }
+
+    // --- Stanza 2: displace the dirty data cache page unless the
+    // operation is a data reference aligned with it. Instruction
+    // fetches never align with data, so they always force this.
+    if (info.dstate.cacheDirty) {
+        const CachePageId w = info.dstate.dirtyColour();
+        const bool aligned_data_ref =
+            cpu_op && access != AccessType::IFetch && *cd == w;
+        if (!aligned_data_ref) {
+            // A DMA-write overwrites memory anyway, so the dirty data
+            // need only be purged; otherwise it is flushed unless the
+            // caller said the data is dead and config E permits the
+            // downgrade.
+            const bool flush = op != MemOp::DmaWrite &&
+                (need_data || !cfg.useNeedData);
+            if (flush)
+                flushDataPage(frame, w, reason);
+            else
+                purgeDataPage(frame, w, reason);
+            info.dstate.cacheDirty = false;
+            // Table 2: a flushed (or purged) dirty line leaves the
+            // cache, so its state is Empty — except under DMA-read,
+            // where the line is written back but stays consistent
+            // (Present). Clearing the mapped bit here keeps the later
+            // stale-marking stanza from pessimistically tagging the
+            // already-clean cache page as stale, which would cost a
+            // redundant purge on its next use.
+            if (op != MemOp::DmaRead)
+                info.dstate.mapped.reset(w);
+        }
+    }
+
+    // --- Stanza 3: the target cache page must not be stale.
+    if (cpu_op) {
+        if (access == AccessType::IFetch) {
+            if (info.istate.stale.test(*ci)) {
+                purgeInstPage(frame, *ci, reason);
+                info.istate.stale.reset(*ci);
+            }
+        } else if (info.dstate.stale.test(*cd)) {
+            // Config F: a page about to be entirely overwritten leaves
+            // the stale state without the purge.
+            if (!(will_overwrite && cfg.useWillOverwrite))
+                purgeDataPage(frame, *cd, reason);
+            info.dstate.stale.reset(*cd);
+        }
+    }
+
+    // --- Stanza 4: writes into the memory system make every mapped
+    // cache page (in both caches) stale and unmapped; a CPU write then
+    // re-maps its own cache page as the unique dirty one.
+    if (op == MemOp::DmaWrite || op == MemOp::CpuWrite) {
+        info.dstate.stale.orWith(info.dstate.mapped);
+        info.dstate.mapped.clearAll();
+        info.istate.stale.orWith(info.istate.mapped);
+        info.istate.mapped.clearAll();
+        if (op == MemOp::CpuWrite) {
+            info.dstate.stale.reset(*cd);
+            info.dstate.mapped.set(*cd);
+            info.dstate.cacheDirty = true;
+        }
+    }
+
+    // --- Stanza 5: a read marks the target cache page mapped.
+    if (op == MemOp::CpuRead) {
+        if (access == AccessType::IFetch)
+            info.istate.mapped.set(*ci);
+        else
+            info.dstate.mapped.set(*cd);
+    }
+
+    // --- Stanza 6: reprogram protections so no inconsistency can be
+    // perceived and every future transition traps.
+    applyProtections(info);
+
+    info.dstate.checkInvariants();
+    info.istate.checkInvariants();
+}
+
+void
+LazyPmap::enter(SpaceVa va, FrameId frame, Protection vm_prot,
+                AccessType access, const EnterHints &hints)
+{
+    va.va = mach.pageTable().pageBase(va.va);
+    vic_assert(mach.pageTable().lookup(va) == nullptr,
+               "enter over live mapping space=%u va=%llx", va.space,
+               (unsigned long long)va.va.value);
+
+    PhysPageInfo &pi = getInfo(frame);
+    setTranslation(va, frame, Protection::none());
+    pi.addMapping(va, vm_prot);
+
+    const MemOp op = isWrite(access) ? MemOp::CpuWrite : MemOp::CpuRead;
+    const char *reason =
+        access == AccessType::IFetch ? "ifetch" : "newmap";
+    cacheControl(frame, pi, op, va, access, hints.willOverwrite,
+                 hints.needData, reason);
+}
+
+void
+LazyPmap::remove(SpaceVa va)
+{
+    va.va = mach.pageTable().pageBase(va.va);
+    const PageTableEntry *pte = mach.pageTable().lookup(va);
+    if (!pte)
+        return;
+    PhysPageInfo &pi = getInfo(pte->frame);
+
+    // Capture dirtiness carried by the hardware modified bit before
+    // the entry disappears.
+    if (cfg.useModifiedBit)
+        syncDirtyFromModifiedBits(pi);
+
+    dropTranslation(va);
+    bool removed = pi.removeMapping(va);
+    vic_assert(removed, "mapping list out of sync with page table");
+    // Lazy unmap: no cache operation. The consistency state persists
+    // on the frame and is reconciled when the frame is next touched.
+}
+
+void
+LazyPmap::protect(SpaceVa va, Protection vm_prot)
+{
+    va.va = mach.pageTable().pageBase(va.va);
+    const PageTableEntry *pte = mach.pageTable().lookup(va);
+    vic_assert(pte != nullptr, "protect of unmapped page");
+    PhysPageInfo &pi = getInfo(pte->frame);
+
+    if (cfg.useModifiedBit)
+        syncDirtyFromModifiedBits(pi);
+
+    VaMapping *m = pi.findMapping(va);
+    vic_assert(m != nullptr, "mapping list out of sync with page table");
+    m->vmProt = vm_prot;
+    setHardwareProt(va, vm_prot.intersect(cacheProtFor(pi, *m)));
+}
+
+bool
+LazyPmap::resolveConsistencyFault(SpaceVa va, AccessType access)
+{
+    va.va = mach.pageTable().pageBase(va.va);
+    const PageTableEntry *pte = mach.pageTable().lookup(va);
+    if (!pte)
+        return false;  // a mapping fault, not ours
+
+    PhysPageInfo &pi = getInfo(pte->frame);
+    VaMapping *m = pi.findMapping(va);
+    vic_assert(m != nullptr, "mapping list out of sync with page table");
+
+    if (!protPermits(m->vmProt, access))
+        return false;  // genuine VM-level denial (e.g. copy-on-write)
+
+    const MemOp op = isWrite(access) ? MemOp::CpuWrite : MemOp::CpuRead;
+    const char *reason =
+        access == AccessType::IFetch ? "ifetch" : "fault";
+    cacheControl(pte->frame, pi, op, va, access, false, true, reason);
+
+    vic_assert(protPermits(mach.pageTable().lookup(va)->prot, access),
+               "consistency fault did not enable the access");
+    return true;
+}
+
+void
+LazyPmap::dmaRead(FrameId frame, bool need_data)
+{
+    auto it = pages.find(frame);
+    if (it == pages.end())
+        return;  // never cached: memory is trivially current
+    cacheControl(frame, it->second, MemOp::DmaRead, std::nullopt,
+                 AccessType::Load, false, need_data, "dma_read");
+}
+
+void
+LazyPmap::dmaWrite(FrameId frame)
+{
+    // Even a never-mapped frame gets state here: after the device
+    // write, nothing is cached, which the default (empty) state
+    // already encodes — so absence is fine too.
+    auto it = pages.find(frame);
+    if (it == pages.end())
+        return;
+    cacheControl(frame, it->second, MemOp::DmaWrite, std::nullopt,
+                 AccessType::Load, false, false, "dma_write");
+}
+
+void
+LazyPmap::frameFreed(FrameId frame)
+{
+    auto it = pages.find(frame);
+    if (it == pages.end())
+        return;
+    vic_assert(it->second.mappings.empty(),
+               "frame %llu freed with live mappings",
+               (unsigned long long)frame);
+    // Keep the cache state: if the frame is reused at an aligning
+    // address no consistency work will be needed (the lazy win).
+}
+
+std::vector<SpaceVa>
+LazyPmap::mappingsOf(FrameId frame) const
+{
+    std::vector<SpaceVa> out;
+    auto it = pages.find(frame);
+    if (it == pages.end())
+        return out;
+    for (const auto &m : it->second.mappings)
+        out.push_back(m.va);
+    return out;
+}
+
+std::optional<CachePageId>
+LazyPmap::preferredColour(FrameId frame) const
+{
+    auto it = pages.find(frame);
+    if (it == pages.end())
+        return std::nullopt;
+    const CacheStateVector &d = it->second.dstate;
+    if (d.cacheDirty)
+        return d.dirtyColour();
+    if (d.mapped.any())
+        return d.mapped.findFirst();
+    if (d.stale.any()) {
+        // Any non-stale colour avoids the purge; report the first so
+        // the free list has a single representative.
+        const std::uint32_t c = d.stale.findFirstClear();
+        if (c < d.stale.size())
+            return c;
+    }
+    return std::nullopt;
+}
+
+} // namespace vic

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The paper's consistency algorithm (Figure 1) as a pmap strategy.
+ *
+ * State is kept per (physical page, cache page) in the Table 3
+ * encoding (PhysPageInfo). All consistency work — flushing the unique
+ * dirty cache page, purging stale cache pages — is delayed until an
+ * operation would otherwise observe or destroy inconsistent data, and
+ * skipped entirely when virtual addresses align. Ordinary page
+ * protections implement the state transitions: a cache page whose
+ * state makes an access unsafe has that access revoked in every
+ * mapping's page-table entry, the access traps, and the fault handler
+ * runs CacheControl.
+ *
+ * Extensions relative to the paper's single-cache pseudo-code, per its
+ * Section 4.1 discussion of the real implementation:
+ *
+ *  - split caches: independent mapped/stale vectors for the
+ *    instruction cache; instruction fetches never align with data
+ *    references, so an ifetch always forces the flush of a dirty data
+ *    cache page (the "data to instruction space copy" path);
+ *  - the page-modified-bit optimisation: when exactly one data cache
+ *    page is mapped (and the page has never been fetched for
+ *    execution since last written), writes are permitted without
+ *    faulting and cache_dirty is recovered from the hardware modified
+ *    bit at the next CacheControl invocation;
+ *  - the will_overwrite / need_data semantic hints (configs F and E).
+ */
+
+#ifndef VIC_CORE_LAZY_PMAP_HH
+#define VIC_CORE_LAZY_PMAP_HH
+
+#include <optional>
+#include <unordered_map>
+
+#include "core/phys_page_info.hh"
+#include "core/pmap.hh"
+
+namespace vic
+{
+
+class LazyPmap : public Pmap
+{
+  public:
+    LazyPmap(Machine &m, const PolicyConfig &policy_config);
+
+    void enter(SpaceVa va, FrameId frame, Protection vm_prot,
+               AccessType access, const EnterHints &hints) override;
+    void remove(SpaceVa va) override;
+    void protect(SpaceVa va, Protection vm_prot) override;
+    bool resolveConsistencyFault(SpaceVa va, AccessType access) override;
+    void dmaRead(FrameId frame, bool need_data) override;
+    void dmaWrite(FrameId frame) override;
+    void frameFreed(FrameId frame) override;
+    std::optional<CachePageId>
+    preferredColour(FrameId frame) const override;
+    std::vector<SpaceVa> mappingsOf(FrameId frame) const override;
+    const char *kindName() const override { return "lazy"; }
+
+    // --- introspection for tests and model checking ---
+
+    /** Bookkeeping for @p frame; nullptr if the frame was never
+     *  mapped. */
+    const PhysPageInfo *info(FrameId frame) const;
+
+    /** Decoded Table 3 data-cache state of (frame, colour); Empty for
+     *  untouched frames. */
+    CachePageState dataState(FrameId frame, CachePageId colour) const;
+
+    /** Decoded instruction-cache state. */
+    CachePageState instState(FrameId frame, CachePageId colour) const;
+
+  private:
+    std::uint32_t dColours;
+    std::uint32_t iColours;
+    std::unordered_map<FrameId, PhysPageInfo> pages;
+
+    Counter &statSyncs;
+
+    PhysPageInfo &getInfo(FrameId frame);
+
+    /** Recover cache_dirty from hardware page-modified bits (the
+     *  Section 4.1 optimisation). */
+    void syncDirtyFromModifiedBits(PhysPageInfo &info);
+
+    /**
+     * The CacheControl algorithm (Figure 1). @p target is the target
+     * virtual address for CPU operations (absent for DMA); @p access
+     * distinguishes data references from instruction fetches;
+     * @p will_overwrite and @p need_data are the semantic hints;
+     * @p reason attributes any flushes/purges in the statistics.
+     */
+    void cacheControl(FrameId frame, PhysPageInfo &info, MemOp op,
+                      std::optional<SpaceVa> target, AccessType access,
+                      bool will_overwrite, bool need_data,
+                      const char *reason);
+
+    /** Cache-state-permitted protection for one mapping (the final
+     *  stanza's per-mapping decision). */
+    Protection cacheProtFor(const PhysPageInfo &info,
+                            const VaMapping &m) const;
+
+    /** Final stanza: reprogram every mapping's hardware protection. */
+    void applyProtections(PhysPageInfo &info);
+};
+
+} // namespace vic
+
+#endif // VIC_CORE_LAZY_PMAP_HH

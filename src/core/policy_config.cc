@@ -1,0 +1,143 @@
+#include "core/policy_config.hh"
+
+namespace vic
+{
+
+PolicyConfig
+PolicyConfig::configA()
+{
+    PolicyConfig p;
+    p.name = "A (old)";
+    p.pmapKind = PmapKind::Classic;
+    p.cleanOnUnmap = true;
+    return p;
+}
+
+PolicyConfig
+PolicyConfig::configB()
+{
+    PolicyConfig p;
+    p.name = "B (+lazy unmap)";
+    p.pmapKind = PmapKind::Lazy;
+    return p;
+}
+
+PolicyConfig
+PolicyConfig::configC()
+{
+    PolicyConfig p = configB();
+    p.name = "C (+align pages)";
+    p.alignIpc = true;
+    p.alignSharedPages = true;
+    return p;
+}
+
+PolicyConfig
+PolicyConfig::configD()
+{
+    PolicyConfig p = configC();
+    p.name = "D (+aligned prepare)";
+    p.alignedPrepare = true;
+    return p;
+}
+
+PolicyConfig
+PolicyConfig::configE()
+{
+    PolicyConfig p = configD();
+    p.name = "E (+need data)";
+    p.useNeedData = true;
+    return p;
+}
+
+PolicyConfig
+PolicyConfig::configF()
+{
+    PolicyConfig p = configE();
+    p.name = "F (+will overwrite)";
+    p.useWillOverwrite = true;
+    return p;
+}
+
+std::vector<PolicyConfig>
+PolicyConfig::table4Sweep()
+{
+    return {configA(), configB(), configC(), configD(), configE(),
+            configF()};
+}
+
+PolicyConfig
+PolicyConfig::cmu()
+{
+    PolicyConfig p = configF();
+    p.name = "CMU";
+    return p;
+}
+
+PolicyConfig
+PolicyConfig::utah()
+{
+    PolicyConfig p = configA();
+    p.name = "Utah";
+    return p;
+}
+
+PolicyConfig
+PolicyConfig::tut()
+{
+    PolicyConfig p;
+    p.name = "Tut";
+    p.pmapKind = PmapKind::Classic;
+    // Tut delays consistency work until a mapping is reused, but keeps
+    // state per virtual address: only an EQUAL (not merely aligned)
+    // reuse avoids the flush/purge (Section 6).
+    p.cleanOnUnmap = false;
+    p.equalVaOnly = true;
+    // Tut aligns program text pages and page preparation only.
+    p.alignedPrepare = true;
+    p.alignTextOnly = true;
+    return p;
+}
+
+PolicyConfig
+PolicyConfig::apollo()
+{
+    PolicyConfig p;
+    p.name = "Apollo";
+    p.pmapKind = PmapKind::Classic;
+    p.cleanOnUnmap = true;
+    return p;
+}
+
+PolicyConfig
+PolicyConfig::sun()
+{
+    PolicyConfig p;
+    p.name = "Sun";
+    p.pmapKind = PmapKind::Classic;
+    p.cleanOnUnmap = true;
+    // Arbitrary aliases are supported only uncached on the Sun-3; we
+    // approximate by keeping at most one usable alias at a time, which
+    // costs a clean on every alternation even when addresses align.
+    p.breakAlignedAliases = true;
+    return p;
+}
+
+std::vector<PolicyConfig>
+PolicyConfig::table5Systems()
+{
+    return {cmu(), utah(), tut(), apollo(), sun()};
+}
+
+PolicyConfig
+PolicyConfig::broken()
+{
+    PolicyConfig p;
+    p.name = "broken (no consistency)";
+    p.pmapKind = PmapKind::Classic;
+    p.cleanOnUnmap = false;
+    p.brokenNoConsistency = true;
+    return p;
+}
+
+} // namespace vic

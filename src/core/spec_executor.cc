@@ -1,0 +1,88 @@
+#include "core/spec_executor.hh"
+
+#include "common/logging.hh"
+
+namespace vic
+{
+
+SpecExecutor::SpecExecutor(std::uint32_t num_colours)
+    : states(num_colours, CachePageState::Empty)
+{
+    vic_assert(num_colours > 0, "spec executor needs >= 1 colour");
+}
+
+CachePageState
+SpecExecutor::state(CachePageId colour) const
+{
+    vic_assert(colour < states.size(), "colour %u out of range", colour);
+    return states[colour];
+}
+
+void
+SpecExecutor::setState(CachePageId colour, CachePageState s)
+{
+    vic_assert(colour < states.size(), "colour %u out of range", colour);
+    states[colour] = s;
+}
+
+std::vector<SpecExecutor::AppliedOp>
+SpecExecutor::apply(MemOp op, std::optional<CachePageId> target)
+{
+    const bool is_dma = op == MemOp::DmaRead || op == MemOp::DmaWrite;
+    vic_assert(is_dma != target.has_value(),
+               "%s %s a target colour", memOpName(op),
+               is_dma ? "must not take" : "requires");
+
+    std::vector<AppliedOp> applied;
+
+    // Ops required on non-target lines happen before the event (e.g.
+    // the flush of a dirty unaligned line before a CPU-read fills the
+    // target), so collect them first.
+    for (CachePageId c = 0; c < states.size(); ++c) {
+        if (target && c == *target)
+            continue;
+        SpecTransition t = otherTransition(states[c], op);
+        if (t.required != RequiredOp::None)
+            applied.push_back({c, t.required});
+        states[c] = t.next;
+    }
+
+    if (target) {
+        SpecTransition t = targetTransition(states[*target], op);
+        if (t.required != RequiredOp::None)
+            applied.push_back({*target, t.required});
+        states[*target] = t.next;
+    }
+
+    return applied;
+}
+
+bool
+SpecExecutor::invariantHolds() const
+{
+    std::uint32_t dirty = 0;
+    std::uint32_t present = 0;
+    for (auto s : states) {
+        if (s == CachePageState::Dirty)
+            ++dirty;
+        if (s == CachePageState::Present)
+            ++present;
+    }
+    if (dirty > 1)
+        return false;
+    if (dirty == 1 && present > 0)
+        return false;
+    return true;
+}
+
+std::optional<CachePageId>
+SpecExecutor::dirtyColour() const
+{
+    for (CachePageId c = 0; c < states.size(); ++c) {
+        if (states[c] == CachePageState::Dirty)
+            return c;
+    }
+    return std::nullopt;
+}
+
+} // namespace vic

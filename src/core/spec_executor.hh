@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Executable abstract model of the consistency specification.
+ *
+ * Tracks the Table 2 state of every cache page (colour) of ONE cache
+ * for ONE physical page, and applies the six memory-system events to
+ * it. It knows nothing about data, protections or the concrete
+ * mapped/stale/dirty encoding — it is the specification that the
+ * implementation (LazyPmap's CacheControl) is checked against:
+ *
+ *  - the model-check test enumerates every (state, op) pair and
+ *    compares against the hand-written Table 2;
+ *  - property tests run random operation sequences through both this
+ *    executor and the real pmap and require the concrete encoded state
+ *    to refine the abstract one;
+ *  - the table2_transitions bench prints the table in the paper's
+ *    layout.
+ */
+
+#ifndef VIC_CORE_SPEC_EXECUTOR_HH
+#define VIC_CORE_SPEC_EXECUTOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/cache_page_state.hh"
+
+namespace vic
+{
+
+class SpecExecutor
+{
+  public:
+    /** Model a physical page across @p num_colours cache pages, all
+     *  initially empty (the power-up state). */
+    explicit SpecExecutor(std::uint32_t num_colours);
+
+    std::uint32_t numColours() const
+    { return static_cast<std::uint32_t>(states.size()); }
+
+    CachePageState state(CachePageId colour) const;
+
+    /** Force a state (tests only). */
+    void setState(CachePageId colour, CachePageState s);
+
+    /** A cache control operation the spec required while applying an
+     *  event. */
+    struct AppliedOp
+    {
+        CachePageId colour;
+        RequiredOp op;
+
+        bool operator==(const AppliedOp &) const = default;
+    };
+
+    /**
+     * Apply one event. @p target is the cache page selected by the
+     * target virtual address; it must be provided for CPU accesses,
+     * purge and flush, and must be absent for DMA events (which bypass
+     * the cache and treat every colour alike).
+     *
+     * @return the purges/flushes the specification required, in the
+     * order they must precede the event.
+     */
+    std::vector<AppliedOp> apply(MemOp op,
+                                 std::optional<CachePageId> target);
+
+    /**
+     * Model invariant (Section 3.2's correctness argument): at most one
+     * colour is Dirty, and while one is, every other colour is Empty or
+     * Stale. @return true iff it holds.
+     */
+    bool invariantHolds() const;
+
+    /** Colour currently Dirty, if any. */
+    std::optional<CachePageId> dirtyColour() const;
+
+  private:
+    std::vector<CachePageState> states;
+};
+
+} // namespace vic
+
+#endif // VIC_CORE_SPEC_EXECUTOR_HH

@@ -1,0 +1,52 @@
+#include "dma/disk.hh"
+
+#include "common/logging.hh"
+
+namespace vic
+{
+
+Disk::Disk(std::uint32_t block_bytes, Cycles access_cycles,
+           DmaEngine &engine, CycleClock &clock, StatSet &stat_set)
+    : blockSize(block_bytes), accessCycles(access_cycles), dma(engine),
+      clk(clock),
+      statBlockReads(stat_set.counter("disk.block_reads")),
+      statBlockWrites(stat_set.counter("disk.block_writes"))
+{
+    vic_assert(block_bytes % 4 == 0, "block size %u not word multiple",
+               block_bytes);
+}
+
+void
+Disk::readBlock(std::uint64_t block, PhysAddr pa)
+{
+    ++statBlockReads;
+    clk.advance(accessCycles);
+    auto it = blocks.find(block);
+    if (it == blocks.end()) {
+        std::vector<std::uint32_t> zeros(wordsPerBlock(), 0);
+        dma.deviceWrite(pa, zeros.data(), wordsPerBlock());
+    } else {
+        dma.deviceWrite(pa, it->second.data(), wordsPerBlock());
+    }
+}
+
+void
+Disk::writeBlock(std::uint64_t block, PhysAddr pa)
+{
+    ++statBlockWrites;
+    clk.advance(accessCycles);
+    auto &buf = blocks[block];
+    buf.resize(wordsPerBlock());
+    dma.deviceRead(pa, buf.data(), wordsPerBlock());
+}
+
+std::uint32_t
+Disk::peekWord(std::uint64_t block, std::uint32_t word_index) const
+{
+    vic_assert(word_index < wordsPerBlock(), "word index %u out of block",
+               word_index);
+    auto it = blocks.find(block);
+    return it == blocks.end() ? 0 : it->second[word_index];
+}
+
+} // namespace vic

@@ -1,0 +1,69 @@
+#include "dma/dma_engine.hh"
+
+#include "common/logging.hh"
+
+namespace vic
+{
+
+DmaEngine::DmaEngine(const DmaCosts &dma_costs, PhysicalMemory &memory,
+                     CycleClock &clock, StatSet &stat_set)
+    : costs(dma_costs), mem(memory), clk(clock),
+      statWrites(stat_set.counter("dma.device_writes")),
+      statReads(stat_set.counter("dma.device_reads")),
+      statWordsMoved(stat_set.counter("dma.words_moved"))
+{
+}
+
+void
+DmaEngine::attachSnoopedCache(Cache *cache)
+{
+    vic_assert(cache != nullptr, "null snooped cache");
+    snooped.push_back(cache);
+}
+
+void
+DmaEngine::deviceWrite(PhysAddr pa, const std::uint32_t *words,
+                       std::uint32_t nwords)
+{
+    vic_assert(pa.value % 4 == 0, "unaligned DMA write");
+    ++statWrites;
+    statWordsMoved += nwords;
+    clk.advance(costs.setup + costs.perWord * nwords);
+
+    for (std::uint32_t i = 0; i < nwords; ++i) {
+        PhysAddr addr = pa.plus(std::uint64_t(i) * 4);
+        if (!snooped.empty()) {
+            // Coherent DMA: kill any cached copies so later CPU reads
+            // miss and fetch the new data.
+            for (Cache *c : snooped)
+                c->snoopInvalidateLine(addr);
+        }
+        mem.writeWord(addr, words[i]);
+        if (observer)
+            observer->dmaWrite(addr, words[i]);
+    }
+}
+
+void
+DmaEngine::deviceRead(PhysAddr pa, std::uint32_t *out,
+                      std::uint32_t nwords)
+{
+    vic_assert(pa.value % 4 == 0, "unaligned DMA read");
+    ++statReads;
+    statWordsMoved += nwords;
+    clk.advance(costs.setup + costs.perWord * nwords);
+
+    for (std::uint32_t i = 0; i < nwords; ++i) {
+        PhysAddr addr = pa.plus(std::uint64_t(i) * 4);
+        if (!snooped.empty()) {
+            // Coherent DMA: pull dirty data out of the caches first.
+            for (Cache *c : snooped)
+                c->snoopWriteBackLine(addr);
+        }
+        out[i] = mem.readWord(addr);
+        if (observer)
+            observer->dmaRead(addr, out[i]);
+    }
+}
+
+} // namespace vic

@@ -1,0 +1,130 @@
+#include "machine/cpu.hh"
+
+#include "common/logging.hh"
+
+namespace vic
+{
+
+namespace
+{
+
+/** A single access may legitimately fault a handful of times (mapping
+ *  fault, then consistency faults as state transitions cascade); more
+ *  than this means the OS layer is livelocked. */
+constexpr int maxFaultRetries = 8;
+
+bool
+permits(Protection prot, AccessType type)
+{
+    switch (type) {
+      case AccessType::Load: return prot.read;
+      case AccessType::Store: return prot.write;
+      case AccessType::IFetch: return prot.execute;
+    }
+    return false;
+}
+
+} // anonymous namespace
+
+Cpu::Cpu(Machine &m, std::uint32_t cpu_id) : mach(m), cpuId(cpu_id)
+{
+    vic_assert(cpu_id < m.numCpus(), "cpu id %u out of range", cpu_id);
+}
+
+bool
+Cpu::deliver(const Fault &fault)
+{
+    ++faultsTaken;
+    mach.clock().advance(mach.params().trapCycles);
+    if (!faultHandler) {
+        vic_panic("fault with no handler: %s at space=%u va=%llx",
+                  accessTypeName(fault.access), fault.address.space,
+                  (unsigned long long)fault.address.va.value);
+    }
+    return faultHandler(fault);
+}
+
+std::uint32_t
+Cpu::access(AccessType type, VirtAddr va, std::uint32_t store_value)
+{
+    vic_assert(va.value % 4 == 0, "unaligned CPU access va=%llx",
+               (unsigned long long)va.value);
+    const SpaceVa key(currentSpace, va);
+
+    for (int attempt = 0; attempt < maxFaultRetries; ++attempt) {
+        const PageTableEntry *pte = mach.tlb(cpuId).translate(key);
+        Fault fault;
+        fault.address = key;
+        fault.access = type;
+
+        if (!pte) {
+            fault.type = FaultType::Unmapped;
+        } else if (!permits(pte->prot, type)) {
+            fault.type = FaultType::Protection;
+        } else {
+            PageTableEntry *mut = mach.pageTable().lookupMutable(key);
+            mut->referenced = true;
+            if (isWrite(type))
+                mut->modified = true;
+
+            const std::uint64_t offset =
+                va.value & (mach.pageBytes() - 1);
+            const PhysAddr pa =
+                mach.frameAddr(pte->frame, offset);
+            const CacheKind kind = cacheKindOf(type);
+            mach.coherencePrepare(cpuId, kind, pa, isWrite(type));
+            Cache &cache = mach.cacheFor(kind, cpuId);
+            MemoryObserver *obs = mach.observer();
+
+            switch (type) {
+              case AccessType::Load: {
+                  std::uint32_t v = cache.read(va, pa);
+                  if (obs)
+                      obs->cpuLoad(pa, v);
+                  return v;
+              }
+              case AccessType::IFetch: {
+                  std::uint32_t v = cache.read(va, pa);
+                  if (obs)
+                      obs->cpuIFetch(pa, v);
+                  return v;
+              }
+              case AccessType::Store: {
+                  if (obs)
+                      obs->cpuStore(pa, store_value);
+                  cache.write(va, pa, store_value);
+                  return 0;
+              }
+            }
+            vic_panic("unreachable access type");
+        }
+
+        if (!deliver(fault)) {
+            vic_panic("unrecoverable %s fault at space=%u va=%llx",
+                      accessTypeName(type), key.space,
+                      (unsigned long long)va.value);
+        }
+    }
+    vic_panic("access livelock: %d faults at space=%u va=%llx",
+              maxFaultRetries, key.space, (unsigned long long)va.value);
+}
+
+std::uint32_t
+Cpu::load(VirtAddr va)
+{
+    return access(AccessType::Load, va, 0);
+}
+
+void
+Cpu::store(VirtAddr va, std::uint32_t value)
+{
+    access(AccessType::Store, va, value);
+}
+
+std::uint32_t
+Cpu::ifetch(VirtAddr va)
+{
+    return access(AccessType::IFetch, va, 0);
+}
+
+} // namespace vic

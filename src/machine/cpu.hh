@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Simulated CPU.
+ *
+ * Issues loads, stores and instruction fetches against the machine:
+ * TLB translation (parallel with cache indexing, so a TLB hit is free),
+ * protection check, then access through the data or instruction cache.
+ * A denied access traps to the registered fault handler (the OS layer)
+ * and is retried — this trap-and-retry loop is the mechanism by which
+ * the consistency algorithm interposes on exactly the accesses that
+ * need cache state transitions.
+ */
+
+#ifndef VIC_MACHINE_CPU_HH
+#define VIC_MACHINE_CPU_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hh"
+#include "machine/machine.hh"
+#include "mmu/fault.hh"
+
+namespace vic
+{
+
+class Cpu
+{
+  public:
+    /** Fault handler installed by the OS. Returns true if the access
+     *  should be retried, false if it must abort (a workload bug). */
+    using FaultHandler = std::function<bool(const Fault &)>;
+
+    /** @param cpu_id which of the machine's CPUs this is (selects the
+     *  private cache pair). */
+    explicit Cpu(Machine &m, std::uint32_t cpu_id = 0);
+
+    Machine &machine() { return mach; }
+
+    std::uint32_t id() const { return cpuId; }
+
+    /** Install the OS fault handler. */
+    void setFaultHandler(FaultHandler handler)
+    { faultHandler = std::move(handler); }
+
+    /** Switch the current address space (context switch). */
+    void setSpace(SpaceId space) { currentSpace = space; }
+
+    SpaceId space() const { return currentSpace; }
+
+    /** Load the aligned word at @p va in the current space. */
+    std::uint32_t load(VirtAddr va);
+
+    /** Store @p value to the aligned word at @p va. */
+    void store(VirtAddr va, std::uint32_t value);
+
+    /** Fetch the instruction word at @p va (goes through the
+     *  instruction cache). */
+    std::uint32_t ifetch(VirtAddr va);
+
+    /** Model @p n cycles of register-only computation. */
+    void compute(Cycles n) { mach.clock().advance(n); }
+
+    /** Total faults taken (for tests). */
+    std::uint64_t faultCount() const { return faultsTaken; }
+
+  private:
+    Machine &mach;
+    std::uint32_t cpuId;
+    SpaceId currentSpace = 0;
+    FaultHandler faultHandler;
+    std::uint64_t faultsTaken = 0;
+
+    /** Core access path shared by load/store/ifetch. */
+    std::uint32_t access(AccessType type, VirtAddr va,
+                         std::uint32_t store_value);
+
+    /** Deliver a fault; @return true to retry. */
+    bool deliver(const Fault &fault);
+};
+
+} // namespace vic
+
+#endif // VIC_MACHINE_CPU_HH

@@ -1,0 +1,90 @@
+#include "machine/machine.hh"
+
+#include "common/logging.hh"
+
+namespace vic
+{
+
+Machine::Machine(const MachineParams &machine_params)
+    : mparams(machine_params)
+{
+    mparams.check();
+
+    physMem = std::make_unique<PhysicalMemory>(mparams.numFrames,
+                                               mparams.pageBytes);
+    pgTable = std::make_unique<PageTable>(mparams.pageBytes);
+    for (std::uint32_t cpu = 0; cpu < mparams.numCpus; ++cpu) {
+        tlbs.push_back(std::make_unique<Tlb>(
+            mparams.tlbEntries, mparams.tlbMissPenalty, *pgTable,
+            cycleClock, statSet));
+        const std::string suffix =
+            mparams.numCpus > 1 ? format("%u", cpu) : std::string();
+        dataCaches.push_back(std::make_unique<Cache>(
+            "dcache" + suffix, mparams.dcacheGeometry(),
+            mparams.dcacheCosts, mparams.dcachePolicy, *physMem,
+            cycleClock, statSet));
+        instCaches.push_back(std::make_unique<Cache>(
+            "icache" + suffix, mparams.icacheGeometry(),
+            mparams.icacheCosts, WritePolicy::WriteBack, *physMem,
+            cycleClock, statSet));
+    }
+    dmaEngine = std::make_unique<DmaEngine>(mparams.dmaCosts, *physMem,
+                                            cycleClock, statSet);
+    diskDev = std::make_unique<Disk>(mparams.pageBytes,
+                                     mparams.diskAccessCycles, *dmaEngine,
+                                     cycleClock, statSet);
+
+    if (mparams.dmaSnoops) {
+        for (auto &c : dataCaches)
+            dmaEngine->attachSnoopedCache(c.get());
+        for (auto &c : instCaches)
+            dmaEngine->attachSnoopedCache(c.get());
+    }
+}
+
+void
+Machine::tlbShootdownPage(SpaceVa key)
+{
+    for (auto &t : tlbs)
+        t->invalidatePage(key);
+}
+
+void
+Machine::tlbShootdownSpace(SpaceId space)
+{
+    for (auto &t : tlbs)
+        t->invalidateSpace(space);
+}
+
+void
+Machine::coherencePrepare(std::uint32_t cpu, CacheKind kind,
+                          PhysAddr pa, bool is_write)
+{
+    if (mparams.numCpus < 2 || kind != CacheKind::Data)
+        return;
+    const PhysAddr line(dcache(cpu).geometry().lineBase(pa.value));
+    bool intervened = false;
+    for (std::uint32_t peer = 0; peer < mparams.numCpus; ++peer) {
+        if (peer == cpu)
+            continue;
+        Cache &pc = dcache(peer);
+        // The newest copy may be dirty in a peer: write it back so
+        // the local fill (from memory) is current.
+        intervened |= pc.snoopWriteBackLine(line);
+        if (is_write) {
+            // Write-invalidate: peers must refetch after our write.
+            pc.snoopInvalidateLine(line);
+        }
+    }
+    if (intervened)
+        cycleClock.advance(mparams.snoopPenalty);
+}
+
+void
+Machine::setObserver(MemoryObserver *obs)
+{
+    memObserver = obs;
+    dmaEngine->setObserver(obs);
+}
+
+} // namespace vic

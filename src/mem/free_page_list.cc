@@ -1,0 +1,93 @@
+#include "mem/free_page_list.hh"
+
+#include "common/logging.hh"
+
+namespace vic
+{
+
+FreePageList::FreePageList(Organisation organisation,
+                           std::uint32_t num_colours)
+    : org(organisation), colours(num_colours)
+{
+    vic_assert(num_colours > 0, "free page list needs >= 1 colour");
+    if (org == Organisation::Single)
+        lists.resize(1);
+    else
+        lists.resize(colours + 1); // +1 for colourless frames
+}
+
+void
+FreePageList::free(FrameId frame, std::optional<CachePageId> last_colour)
+{
+    std::size_t idx = 0;
+    if (org == Organisation::PerColour) {
+        if (last_colour) {
+            vic_assert(*last_colour < colours, "colour %u out of range",
+                       *last_colour);
+            idx = *last_colour;
+        } else {
+            idx = colours;
+        }
+    }
+    lists[idx].push_back(Entry{frame, last_colour});
+    ++total;
+}
+
+std::optional<FreePageList::Allocation>
+FreePageList::popFrom(std::size_t idx)
+{
+    if (lists[idx].empty())
+        return std::nullopt;
+    Entry e = lists[idx].front();
+    lists[idx].pop_front();
+    --total;
+    return Allocation{e.frame, e.lastColour};
+}
+
+std::optional<FreePageList::Allocation>
+FreePageList::allocate(std::optional<CachePageId> wanted_colour)
+{
+    if (total == 0)
+        return std::nullopt;
+
+    if (org == Organisation::Single) {
+        auto alloc = popFrom(0);
+        if (wanted_colour && alloc) {
+            if (alloc->lastColour && *alloc->lastColour == *wanted_colour)
+                ++hits;
+            else
+                ++misses;
+        }
+        return alloc;
+    }
+
+    // PerColour: try the wanted colour first, then colourless frames,
+    // then steal round-robin from whichever colour has frames.
+    if (wanted_colour) {
+        vic_assert(*wanted_colour < colours, "colour %u out of range",
+                   *wanted_colour);
+        if (auto alloc = popFrom(*wanted_colour)) {
+            ++hits;
+            return alloc;
+        }
+        if (auto alloc = popFrom(colours)) {
+            ++hits; // colourless frames have no stale footprint anywhere
+            return alloc;
+        }
+    } else {
+        if (auto alloc = popFrom(colours))
+            return alloc;
+    }
+
+    for (std::size_t i = 0; i < lists.size(); ++i) {
+        if (auto alloc = popFrom(i)) {
+            if (wanted_colour)
+                ++misses;
+            return alloc;
+        }
+    }
+    vic_panic("free page list total %llu but all lists empty",
+              (unsigned long long)total);
+}
+
+} // namespace vic

@@ -1,0 +1,68 @@
+#include "mmu/page_table.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace vic
+{
+
+PageTable::PageTable(std::uint32_t page_bytes) : pageSize(page_bytes)
+{
+    vic_assert(std::has_single_bit(page_bytes),
+               "page size %u not a power of two", page_bytes);
+}
+
+void
+PageTable::enter(SpaceVa key, FrameId frame, Protection prot)
+{
+    entries[canonical(key)] = PageTableEntry{frame, prot, false, false};
+}
+
+bool
+PageTable::remove(SpaceVa key)
+{
+    auto it = entries.find(canonical(key));
+    if (it == entries.end())
+        return false;
+    bool modified = it->second.modified;
+    entries.erase(it);
+    return modified;
+}
+
+void
+PageTable::setProtection(SpaceVa key, Protection prot)
+{
+    auto it = entries.find(canonical(key));
+    vic_assert(it != entries.end(),
+               "setProtection on unmapped page space=%u va=%llx",
+               key.space, (unsigned long long)key.va.value);
+    it->second.prot = prot;
+}
+
+const PageTableEntry *
+PageTable::lookup(SpaceVa key) const
+{
+    auto it = entries.find(canonical(key));
+    return it == entries.end() ? nullptr : &it->second;
+}
+
+PageTableEntry *
+PageTable::lookupMutable(SpaceVa key)
+{
+    auto it = entries.find(canonical(key));
+    return it == entries.end() ? nullptr : &it->second;
+}
+
+bool
+PageTable::clearModified(SpaceVa key)
+{
+    auto it = entries.find(canonical(key));
+    if (it == entries.end())
+        return false;
+    bool was = it->second.modified;
+    it->second.modified = false;
+    return was;
+}
+
+} // namespace vic

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Simulated page table.
+ *
+ * Maps (space, virtual page) to (physical frame, protection, referenced
+ * / modified bits). This is the hardware-facing translation structure
+ * that the pmap layer programs; the paper's second hardware requirement
+ * — "reads and writes to individual virtual memory pages can be caught
+ * by the operating system kernel" — is met by the protection field,
+ * which the CacheControl algorithm downgrades to intercept accesses
+ * that need consistency state transitions.
+ *
+ * The hardware-maintained modified bit supports the paper's
+ * optimisation of setting P[p].cache_dirty from the page-modified bit
+ * when exactly one cache page is mapped (Section 4.1), avoiding a
+ * write-protection fault per page.
+ */
+
+#ifndef VIC_MMU_PAGE_TABLE_HH
+#define VIC_MMU_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace vic
+{
+
+struct PageTableEntry
+{
+    FrameId frame = 0;
+    Protection prot;
+    bool referenced = false;
+    bool modified = false;
+};
+
+class PageTable
+{
+  public:
+    /** @param page_bytes virtual page size in bytes (power of two). */
+    explicit PageTable(std::uint32_t page_bytes);
+
+    std::uint32_t pageBytes() const { return pageSize; }
+
+    /** Truncate @p va to its page base. */
+    VirtAddr pageBase(VirtAddr va) const
+    { return VirtAddr(va.value & ~std::uint64_t(pageSize - 1)); }
+
+    /** Install (or replace) the translation for the page containing
+     *  @p key.va. */
+    void enter(SpaceVa key, FrameId frame, Protection prot);
+
+    /** Remove the translation; no-op if absent.
+     *  @return the removed entry's modified bit. */
+    bool remove(SpaceVa key);
+
+    /** Change the protection of an existing entry. */
+    void setProtection(SpaceVa key, Protection prot);
+
+    /** Look up the entry for the page containing @p key.va.
+     *  @return nullptr if unmapped. */
+    const PageTableEntry *lookup(SpaceVa key) const;
+
+    /** Mutable lookup for reference/modified bit updates. */
+    PageTableEntry *lookupMutable(SpaceVa key);
+
+    /** Clear the modified bit; @return its previous value. */
+    bool clearModified(SpaceVa key);
+
+    /** Number of live entries (for tests). */
+    std::size_t size() const { return entries.size(); }
+
+  private:
+    std::uint32_t pageSize;
+    std::unordered_map<SpaceVa, PageTableEntry> entries;
+
+    SpaceVa canonical(SpaceVa key) const
+    { return SpaceVa(key.space, pageBase(key.va)); }
+};
+
+} // namespace vic
+
+#endif // VIC_MMU_PAGE_TABLE_HH

@@ -1,0 +1,98 @@
+#include "os/vm_object.hh"
+
+#include "common/logging.hh"
+
+namespace vic
+{
+
+VmObject::VmObject(Backing backing_kind, FileId backing_file,
+                   std::uint64_t num_pages)
+    : kind(backing_kind), fileId(backing_file), frames(num_pages),
+      swap(num_pages)
+{
+    vic_assert(num_pages > 0, "empty VM object");
+}
+
+VmObject
+VmObject::anonymous(std::uint64_t num_pages)
+{
+    return VmObject(Backing::Zero, invalidFile, num_pages);
+}
+
+VmObject
+VmObject::fileBacked(FileId file, std::uint64_t num_pages)
+{
+    return VmObject(Backing::File, file, num_pages);
+}
+
+std::optional<FrameId>
+VmObject::frameAt(std::uint64_t page) const
+{
+    vic_assert(page < frames.size(), "object page %llu out of range",
+               (unsigned long long)page);
+    return frames[page];
+}
+
+void
+VmObject::setFrame(std::uint64_t page, FrameId frame)
+{
+    vic_assert(page < frames.size(), "object page %llu out of range",
+               (unsigned long long)page);
+    frames[page] = frame;
+}
+
+void
+VmObject::clearFrame(std::uint64_t page)
+{
+    vic_assert(page < frames.size(), "object page %llu out of range",
+               (unsigned long long)page);
+    frames[page].reset();
+}
+
+std::vector<FrameId>
+VmObject::residentFrames() const
+{
+    std::vector<FrameId> out;
+    for (const auto &f : frames) {
+        if (f)
+            out.push_back(*f);
+    }
+    return out;
+}
+
+std::optional<std::uint64_t>
+VmObject::swapBlockAt(std::uint64_t page) const
+{
+    vic_assert(page < swap.size(), "object page %llu out of range",
+               (unsigned long long)page);
+    return swap[page];
+}
+
+void
+VmObject::setSwapBlock(std::uint64_t page, std::uint64_t block)
+{
+    vic_assert(page < swap.size(), "object page %llu out of range",
+               (unsigned long long)page);
+    swap[page] = block;
+}
+
+void
+VmObject::clearSwapBlock(std::uint64_t page)
+{
+    vic_assert(page < swap.size(), "object page %llu out of range",
+               (unsigned long long)page);
+    swap[page].reset();
+}
+
+std::vector<std::uint64_t>
+VmObject::swapBlocks() const
+{
+    std::vector<std::uint64_t> out;
+    for (const auto &b : swap) {
+        if (b)
+            out.push_back(*b);
+    }
+    return out;
+}
+
+} // namespace vic

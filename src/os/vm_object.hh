@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Memory objects: the pager-backed sources of page contents, as in
+ * Mach's VM design. A region of an address space maps a range of an
+ * object; objects may be shared between regions (shared memory,
+ * shared program text) — which is exactly how aliases arise.
+ */
+
+#ifndef VIC_OS_VM_OBJECT_HH
+#define VIC_OS_VM_OBJECT_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace vic
+{
+
+/** File identifier within the simulated file system. */
+using FileId = std::uint32_t;
+inline constexpr FileId invalidFile = ~FileId(0);
+
+class VmObject
+{
+  public:
+    enum class Backing : std::uint8_t
+    {
+        Zero,  ///< demand zero-fill
+        File,  ///< paged in from a file (program text, mapped files)
+    };
+
+    /** Anonymous zero-filled object of @p num_pages pages. */
+    static VmObject anonymous(std::uint64_t num_pages);
+
+    /** File-backed object covering @p num_pages pages of @p file. */
+    static VmObject fileBacked(FileId file, std::uint64_t num_pages);
+
+    Backing backing() const { return kind; }
+    FileId file() const { return fileId; }
+    std::uint64_t numPages() const { return frames.size(); }
+
+    /** Resident frame for object page @p page, if any. */
+    std::optional<FrameId> frameAt(std::uint64_t page) const;
+
+    /** Install the resident frame for @p page. */
+    void setFrame(std::uint64_t page, FrameId frame);
+
+    /** Drop residency for @p page (frame ownership passes to the
+     *  caller). */
+    void clearFrame(std::uint64_t page);
+
+    /** All resident frames (for teardown). */
+    std::vector<FrameId> residentFrames() const;
+
+    /** Swap block holding @p page's contents while non-resident. */
+    std::optional<std::uint64_t> swapBlockAt(std::uint64_t page) const;
+
+    /** Record that @p page was paged out to @p block. */
+    void setSwapBlock(std::uint64_t page, std::uint64_t block);
+
+    /** Forget @p page's swap block (ownership passes to caller). */
+    void clearSwapBlock(std::uint64_t page);
+
+    /** All assigned swap blocks (for teardown). */
+    std::vector<std::uint64_t> swapBlocks() const;
+
+  private:
+    VmObject(Backing backing_kind, FileId backing_file,
+             std::uint64_t num_pages);
+
+    Backing kind;
+    FileId fileId;
+    std::vector<std::optional<FrameId>> frames;
+    std::vector<std::optional<std::uint64_t>> swap;
+};
+
+} // namespace vic
+
+#endif // VIC_OS_VM_OBJECT_HH

@@ -1,0 +1,94 @@
+#include "tlb/tlb.hh"
+
+#include "common/logging.hh"
+
+namespace vic
+{
+
+Tlb::Tlb(std::uint32_t num_entries, Cycles miss_penalty, PageTable &table,
+         CycleClock &clock, StatSet &stat_set)
+    : capacity(num_entries), missPenalty(miss_penalty), pageTable(table),
+      clk(clock), entries(num_entries),
+      statHits(stat_set.counter("tlb.hits")),
+      statMisses(stat_set.counter("tlb.misses"))
+{
+    vic_assert(num_entries > 0, "TLB needs at least one entry");
+}
+
+const PageTableEntry *
+Tlb::translate(SpaceVa key)
+{
+    const SpaceVa page(key.space, pageTable.pageBase(key.va));
+
+    for (auto &e : entries) {
+        if (e.valid && e.page == page) {
+            e.lastUse = ++useTick;
+            ++statHits;
+            // The TLB caches only presence; protection and frame are
+            // read through to the page table so that pmap updates are
+            // never seen stale (pmap also shoots down on changes).
+            return pageTable.lookup(page);
+        }
+    }
+
+    const PageTableEntry *pte = pageTable.lookup(page);
+    if (!pte)
+        return nullptr;
+
+    ++statMisses;
+    clk.advance(missPenalty);
+
+    Entry *victim = nullptr;
+    std::uint64_t oldest = ~std::uint64_t(0);
+    for (auto &e : entries) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lastUse < oldest) {
+            oldest = e.lastUse;
+            victim = &e;
+        }
+    }
+    victim->valid = true;
+    victim->page = page;
+    victim->lastUse = ++useTick;
+    return pte;
+}
+
+void
+Tlb::invalidatePage(SpaceVa key)
+{
+    const SpaceVa page(key.space, pageTable.pageBase(key.va));
+    for (auto &e : entries) {
+        if (e.valid && e.page == page)
+            e.valid = false;
+    }
+}
+
+void
+Tlb::invalidateSpace(SpaceId space)
+{
+    for (auto &e : entries) {
+        if (e.valid && e.page.space == space)
+            e.valid = false;
+    }
+}
+
+void
+Tlb::invalidateAll()
+{
+    for (auto &e : entries)
+        e.valid = false;
+}
+
+std::uint32_t
+Tlb::validCount() const
+{
+    std::uint32_t n = 0;
+    for (const auto &e : entries)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace vic

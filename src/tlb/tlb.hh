@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Translation lookaside buffer.
+ *
+ * A fully associative translation cache over the page table, with LRU
+ * replacement. On the modelled machine the TLB translates virtual page
+ * frames to physical page frames in parallel with (virtually indexed)
+ * cache lookup, so a TLB hit adds no cycles; only misses charge a
+ * refill penalty. The pmap layer must shoot down entries whenever it
+ * changes a translation or protection — the paper notes that on unmap
+ * "other structures, however, such as TLB and page table entries, must
+ * be invalidated to deny access to the data in the memory system"
+ * (Section 2.3).
+ */
+
+#ifndef VIC_TLB_TLB_HH
+#define VIC_TLB_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/cycle_clock.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mmu/page_table.hh"
+
+namespace vic
+{
+
+class Tlb
+{
+  public:
+    /**
+     * @param num_entries capacity (fully associative)
+     * @param miss_penalty cycles charged on a refill
+     * @param table     backing page table
+     * @param clock     cycle clock
+     * @param stat_set  statistics registry
+     */
+    Tlb(std::uint32_t num_entries, Cycles miss_penalty, PageTable &table,
+        CycleClock &clock, StatSet &stat_set);
+
+    /**
+     * Translate the page containing @p key.va, refilling from the page
+     * table on a miss. @return the current page-table entry, or nullptr
+     * if the page is unmapped (the caller raises a fault).
+     */
+    const PageTableEntry *translate(SpaceVa key);
+
+    /** Drop the cached entry for one page, if any. */
+    void invalidatePage(SpaceVa key);
+
+    /** Drop all cached entries for @p space. */
+    void invalidateSpace(SpaceId space);
+
+    /** Drop everything. */
+    void invalidateAll();
+
+    /** Number of currently valid entries (for tests). */
+    std::uint32_t validCount() const;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        SpaceVa page;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint32_t capacity;
+    Cycles missPenalty;
+    PageTable &pageTable;
+    CycleClock &clk;
+
+    std::vector<Entry> entries;
+    std::uint64_t useTick = 0;
+
+    Counter &statHits;
+    Counter &statMisses;
+};
+
+} // namespace vic
+
+#endif // VIC_TLB_TLB_HH

@@ -1,0 +1,116 @@
+#include "workload/afs_bench.hh"
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace vic
+{
+
+void
+AfsBench::run(Kernel &kernel)
+{
+    Random rng(params.seed);
+    const std::uint32_t page = kernel.machine().pageBytes();
+    const TaskId task = kernel.createTask();
+
+    // The benchmark is a shell script: every phase runs utility
+    // programs (cp, ls, make...), whose text is paged in from the
+    // file system and executed — the data-space to instruction-space
+    // path. Model one 2-page utility executed at each phase start and
+    // periodically within the file loops.
+    FileId utility = kernel.fileCreate(task, "afs-util");
+    for (std::uint32_t p = 0; p < 2; ++p) {
+        kernel.fileWrite(task, utility, std::uint64_t(p) * page, page,
+                         0x5e110000u + p);
+    }
+    auto run_utility = [&](TaskId t) {
+        kernel.mapText(t, utility, 2);
+        kernel.execText(t, 0, 2);
+        kernel.vmDeallocate(
+            t, VirtAddr(kernel.params().taskTextBase));
+    };
+
+    std::vector<FileId> sources;
+    std::vector<std::uint32_t> pages_of;
+
+    // Phase 1 — MakeDir/CreateFiles: write the source tree.
+    run_utility(task);
+    for (std::uint32_t f = 0; f < params.numFiles; ++f) {
+        FileId id = kernel.fileCreate(task, format("src%u", f));
+        const std::uint32_t n = static_cast<std::uint32_t>(
+            rng.between(1, params.maxFilePages));
+        for (std::uint32_t p = 0; p < n; ++p) {
+            kernel.fileWrite(task, id, std::uint64_t(p) * page, page,
+                             static_cast<std::uint32_t>(
+                                 rng.next64() & 0xffff));
+        }
+        sources.push_back(id);
+        pages_of.push_back(n);
+    }
+
+    // Phase 2 — Copy: read every source, write a duplicate (each cp
+    // is a fresh process image).
+    for (std::uint32_t f = 0; f < params.numFiles; ++f) {
+        if (f % 8 == 0)
+            run_utility(task);
+        FileId dst = kernel.fileCreate(task, format("copy%u", f));
+        for (std::uint32_t p = 0; p < pages_of[f]; ++p) {
+            kernel.fileRead(task, sources[f], std::uint64_t(p) * page,
+                            page);
+            kernel.fileWrite(task, dst, std::uint64_t(p) * page, page,
+                             static_cast<std::uint32_t>(
+                                 rng.next64() & 0xffff));
+        }
+    }
+
+    // Phase 3 — ScanDir: stat-like small reads of every file.
+    run_utility(task);
+    for (std::uint32_t rep = 0; rep < 2; ++rep) {
+        for (std::uint32_t f = 0; f < params.numFiles; ++f) {
+            FileId id = kernel.fileOpen(task, format("src%u", f));
+            kernel.fileRead(task, id, 0, 64);
+        }
+    }
+
+    run_utility(task);
+    // Phase 4 — ReadAll: big sequential reads, some delivered
+    // out-of-line by IPC page transfer (the path the kernel's address
+    // selection optimises).
+    for (std::uint32_t f = 0; f < params.numFiles; ++f) {
+        for (std::uint32_t p = 0; p < pages_of[f]; ++p) {
+            if (rng.chance(1, 2)) {
+                VirtAddr va =
+                    kernel.fileReadPageIpc(task, sources[f], p);
+                kernel.userTouchPage(task, va, false);
+                kernel.vmDeallocate(task, va);
+            } else {
+                kernel.fileRead(task, sources[f],
+                                std::uint64_t(p) * page, page);
+            }
+        }
+    }
+
+    // Phase 5 — Make: read inputs, compute, write outputs, clean up.
+    for (std::uint32_t f = 0; f < params.numFiles; ++f) {
+        if (f % 8 == 0)
+            run_utility(task);
+        kernel.fileRead(task, sources[f], 0, page);
+        VirtAddr scratch = kernel.vmAllocate(task, 2);
+        kernel.userTouchPage(task, scratch, true,
+                             static_cast<std::uint32_t>(rng.next64()));
+        kernel.userTouchPage(
+            task, scratch.plus(page), true,
+            static_cast<std::uint32_t>(rng.next64()));
+        kernel.userCompute(params.computePerFile);
+        FileId out = kernel.fileCreate(task, format("out%u", f));
+        kernel.fileWrite(task, out, 0, page,
+                         static_cast<std::uint32_t>(rng.next64()));
+        kernel.vmDeallocate(task, scratch);
+        kernel.fileDelete(task, format("copy%u", f));
+    }
+
+    kernel.fileSyncAll();
+    kernel.destroyTask(task);
+}
+
+} // namespace vic

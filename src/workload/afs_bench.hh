@@ -1,0 +1,44 @@
+/**
+ * @file
+ * afs-bench: a scaled-down analogue of the Andrew File System
+ * benchmark used in the paper — "a file-intensive shell script". The
+ * phases mirror Andrew's: create a source tree, copy it, scan it,
+ * read every file, and run a compile-like pass that reads inputs and
+ * writes outputs. Every operation goes through the Unix-server
+ * syscall stub (shared-page ping-pong) and the buffer cache, so the
+ * policy-sensitive paths — shared-page aliasing, IPC page transfers,
+ * page preparation, DMA write-behind — are all exercised.
+ */
+
+#ifndef VIC_WORKLOAD_AFS_BENCH_HH
+#define VIC_WORKLOAD_AFS_BENCH_HH
+
+#include "workload/workload.hh"
+
+namespace vic
+{
+
+class AfsBench : public Workload
+{
+  public:
+    struct Params
+    {
+        std::uint32_t numFiles = 24;       ///< files in the "tree"
+        std::uint32_t maxFilePages = 3;    ///< file sizes 1..max pages
+        Cycles computePerFile = 970000;
+        std::uint64_t seed = 0xaf5;
+    };
+
+    AfsBench() : params() {}
+    explicit AfsBench(const Params &p) : params(p) {}
+
+    std::string name() const override { return "afs-bench"; }
+    void run(Kernel &kernel) override;
+
+  private:
+    Params params;
+};
+
+} // namespace vic
+
+#endif // VIC_WORKLOAD_AFS_BENCH_HH

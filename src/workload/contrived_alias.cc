@@ -1,0 +1,50 @@
+#include "workload/contrived_alias.hh"
+
+#include "common/logging.hh"
+
+namespace vic
+{
+
+void
+ContrivedAlias::run(Kernel &kernel)
+{
+    const TaskId task = kernel.createTask();
+    const std::uint32_t colours =
+        kernel.machine().dcache().geometry().numColours();
+
+    // First mapping: anywhere the kernel likes.
+    auto obj = std::make_shared<VmObject>(VmObject::anonymous(1));
+    const VirtAddr va1 =
+        kernel.vmMapShared(task, obj, Protection::readWrite());
+
+    // Second mapping: same colour (aligned) or the worst-case
+    // different colour (unaligned).
+    AddressSpace &as = kernel.addressSpace(task);
+    const CachePageId c1 = kernel.pmap().dColourOf(va1);
+    const CachePageId c2 =
+        params.aligned ? c1 : (c1 + colours / 2) % colours;
+    const VirtAddr fixed = as.allocateVa(1, c2);
+    const VirtAddr va2 =
+        kernel.vmMapShared(task, obj, Protection::readWrite(), fixed);
+
+    // On a machine with a single cache colour (physically indexed, or
+    // span == page size) every pair of addresses aligns and the
+    // "unaligned" variant degenerates to the aligned one — which is
+    // exactly the point of those architectures.
+    vic_assert(kernel.machine().dcache().geometry().aligned(va1, va2) ==
+                   (params.aligned || colours == 1),
+               "alignment setup failed");
+
+    for (std::uint32_t i = 0; i < params.totalWrites; i += 2) {
+        kernel.userStore(task, va1, i);
+        if (params.verifyReads)
+            kernel.userLoad(task, va2);
+        kernel.userStore(task, va2, i + 1);
+        if (params.verifyReads)
+            kernel.userLoad(task, va1);
+    }
+
+    kernel.destroyTask(task);
+}
+
+} // namespace vic

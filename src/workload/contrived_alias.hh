@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The contrived alias microbenchmark of Section 2.5: "A single thread
+ * repeatedly wrote one physical address through two virtual
+ * addresses. When the virtual addresses were aligned, a loop of
+ * 1,000,000 writes completed in a fraction of a second. When
+ * unaligned, the loop took over 2 minutes."
+ *
+ * One task maps a one-page object twice — at aligning or non-aligning
+ * addresses — and alternates stores through the two mappings.
+ */
+
+#ifndef VIC_WORKLOAD_CONTRIVED_ALIAS_HH
+#define VIC_WORKLOAD_CONTRIVED_ALIAS_HH
+
+#include "workload/workload.hh"
+
+namespace vic
+{
+
+class ContrivedAlias : public Workload
+{
+  public:
+    struct Params
+    {
+        bool aligned = false;
+        /** Total stores (the paper used 1,000,000; the default is
+         *  scaled down so the unaligned run finishes promptly). */
+        std::uint32_t totalWrites = 40000;
+        /** Also read back through the other alias after every store.
+         *  The paper's loop is write-only; the tests enable this so
+         *  the consistency oracle can observe stale values. */
+        bool verifyReads = false;
+    };
+
+    explicit ContrivedAlias(const Params &p) : params(p) {}
+
+    std::string
+    name() const override
+    {
+        return params.aligned ? "contrived-aligned"
+                              : "contrived-unaligned";
+    }
+
+    void run(Kernel &kernel) override;
+
+  private:
+    Params params;
+};
+
+} // namespace vic
+
+#endif // VIC_WORKLOAD_CONTRIVED_ALIAS_HH

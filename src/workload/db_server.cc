@@ -1,0 +1,100 @@
+#include "workload/db_server.hh"
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace vic
+{
+
+void
+DbServer::run(Kernel &kernel)
+{
+    Random rng(params.seed);
+    const std::uint32_t page = kernel.machine().pageBytes();
+    const std::uint32_t words_per_page = page / 4;
+
+    // The server builds the database.
+    const TaskId server = kernel.createTask();
+    VirtAddr db_server_va = kernel.vmAllocate(server, params.dbPages);
+    for (std::uint32_t p = 0; p < params.dbPages; ++p) {
+        kernel.userTouchPage(server,
+                             db_server_va.plus(std::uint64_t(p) * page),
+                             true, 0xdb000000u + p);
+    }
+    auto db = kernel.regionObject(server, db_server_va);
+
+    FileId log = kernel.fileCreate(server, "db-log");
+    std::uint64_t log_off = 0;
+
+    // Clients attach. A persistent data structure has its pointers
+    // baked in, so each client demands its own fixed address —
+    // deliberately straddling different cache colours.
+    std::vector<TaskId> clients;
+    std::vector<VirtAddr> attach;
+    for (std::uint32_t c = 0; c < params.numClients; ++c) {
+        TaskId t = kernel.createTask();
+        std::optional<VirtAddr> fixed;
+        if (params.fixedAddresses) {
+            fixed = VirtAddr(0x7000'0000ull +
+                             std::uint64_t(c) * (params.dbPages + 3) *
+                                 page);
+        } else {
+            // Kernel-chosen: align with the server's mapping.
+            fixed = kernel.addressSpace(t).allocateVa(
+                params.dbPages, kernel.pmap().dColourOf(db_server_va));
+        }
+        VirtAddr va = kernel.vmMapShared(t, db, Protection::readWrite(),
+                                         fixed);
+        clients.push_back(t);
+        attach.push_back(va);
+    }
+
+    // Transactions.
+    for (std::uint32_t txn = 0; txn < params.transactions; ++txn) {
+        const std::uint32_t c =
+            static_cast<std::uint32_t>(txn % params.numClients);
+        const TaskId t = clients[c];
+        const VirtAddr base = attach[c];
+
+        // Read a few records...
+        for (std::uint32_t r = 0; r < params.readsPerTxn; ++r) {
+            const std::uint32_t p = static_cast<std::uint32_t>(
+                rng.below(params.dbPages));
+            const std::uint32_t w = static_cast<std::uint32_t>(
+                rng.below(words_per_page));
+            kernel.userLoad(t, base.plus(std::uint64_t(p) * page +
+                                         4ull * w));
+        }
+        // ...update one...
+        {
+            const std::uint32_t p = static_cast<std::uint32_t>(
+                rng.below(params.dbPages));
+            const std::uint32_t w = static_cast<std::uint32_t>(
+                rng.below(words_per_page));
+            kernel.userStore(t, base.plus(std::uint64_t(p) * page +
+                                          4ull * w),
+                             0x10000000u + txn);
+        }
+        kernel.userCompute(params.computePerTxn);
+
+        // Periodic checkpoint: the server scans the database through
+        // ITS alias and appends a log record.
+        if (txn % 8 == 7) {
+            for (std::uint32_t p = 0; p < params.dbPages; ++p) {
+                kernel.userTouchPage(
+                    server, db_server_va.plus(std::uint64_t(p) * page),
+                    false);
+            }
+            kernel.fileWrite(server, log, log_off, page / 4,
+                             0xc0000000u + txn);
+            log_off += page / 4;
+        }
+    }
+
+    kernel.fileSyncAll();
+    for (TaskId t : clients)
+        kernel.destroyTask(t);
+    kernel.destroyTask(server);
+}
+
+} // namespace vic

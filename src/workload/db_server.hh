@@ -1,0 +1,63 @@
+/**
+ * @file
+ * db-server: a shared persistent data structure under transactions.
+ *
+ * Section 2.2: "there will always be cases where it may be more
+ * convenient to place shared memory at specific virtual addresses
+ * (such as with shared persistent data structures). Consequently, the
+ * cache management system must deal with these aliases correctly."
+ *
+ * A server task owns a multi-page in-memory database; client tasks map
+ * it at their own FIXED virtual addresses (pointers embedded in the
+ * data structure demand it), which rarely align with each other or the
+ * server. Transactions read and update records through these aliases
+ * while the server periodically scans the database and appends to an
+ * on-disk log. The aligned variant lets the kernel choose client
+ * addresses instead — quantifying exactly what the fixed-address
+ * convenience costs under each policy.
+ */
+
+#ifndef VIC_WORKLOAD_DB_SERVER_HH
+#define VIC_WORKLOAD_DB_SERVER_HH
+
+#include "workload/workload.hh"
+
+namespace vic
+{
+
+class DbServer : public Workload
+{
+  public:
+    struct Params
+    {
+        std::uint32_t dbPages = 8;
+        std::uint32_t numClients = 4;
+        std::uint32_t transactions = 64;
+        std::uint32_t readsPerTxn = 3;
+        /** true: clients map the database at fixed (non-aligning)
+         *  addresses, as a persistent data structure requires;
+         *  false: the kernel picks aligning addresses. */
+        bool fixedAddresses = true;
+        Cycles computePerTxn = 20000;
+        std::uint64_t seed = 0xdb5;
+    };
+
+    DbServer() : params() {}
+    explicit DbServer(const Params &p) : params(p) {}
+
+    std::string
+    name() const override
+    {
+        return params.fixedAddresses ? "db-server-fixed"
+                                     : "db-server-aligned";
+    }
+
+    void run(Kernel &kernel) override;
+
+  private:
+    Params params;
+};
+
+} // namespace vic
+
+#endif // VIC_WORKLOAD_DB_SERVER_HH

@@ -1,0 +1,112 @@
+#include "workload/kernel_build.hh"
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace vic
+{
+
+void
+KernelBuild::run(Kernel &kernel)
+{
+    Random rng(params.seed);
+    const std::uint32_t page = kernel.machine().pageBytes();
+
+    // Setup: a staging task writes the compiler binary, the shared
+    // build environment, and all the source files.
+    const TaskId setup = kernel.createTask();
+
+    FileId cc = kernel.fileCreate(setup, "cc");
+    for (std::uint32_t p = 0; p < params.compilerTextPages; ++p) {
+        kernel.fileWrite(setup, cc, std::uint64_t(p) * page, page,
+                         0xcc000000u + p);
+    }
+
+    VirtAddr env_va = kernel.vmAllocate(setup, params.envPages);
+    for (std::uint32_t p = 0; p < params.envPages; ++p) {
+        kernel.userTouchPage(setup, env_va.plus(std::uint64_t(p) * page),
+                             true, 0xe0000000u + p);
+    }
+    std::shared_ptr<VmObject> env = kernel.regionObject(setup, env_va);
+
+    std::vector<FileId> sources;
+    for (std::uint32_t f = 0; f < params.numSourceFiles; ++f) {
+        FileId id = kernel.fileCreate(setup, format("src%u.c", f));
+        const std::uint32_t n = static_cast<std::uint32_t>(
+            rng.between(1, 2));
+        for (std::uint32_t p = 0; p < n; ++p) {
+            kernel.fileWrite(setup, id, std::uint64_t(p) * page, page,
+                             static_cast<std::uint32_t>(rng.next64()));
+        }
+        sources.push_back(id);
+    }
+    kernel.fileSyncAll();
+
+    // The build: one short-lived task per compilation unit.
+    for (std::uint32_t f = 0; f < params.numSourceFiles; ++f) {
+        const TaskId t = kernel.createTask();
+
+        // Run the compiler: text is shared between tasks; only the
+        // first execution of each page pays the buffer-cache to
+        // instruction-space copy.
+        kernel.mapText(t, cc, params.compilerTextPages);
+        kernel.execText(t, 0, params.compilerTextPages);
+
+        // Copy-on-write environment; every task scribbles on it.
+        VirtAddr task_env = kernel.vmMapCow(t, env);
+        kernel.userLoad(t, task_env);
+        kernel.userStore(t, task_env.plus(64),
+                         static_cast<std::uint32_t>(rng.next64()));
+
+        // Read the source through the server.
+        const std::uint64_t src_bytes =
+            kernel.fs().sizeBytes(sources[f]);
+        for (std::uint64_t off = 0; off < src_bytes; off += page) {
+            kernel.fileRead(t, sources[f], off,
+                            static_cast<std::uint32_t>(
+                                std::min<std::uint64_t>(
+                                    page, src_bytes - off)));
+        }
+
+        // Compile: private scratch memory and computation, with more
+        // compiler execution interleaved.
+        VirtAddr scratch = kernel.vmAllocate(t, params.scratchPages);
+        for (std::uint32_t p = 0; p < params.scratchPages; ++p) {
+            kernel.userTouchPage(
+                t, scratch.plus(std::uint64_t(p) * page), true,
+                static_cast<std::uint32_t>(rng.next64()));
+        }
+        kernel.execText(t, 0, params.compilerTextPages / 2);
+        for (std::uint32_t p = 0; p < params.scratchPages; ++p) {
+            kernel.userTouchPage(
+                t, scratch.plus(std::uint64_t(p) * page), false);
+        }
+        kernel.userCompute(params.computePerFile);
+
+        // Emit the object file.
+        FileId obj = kernel.fileCreate(t, format("src%u.o", f));
+        kernel.fileWrite(t, obj, 0, page,
+                         static_cast<std::uint32_t>(rng.next64()));
+
+        kernel.destroyTask(t);
+    }
+
+    // Link: read every object file, write the kernel image.
+    const TaskId linker = kernel.createTask();
+    kernel.mapText(linker, cc, params.compilerTextPages);
+    kernel.execText(linker, 0, params.compilerTextPages);
+    FileId image = kernel.fileCreate(linker, "vmunix");
+    std::uint64_t img_off = 0;
+    for (std::uint32_t f = 0; f < params.numSourceFiles; ++f) {
+        FileId obj = kernel.fileOpen(linker, format("src%u.o", f));
+        kernel.fileRead(linker, obj, 0, page);
+        kernel.fileWrite(linker, image, img_off, page,
+                         static_cast<std::uint32_t>(rng.next64()));
+        img_off += page;
+    }
+    kernel.fileSyncAll();
+    kernel.destroyTask(linker);
+    kernel.destroyTask(setup);
+}
+
+} // namespace vic

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * kernel-build: a scaled-down analogue of the paper's third benchmark
+ * ("builds a version of the Mach kernel from about 200 source files").
+ *
+ * Each compilation unit spawns a fresh task that maps and executes
+ * the shared compiler text (first execution pays the data-to-
+ * instruction copy; later tasks alias the same text frames), takes a
+ * copy-on-write environment, reads its source through the Unix
+ * server, chews on private scratch memory, writes an object file, and
+ * exits — churning physical pages through the free list, which is
+ * what makes new-mapping purges the dominant consistency cost in the
+ * paper's configuration F (about 80% of purges, Section 5.1).
+ */
+
+#ifndef VIC_WORKLOAD_KERNEL_BUILD_HH
+#define VIC_WORKLOAD_KERNEL_BUILD_HH
+
+#include "workload/workload.hh"
+
+namespace vic
+{
+
+class KernelBuild : public Workload
+{
+  public:
+    struct Params
+    {
+        std::uint32_t numSourceFiles = 48; ///< paper: about 200
+        std::uint32_t compilerTextPages = 6;
+        std::uint32_t envPages = 2;        ///< copy-on-write per task
+        std::uint32_t scratchPages = 6;
+        Cycles computePerFile = 1060000;
+        std::uint64_t seed = 0xb11d;
+    };
+
+    KernelBuild() : params() {}
+    explicit KernelBuild(const Params &p) : params(p) {}
+
+    std::string name() const override { return "kernel-build"; }
+    void run(Kernel &kernel) override;
+
+  private:
+    Params params;
+};
+
+} // namespace vic
+
+#endif // VIC_WORKLOAD_KERNEL_BUILD_HH

@@ -1,0 +1,81 @@
+#include "workload/latex_bench.hh"
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace vic
+{
+
+void
+LatexBench::run(Kernel &kernel)
+{
+    Random rng(params.seed);
+    const std::uint32_t page = kernel.machine().pageBytes();
+    const TaskId task = kernel.createTask();
+
+    // Inputs: the manuscript and font files.
+    FileId input = kernel.fileCreate(task, "paper.tex");
+    for (std::uint32_t p = 0; p < params.inputPages; ++p) {
+        kernel.fileWrite(task, input, std::uint64_t(p) * page, page,
+                         static_cast<std::uint32_t>(rng.next64()));
+    }
+    std::vector<FileId> fonts;
+    for (std::uint32_t f = 0; f < params.fontFiles; ++f) {
+        FileId id = kernel.fileCreate(task, format("font%u", f));
+        kernel.fileWrite(task, id, 0, page,
+                         static_cast<std::uint32_t>(rng.next64()));
+        fonts.push_back(id);
+    }
+
+    // The TeX binary itself: 3 pages of text, re-executed (a fresh
+    // process image) for every pass over the manuscript.
+    FileId tex = kernel.fileCreate(task, "tex-bin");
+    for (std::uint32_t p = 0; p < 3; ++p) {
+        kernel.fileWrite(task, tex, std::uint64_t(p) * page, page,
+                         0x7e70000u + p);
+    }
+
+    // Working set: TeX's token/box memory.
+    VirtAddr ws = kernel.vmAllocate(task, params.workingSetPages);
+
+    FileId output = kernel.fileCreate(task, "paper.dvi");
+    std::uint64_t out_off = 0;
+
+    for (std::uint32_t pass = 0; pass < params.passes; ++pass) {
+        kernel.mapText(task, tex, 3);
+        kernel.execText(task, 0, 3);
+        for (std::uint32_t p = 0; p < params.inputPages; ++p) {
+            kernel.fileRead(task, input, std::uint64_t(p) * page, page);
+            if (pass == 0 && p < params.fontFiles)
+                kernel.fileRead(task, fonts[p], 0, page);
+
+            // Formatting: chew on the working set.
+            for (std::uint32_t w = 0; w < 4; ++w) {
+                const std::uint32_t ws_page = static_cast<std::uint32_t>(
+                    rng.below(params.workingSetPages));
+                kernel.userTouchPage(
+                    task, ws.plus(std::uint64_t(ws_page) * page),
+                    /*write=*/w % 2 == 1,
+                    static_cast<std::uint32_t>(rng.next64()));
+            }
+            kernel.userCompute(params.computePerPage);
+
+            // Emit a chunk of the formatted page on the final pass.
+            if (pass + 1 == params.passes) {
+                kernel.fileWrite(task, output, out_off, page / 2,
+                                 static_cast<std::uint32_t>(
+                                     rng.next64()));
+                out_off += page / 2;
+            }
+        }
+
+        kernel.vmDeallocate(
+            task, VirtAddr(kernel.params().taskTextBase));
+    }
+
+    kernel.fileSyncAll();
+    kernel.vmDeallocate(task, ws);
+    kernel.destroyTask(task);
+}
+
+} // namespace vic

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * latex-paper: a compute-dominated document formatter, as in the
+ * paper ("formats a version of this paper using TeX"). Most time is
+ * spent in user-mode computation over a modest working set; file
+ * traffic is limited to reading the input and fonts and writing the
+ * output, so cache-management overheads are a small but measurable
+ * fraction (the paper reports a 5% gain, its smallest).
+ */
+
+#ifndef VIC_WORKLOAD_LATEX_BENCH_HH
+#define VIC_WORKLOAD_LATEX_BENCH_HH
+
+#include "workload/workload.hh"
+
+namespace vic
+{
+
+class LatexBench : public Workload
+{
+  public:
+    struct Params
+    {
+        std::uint32_t inputPages = 6;      ///< manuscript size
+        std::uint32_t fontFiles = 4;       ///< auxiliary inputs
+        std::uint32_t workingSetPages = 24;
+        std::uint32_t passes = 3;          ///< TeX runs over the input
+        Cycles computePerPage = 950000;
+        std::uint64_t seed = 0x7e;
+    };
+
+    LatexBench() : params() {}
+    explicit LatexBench(const Params &p) : params(p) {}
+
+    std::string name() const override { return "latex-paper"; }
+    void run(Kernel &kernel) override;
+
+  private:
+    Params params;
+};
+
+} // namespace vic
+
+#endif // VIC_WORKLOAD_LATEX_BENCH_HH

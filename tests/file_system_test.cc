@@ -1,0 +1,100 @@
+/** @file Unit tests for the file system metadata layer. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "os/file_system.hh"
+
+namespace vic
+{
+namespace
+{
+
+class FileSystemTest : public ::testing::Test
+{
+  protected:
+    StatSet stats;
+    FileSystem fs{stats};
+};
+
+TEST_F(FileSystemTest, CreateLookupRemove)
+{
+    FileId a = fs.create("a");
+    EXPECT_TRUE(fs.exists(a));
+    EXPECT_EQ(fs.lookup("a"), std::optional<FileId>(a));
+    EXPECT_FALSE(fs.lookup("b").has_value());
+
+    fs.remove(a);
+    EXPECT_FALSE(fs.exists(a));
+    EXPECT_FALSE(fs.lookup("a").has_value());
+    EXPECT_EQ(stats.value("fs.creates"), 1u);
+    EXPECT_EQ(stats.value("fs.deletes"), 1u);
+}
+
+TEST_F(FileSystemTest, NamesCanBeReusedAfterDelete)
+{
+    FileId a = fs.create("x");
+    fs.remove(a);
+    FileId b = fs.create("x");
+    EXPECT_NE(a, b);
+    EXPECT_TRUE(fs.exists(b));
+}
+
+TEST_F(FileSystemTest, SizeGrowsMonotonically)
+{
+    FileId f = fs.create("f");
+    EXPECT_EQ(fs.sizeBytes(f), 0u);
+    fs.extendTo(f, 5000);
+    EXPECT_EQ(fs.sizeBytes(f), 5000u);
+    fs.extendTo(f, 100);  // shrink requests are ignored
+    EXPECT_EQ(fs.sizeBytes(f), 5000u);
+    EXPECT_EQ(fs.numBlocks(f, 4096), 2u);
+}
+
+TEST_F(FileSystemTest, DiskBlocksAssignedOnDemand)
+{
+    FileId f = fs.create("f");
+    EXPECT_FALSE(fs.hasDiskBlock(f, 0));
+    EXPECT_FALSE(fs.diskBlockIfAny(f, 0).has_value());
+
+    std::uint64_t b0 = fs.diskBlockFor(f, 0);
+    EXPECT_TRUE(fs.hasDiskBlock(f, 0));
+    EXPECT_EQ(fs.diskBlockFor(f, 0), b0);  // stable
+    EXPECT_EQ(fs.diskBlockIfAny(f, 0), std::optional<std::uint64_t>(b0));
+
+    std::uint64_t b5 = fs.diskBlockFor(f, 5);
+    EXPECT_NE(b0, b5);
+    EXPECT_FALSE(fs.hasDiskBlock(f, 3));  // holes stay holes
+}
+
+TEST_F(FileSystemTest, DistinctFilesGetDistinctBlocks)
+{
+    FileId a = fs.create("a");
+    FileId b = fs.create("b");
+    EXPECT_NE(fs.diskBlockFor(a, 0), fs.diskBlockFor(b, 0));
+}
+
+TEST_F(FileSystemTest, DeletedFilesBlocksAreRecycled)
+{
+    FileId a = fs.create("a");
+    std::uint64_t blk = fs.diskBlockFor(a, 0);
+    fs.remove(a);
+    FileId b = fs.create("b");
+    EXPECT_EQ(fs.diskBlockFor(b, 0), blk);
+}
+
+TEST_F(FileSystemTest, DeadFileAccessPanics)
+{
+    FileId a = fs.create("a");
+    fs.remove(a);
+    EXPECT_DEATH(fs.sizeBytes(a), "bad file id");
+}
+
+TEST_F(FileSystemTest, DuplicateNamePanics)
+{
+    fs.create("dup");
+    EXPECT_DEATH(fs.create("dup"), "already exists");
+}
+
+} // anonymous namespace
+} // namespace vic

@@ -1,0 +1,108 @@
+/** @file Unit tests for the single and per-colour free page lists. */
+
+#include <gtest/gtest.h>
+
+#include "mem/free_page_list.hh"
+
+namespace vic
+{
+namespace
+{
+
+using Org = FreePageList::Organisation;
+
+TEST(FreePageListTest, SingleFifoOrder)
+{
+    FreePageList fl(Org::Single, 4);
+    fl.free(10, std::nullopt);
+    fl.free(11, 2);
+    fl.free(12, std::nullopt);
+    EXPECT_EQ(fl.size(), 3u);
+
+    EXPECT_EQ(fl.allocate(std::nullopt)->frame, 10u);
+    EXPECT_EQ(fl.allocate(std::nullopt)->frame, 11u);
+    EXPECT_EQ(fl.allocate(std::nullopt)->frame, 12u);
+    EXPECT_TRUE(fl.empty());
+    EXPECT_FALSE(fl.allocate(std::nullopt).has_value());
+}
+
+TEST(FreePageListTest, SingleReportsLastColour)
+{
+    FreePageList fl(Org::Single, 4);
+    fl.free(5, 3);
+    auto a = fl.allocate(std::nullopt);
+    ASSERT_TRUE(a);
+    EXPECT_EQ(a->frame, 5u);
+    ASSERT_TRUE(a->lastColour);
+    EXPECT_EQ(*a->lastColour, 3u);
+}
+
+TEST(FreePageListTest, SingleCountsColourLuck)
+{
+    FreePageList fl(Org::Single, 4);
+    fl.free(1, 1);
+    fl.free(2, 2);
+    EXPECT_EQ(fl.allocate(1)->frame, 1u);  // lucky match
+    EXPECT_EQ(fl.allocate(1)->frame, 2u);  // mismatch
+    EXPECT_EQ(fl.colourHits(), 1u);
+    EXPECT_EQ(fl.colourMisses(), 1u);
+}
+
+TEST(FreePageListTest, PerColourPrefersWantedColour)
+{
+    FreePageList fl(Org::PerColour, 4);
+    fl.free(1, 1);
+    fl.free(2, 2);
+    fl.free(3, 3);
+
+    auto a = fl.allocate(2);
+    ASSERT_TRUE(a);
+    EXPECT_EQ(a->frame, 2u);
+    EXPECT_EQ(fl.colourHits(), 1u);
+    EXPECT_EQ(fl.colourMisses(), 0u);
+}
+
+TEST(FreePageListTest, PerColourColourlessFramesCountAsHits)
+{
+    // A frame with no cache footprint is clean at every colour.
+    FreePageList fl(Org::PerColour, 4);
+    fl.free(7, std::nullopt);
+    auto a = fl.allocate(2);
+    ASSERT_TRUE(a);
+    EXPECT_EQ(a->frame, 7u);
+    EXPECT_EQ(fl.colourHits(), 1u);
+}
+
+TEST(FreePageListTest, PerColourStealsWhenColourEmpty)
+{
+    FreePageList fl(Org::PerColour, 4);
+    fl.free(9, 0);
+    auto a = fl.allocate(3);
+    ASSERT_TRUE(a);
+    EXPECT_EQ(a->frame, 9u);
+    EXPECT_EQ(fl.colourMisses(), 1u);
+}
+
+TEST(FreePageListTest, PerColourNoPreference)
+{
+    FreePageList fl(Org::PerColour, 4);
+    fl.free(4, 1);
+    fl.free(5, std::nullopt);
+    // Without a preference, colourless frames go first.
+    EXPECT_EQ(fl.allocate(std::nullopt)->frame, 5u);
+    EXPECT_EQ(fl.allocate(std::nullopt)->frame, 4u);
+}
+
+TEST(FreePageListTest, SizeTracksFreesAndAllocs)
+{
+    FreePageList fl(Org::PerColour, 2);
+    for (FrameId f = 0; f < 10; ++f)
+        fl.free(f, f % 2);
+    EXPECT_EQ(fl.size(), 10u);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(fl.allocate(std::nullopt).has_value());
+    EXPECT_TRUE(fl.empty());
+}
+
+} // anonymous namespace
+} // namespace vic

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Section 3.3, "Cache-coherent multiprocessors": equivalent cache
+ * pages across processors form a hardware-consistent set, and the
+ * consistency model needs NO rule changes. These tests cover the
+ * hardware coherence layer itself, the unchanged CacheControl rules on
+ * a 2-CPU machine, and full kernel workloads across 1/2/4 CPUs under
+ * every policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/lazy_pmap.hh"
+#include "machine/cpu.hh"
+#include "machine/machine.hh"
+#include "oracle/consistency_oracle.hh"
+#include "os/kernel.hh"
+#include "workload/afs_bench.hh"
+#include "workload/contrived_alias.hh"
+#include "workload/kernel_build.hh"
+#include "workload/runner.hh"
+
+namespace vic
+{
+namespace
+{
+
+MachineParams
+mpParams(std::uint32_t cpus)
+{
+    MachineParams p = MachineParams::hp720();
+    p.numCpus = cpus;
+    return p;
+}
+
+// ---------------------------------------------------------------------
+// Hardware coherence layer (no pmap): raw CPUs on one page table.
+// ---------------------------------------------------------------------
+
+class CoherenceTest : public ::testing::Test
+{
+  protected:
+    CoherenceTest() : machine(mpParams(2)), cpu0(machine, 0),
+                      cpu1(machine, 1)
+    {
+        machine.pageTable().enter(SpaceVa(1, VirtAddr(0x4000)), 2,
+                                  Protection::all());
+        cpu0.setSpace(1);
+        cpu1.setSpace(1);
+    }
+
+    Machine machine;
+    Cpu cpu0;
+    Cpu cpu1;
+};
+
+TEST_F(CoherenceTest, PeerReadSeesDirtyWrite)
+{
+    cpu0.store(VirtAddr(0x4000), 77);
+    // Without snooping, cpu1 would fill stale memory; the coherence
+    // step writes cpu0's dirty line back first.
+    EXPECT_EQ(cpu1.load(VirtAddr(0x4000)), 77u);
+}
+
+TEST_F(CoherenceTest, WriteInvalidatesPeerCopies)
+{
+    cpu0.load(VirtAddr(0x4000));
+    cpu1.load(VirtAddr(0x4000));  // both hold clean copies
+    cpu0.store(VirtAddr(0x4000), 123);
+    EXPECT_EQ(cpu1.load(VirtAddr(0x4000)), 123u);  // refetched
+}
+
+TEST_F(CoherenceTest, PingPongOwnershipMigrates)
+{
+    for (std::uint32_t i = 0; i < 20; ++i) {
+        Cpu &writer = i % 2 ? cpu1 : cpu0;
+        Cpu &reader = i % 2 ? cpu0 : cpu1;
+        writer.store(VirtAddr(0x4000 + 4 * (i % 8)), i);
+        EXPECT_EQ(reader.load(VirtAddr(0x4000 + 4 * (i % 8))), i);
+    }
+}
+
+TEST_F(CoherenceTest, AtMostOneDirtyCopy)
+{
+    cpu0.store(VirtAddr(0x4000), 1);
+    cpu1.store(VirtAddr(0x4000), 2);
+    // cpu0's copy was invalidated; only cpu1's line may be dirty.
+    PhysAddr pa = machine.frameAddr(2);
+    EXPECT_FALSE(machine.dcache(0).probe(VirtAddr(0x4000), pa).present);
+    EXPECT_TRUE(machine.dcache(1).probe(VirtAddr(0x4000), pa).dirty);
+}
+
+TEST_F(CoherenceTest, SnoopInterventionChargesBusCycles)
+{
+    cpu0.store(VirtAddr(0x4000), 1);
+    Cycles before = machine.clock().now();
+    cpu1.load(VirtAddr(0x4000));
+    EXPECT_GE(machine.clock().now() - before,
+              machine.params().snoopPenalty);
+}
+
+TEST_F(CoherenceTest, TlbsArePerCpu)
+{
+    cpu0.load(VirtAddr(0x4000));
+    cpu1.load(VirtAddr(0x4000));
+    EXPECT_EQ(machine.tlb(0).validCount(), 1u);
+    EXPECT_EQ(machine.tlb(1).validCount(), 1u);
+    machine.tlb(0).invalidateAll();
+    EXPECT_EQ(machine.tlb(1).validCount(), 1u);  // private
+}
+
+TEST_F(CoherenceTest, ShootdownReachesEveryCpu)
+{
+    cpu0.load(VirtAddr(0x4000));
+    cpu1.load(VirtAddr(0x4000));
+    machine.tlbShootdownPage(SpaceVa(1, VirtAddr(0x4000)));
+    EXPECT_EQ(machine.tlb(0).validCount(), 0u);
+    EXPECT_EQ(machine.tlb(1).validCount(), 0u);
+}
+
+TEST_F(CoherenceTest, CachesArePerCpu)
+{
+    cpu0.load(VirtAddr(0x4000));
+    EXPECT_EQ(machine.stats().value("dcache0.reads"), 1u);
+    EXPECT_EQ(machine.stats().value("dcache1.reads"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Unchanged consistency rules: LazyPmap on a 2-CPU machine.
+// ---------------------------------------------------------------------
+
+class MpPmapTest : public ::testing::Test
+{
+  protected:
+    MpPmapTest()
+        : machine(mpParams(2)),
+          oracle(machine.memory().sizeBytes()),
+          pmap(machine, PolicyConfig::configF()), cpu0(machine, 0),
+          cpu1(machine, 1)
+    {
+        machine.setObserver(&oracle);
+        for (Cpu *c : {&cpu0, &cpu1}) {
+            c->setSpace(1);
+            c->setFaultHandler([this](const Fault &f) {
+                return pmap.resolveConsistencyFault(f.address, f.access);
+            });
+        }
+    }
+
+    Machine machine;
+    ConsistencyOracle oracle;
+    LazyPmap pmap;
+    Cpu cpu0;
+    Cpu cpu1;
+};
+
+TEST_F(MpPmapTest, AlignedSharingAcrossCpusIsFreeAndConsistent)
+{
+    // Same virtual address on both CPUs: same colour, one hardware
+    // set across the two caches — the Section 3.3 claim.
+    pmap.enter(SpaceVa(1, VirtAddr(0x4000)), 2, Protection::all(),
+               AccessType::Store, {});
+    for (std::uint32_t i = 0; i < 16; ++i) {
+        (i % 2 ? cpu1 : cpu0).store(VirtAddr(0x4000), i);
+        EXPECT_EQ((i % 2 ? cpu0 : cpu1).load(VirtAddr(0x4000)), i);
+    }
+    EXPECT_EQ(machine.stats().value("pmap.d_page_flushes"), 0u);
+    EXPECT_TRUE(oracle.clean());
+}
+
+TEST_F(MpPmapTest, UnalignedAliasAcrossCpusStillNeedsSoftware)
+{
+    // cpu0 writes via colour 1; cpu1 reads via colour 2. The software
+    // rules are exactly the uniprocessor ones (broadcast ops).
+    pmap.enter(SpaceVa(1, VirtAddr(0x1000)), 7, Protection::all(),
+               AccessType::Store, {});
+    pmap.enter(SpaceVa(1, VirtAddr(0x2000)), 7, Protection::all(),
+               AccessType::Load, {});
+    cpu0.store(VirtAddr(0x1000), 4242);
+    EXPECT_EQ(cpu1.load(VirtAddr(0x2000)), 4242u);
+    EXPECT_GE(machine.stats().value("pmap.d_page_flushes"), 1u);
+    EXPECT_TRUE(oracle.clean());
+}
+
+TEST_F(MpPmapTest, BroadcastFlushReachesTheOwningCpu)
+{
+    // Dirty data sits in cpu1's cache; a DMA-read prepared through the
+    // pmap must flush it even though the pmap has no idea which CPU
+    // owns the line.
+    pmap.enter(SpaceVa(1, VirtAddr(0x1000)), 7, Protection::all(),
+               AccessType::Store, {});
+    cpu1.store(VirtAddr(0x1000), 99);
+    pmap.dmaRead(7, true);
+    EXPECT_EQ(machine.memory().readWord(machine.frameAddr(7)), 99u);
+}
+
+// ---------------------------------------------------------------------
+// Full system on 1/2/4 CPUs.
+// ---------------------------------------------------------------------
+
+class MpWorkloadTest
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(MpWorkloadTest, WorkloadsConsistentOnMultiprocessors)
+{
+    auto [ncpus, policy_idx] = GetParam();
+    std::vector<PolicyConfig> policies = {
+        PolicyConfig::configA(), PolicyConfig::configF(),
+        PolicyConfig::tut()};
+
+    KernelBuild::Params p;
+    p.numSourceFiles = 6;
+    p.compilerTextPages = 2;
+    p.computePerFile = 1000;
+    KernelBuild wl(p);
+    RunResult r = runWorkload(wl, policies[std::size_t(policy_idx)],
+                              mpParams(std::uint32_t(ncpus)));
+    EXPECT_EQ(r.oracleViolations, 0u)
+        << ncpus << " cpus under " << r.policy;
+}
+
+INSTANTIATE_TEST_SUITE_P(CpusXPolicies, MpWorkloadTest,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Range(0, 3)));
+
+TEST(MpWorkloadExtraTest, AfsOnTwoCpus)
+{
+    AfsBench::Params p;
+    p.numFiles = 8;
+    p.computePerFile = 1000;
+    AfsBench wl(p);
+    RunResult r = runWorkload(wl, PolicyConfig::configF(), mpParams(2));
+    EXPECT_EQ(r.oracleViolations, 0u);
+}
+
+TEST(MpWorkloadExtraTest, ContrivedAliasOnTwoCpus)
+{
+    for (bool aligned : {true, false}) {
+        ContrivedAlias wl({aligned, 2000, true});
+        RunResult r =
+            runWorkload(wl, PolicyConfig::configF(), mpParams(2));
+        EXPECT_EQ(r.oracleViolations, 0u) << aligned;
+    }
+}
+
+TEST(MpWorkloadExtraTest, BrokenPolicyStillBreaksOnMp)
+{
+    // Hardware coherence does NOT absolve the OS of alias management:
+    // the within-cache unaligned alias still goes stale.
+    ContrivedAlias wl({false, 2000, true});
+    RunResult r = runWorkload(wl, PolicyConfig::broken(), mpParams(2));
+    EXPECT_GT(r.oracleViolations, 0u);
+}
+
+} // anonymous namespace
+} // namespace vic

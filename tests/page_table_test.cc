@@ -1,0 +1,111 @@
+/** @file Unit tests for the page table. */
+
+#include <gtest/gtest.h>
+
+#include "mmu/fault.hh"
+#include "mmu/page_table.hh"
+
+namespace vic
+{
+namespace
+{
+
+TEST(PageTableTest, EnterLookupRoundTrip)
+{
+    PageTable pt(4096);
+    pt.enter(SpaceVa(3, VirtAddr(0x5000)), 9, Protection::readWrite());
+
+    const PageTableEntry *pte = pt.lookup(SpaceVa(3, VirtAddr(0x5abc)));
+    ASSERT_NE(pte, nullptr);
+    EXPECT_EQ(pte->frame, 9u);
+    EXPECT_TRUE(pte->prot.write);
+    EXPECT_FALSE(pte->referenced);
+    EXPECT_FALSE(pte->modified);
+}
+
+TEST(PageTableTest, KeysAreCanonicalisedToPageBase)
+{
+    PageTable pt(4096);
+    pt.enter(SpaceVa(1, VirtAddr(0x5abc)), 2, Protection::readOnly());
+    EXPECT_NE(pt.lookup(SpaceVa(1, VirtAddr(0x5000))), nullptr);
+    EXPECT_EQ(pt.lookup(SpaceVa(1, VirtAddr(0x6000))), nullptr);
+}
+
+TEST(PageTableTest, RemoveReturnsModifiedBit)
+{
+    PageTable pt(4096);
+    pt.enter(SpaceVa(1, VirtAddr(0x1000)), 2, Protection::readWrite());
+    pt.lookupMutable(SpaceVa(1, VirtAddr(0x1000)))->modified = true;
+    EXPECT_TRUE(pt.remove(SpaceVa(1, VirtAddr(0x1000))));
+    EXPECT_EQ(pt.lookup(SpaceVa(1, VirtAddr(0x1000))), nullptr);
+    // Removing again is a no-op returning false.
+    EXPECT_FALSE(pt.remove(SpaceVa(1, VirtAddr(0x1000))));
+}
+
+TEST(PageTableTest, SetProtectionPreservesBits)
+{
+    PageTable pt(4096);
+    pt.enter(SpaceVa(1, VirtAddr(0x1000)), 2, Protection::readWrite());
+    pt.lookupMutable(SpaceVa(1, VirtAddr(0x1000)))->modified = true;
+    pt.setProtection(SpaceVa(1, VirtAddr(0x1000)), Protection::none());
+    const PageTableEntry *pte = pt.lookup(SpaceVa(1, VirtAddr(0x1000)));
+    EXPECT_TRUE(pte->prot.isNone());
+    EXPECT_TRUE(pte->modified);
+}
+
+TEST(PageTableTest, ClearModified)
+{
+    PageTable pt(4096);
+    pt.enter(SpaceVa(1, VirtAddr(0x1000)), 2, Protection::readWrite());
+    EXPECT_FALSE(pt.clearModified(SpaceVa(1, VirtAddr(0x1000))));
+    pt.lookupMutable(SpaceVa(1, VirtAddr(0x1000)))->modified = true;
+    EXPECT_TRUE(pt.clearModified(SpaceVa(1, VirtAddr(0x1000))));
+    EXPECT_FALSE(pt.lookup(SpaceVa(1, VirtAddr(0x1000)))->modified);
+    // Unmapped pages report false.
+    EXPECT_FALSE(pt.clearModified(SpaceVa(1, VirtAddr(0x9000))));
+}
+
+TEST(PageTableTest, ReplacingEntryResetsBits)
+{
+    PageTable pt(4096);
+    pt.enter(SpaceVa(1, VirtAddr(0x1000)), 2, Protection::readWrite());
+    pt.lookupMutable(SpaceVa(1, VirtAddr(0x1000)))->modified = true;
+    pt.enter(SpaceVa(1, VirtAddr(0x1000)), 5, Protection::readOnly());
+    const PageTableEntry *pte = pt.lookup(SpaceVa(1, VirtAddr(0x1000)));
+    EXPECT_EQ(pte->frame, 5u);
+    EXPECT_FALSE(pte->modified);
+}
+
+TEST(PageTableTest, SizeTracksEntries)
+{
+    PageTable pt(4096);
+    EXPECT_EQ(pt.size(), 0u);
+    pt.enter(SpaceVa(1, VirtAddr(0x1000)), 1, Protection::readOnly());
+    pt.enter(SpaceVa(2, VirtAddr(0x1000)), 2, Protection::readOnly());
+    EXPECT_EQ(pt.size(), 2u);
+    pt.remove(SpaceVa(1, VirtAddr(0x1000)));
+    EXPECT_EQ(pt.size(), 1u);
+}
+
+TEST(FaultTest, ProtPermits)
+{
+    EXPECT_TRUE(protPermits(Protection::readOnly(), AccessType::Load));
+    EXPECT_FALSE(protPermits(Protection::readOnly(), AccessType::Store));
+    EXPECT_FALSE(protPermits(Protection::readOnly(),
+                             AccessType::IFetch));
+    EXPECT_TRUE(protPermits(Protection::readExecute(),
+                            AccessType::IFetch));
+    EXPECT_TRUE(protPermits(Protection::readWrite(), AccessType::Store));
+}
+
+TEST(FaultTest, AccessTypeHelpers)
+{
+    EXPECT_TRUE(isWrite(AccessType::Store));
+    EXPECT_FALSE(isWrite(AccessType::Load));
+    EXPECT_EQ(cacheKindOf(AccessType::IFetch), CacheKind::Instruction);
+    EXPECT_EQ(cacheKindOf(AccessType::Load), CacheKind::Data);
+    EXPECT_EQ(cacheKindOf(AccessType::Store), CacheKind::Data);
+}
+
+} // anonymous namespace
+} // namespace vic

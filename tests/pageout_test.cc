@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the pageout daemon: swap round trips, text drops, wiring,
+ * swap-block accounting, and consistency under severe memory pressure
+ * for every policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/machine.hh"
+#include "oracle/consistency_oracle.hh"
+#include "os/kernel.hh"
+#include "workload/runner.hh"
+
+namespace vic
+{
+namespace
+{
+
+class PageoutTest : public ::testing::Test
+{
+  protected:
+    explicit PageoutTest(PolicyConfig cfg = PolicyConfig::configF(),
+                         std::uint64_t frames = 96)
+        : oracle(frames * 4096)
+    {
+        MachineParams mp = MachineParams::hp720();
+        mp.numFrames = frames;
+        machine = std::make_unique<Machine>(mp);
+        machine->setObserver(&oracle);
+        OsParams op;
+        op.bufferCacheSlots = 16;
+        op.pageoutLowWater = 8;
+        op.pageoutHighWater = 20;
+        kernel = std::make_unique<Kernel>(*machine, cfg, op);
+    }
+
+    std::uint64_t
+    stat(const char *name)
+    {
+        return machine->stats().value(name);
+    }
+
+    ConsistencyOracle oracle;
+    std::unique_ptr<Machine> machine;
+    std::unique_ptr<Kernel> kernel;
+};
+
+TEST_F(PageoutTest, DataSurvivesSwapRoundTrip)
+{
+    TaskId t = kernel->createTask();
+    // Allocate more pages than physical memory and write a stamp into
+    // each; early pages must be paged out.
+    const std::uint32_t pages = 120;
+    VirtAddr base = kernel->vmAllocate(t, pages);
+    for (std::uint32_t p = 0; p < pages; ++p)
+        kernel->userStore(t, base.plus(std::uint64_t(p) * 4096),
+                          1000 + p);
+    EXPECT_GT(stat("os.pageouts"), 0u);
+    EXPECT_GT(stat("os.swap_writes"), 0u);
+
+    // Read everything back: paged-out pages fault back in from swap.
+    for (std::uint32_t p = 0; p < pages; ++p) {
+        EXPECT_EQ(kernel->userLoad(t, base.plus(std::uint64_t(p) *
+                                                4096)),
+                  1000 + p)
+            << "page " << p;
+    }
+    EXPECT_GT(stat("os.pageins"), 0u);
+    EXPECT_TRUE(oracle.clean())
+        << oracle.violationCount() << " violations";
+}
+
+TEST_F(PageoutTest, UntouchedPagesCostNothing)
+{
+    TaskId t = kernel->createTask();
+    VirtAddr base = kernel->vmAllocate(t, 500);  // never touched
+    (void)base;
+    EXPECT_EQ(stat("os.pageouts"), 0u);
+}
+
+TEST_F(PageoutTest, TextPagesAreDroppedNotSwapped)
+{
+    TaskId t = kernel->createTask();
+    FileId bin = kernel->fileCreate(t, "big");
+    for (std::uint32_t p = 0; p < 8; ++p)
+        kernel->fileWrite(t, bin, std::uint64_t(p) * 4096, 4096,
+                          0xc0de0000u + p);
+    kernel->mapText(t, bin, 8);
+    kernel->execText(t, 0, 8);
+
+    // Blow the memory with anonymous pages so text gets evicted.
+    VirtAddr hog = kernel->vmAllocate(t, 90);
+    for (std::uint32_t p = 0; p < 90; ++p)
+        kernel->userStore(t, hog.plus(std::uint64_t(p) * 4096), p);
+
+    const auto drops = stat("os.text_drops");
+    // Execute again: dropped pages are re-copied from the buffer
+    // cache (more data-to-instruction copies), and the instructions
+    // must still be the file's bytes (checked by the oracle).
+    kernel->execText(t, 0, 8);
+    if (drops > 0) {
+        EXPECT_GT(stat("os.d_to_i_copies"), 8u);
+    }
+    EXPECT_TRUE(oracle.clean())
+        << oracle.violationCount() << " violations";
+}
+
+TEST_F(PageoutTest, SharedPageSwapsWithAllMappingsRemoved)
+{
+    TaskId a = kernel->createTask();
+    TaskId b = kernel->createTask();
+    auto obj = std::make_shared<VmObject>(VmObject::anonymous(1));
+    VirtAddr va_a = kernel->vmMapShared(a, obj, Protection::readWrite());
+    VirtAddr va_b = kernel->vmMapShared(b, obj, Protection::readWrite());
+    kernel->userStore(a, va_a, 4242);
+    EXPECT_EQ(kernel->userLoad(b, va_b), 4242u);
+
+    // Pressure until the shared page is likely evicted.
+    VirtAddr hog = kernel->vmAllocate(a, 100);
+    for (std::uint32_t p = 0; p < 100; ++p)
+        kernel->userStore(a, hog.plus(std::uint64_t(p) * 4096), p);
+
+    // Both tasks still see the value (page-in on demand).
+    EXPECT_EQ(kernel->userLoad(b, va_b), 4242u);
+    EXPECT_EQ(kernel->userLoad(a, va_a), 4242u);
+    EXPECT_TRUE(oracle.clean());
+}
+
+TEST_F(PageoutTest, SwapBlocksRecycledOnTeardown)
+{
+    TaskId t = kernel->createTask();
+    VirtAddr base = kernel->vmAllocate(t, 110);
+    for (std::uint32_t p = 0; p < 110; ++p)
+        kernel->userStore(t, base.plus(std::uint64_t(p) * 4096), p);
+    ASSERT_GT(stat("os.swap_writes"), 0u);
+
+    const auto free_before = kernel->freeFrames();
+    kernel->destroyTask(t);
+    EXPECT_GT(kernel->freeFrames(), free_before);
+    EXPECT_TRUE(oracle.clean());
+}
+
+TEST_F(PageoutTest, CowSourceSurvivesPressureDuringCopy)
+{
+    TaskId a = kernel->createTask();
+    VirtAddr src = kernel->vmAllocate(a, 1);
+    kernel->userStore(a, src, 777);
+    auto obj = kernel->regionObject(a, src);
+
+    TaskId b = kernel->createTask();
+    VirtAddr cow = kernel->vmMapCow(b, obj);
+    // Drain the free pool so the COW copy allocation triggers
+    // reclamation while the source is wired.
+    VirtAddr hog = kernel->vmAllocate(a, 80);
+    for (std::uint32_t p = 0; p < 80; ++p)
+        kernel->userStore(a, hog.plus(std::uint64_t(p) * 4096), p);
+
+    kernel->userStore(b, cow, 778);
+    EXPECT_EQ(kernel->userLoad(b, cow), 778u);
+    EXPECT_EQ(kernel->userLoad(a, src), 777u);
+    EXPECT_TRUE(oracle.clean());
+}
+
+TEST_F(PageoutTest, CowOfSwappedSourcePagesItBackIn)
+{
+    TaskId a = kernel->createTask();
+    VirtAddr src = kernel->vmAllocate(a, 1);
+    kernel->userStore(a, src, 31337);
+    auto obj = kernel->regionObject(a, src);
+    TaskId b = kernel->createTask();
+    VirtAddr cow = kernel->vmMapCow(b, obj);
+
+    // Force the source out to swap before b ever touches it.
+    VirtAddr hog = kernel->vmAllocate(a, 100);
+    for (std::uint32_t p = 0; p < 100; ++p)
+        kernel->userStore(a, hog.plus(std::uint64_t(p) * 4096), p);
+
+    kernel->userStore(b, cow.plus(4), 1);
+    EXPECT_EQ(kernel->userLoad(b, cow), 31337u);  // copied content
+    EXPECT_EQ(kernel->userLoad(a, src), 31337u);
+    EXPECT_TRUE(oracle.clean());
+}
+
+class PageoutPolicyTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PageoutPolicyTest, PressureIsConsistentUnderEveryPolicy)
+{
+    std::vector<PolicyConfig> policies = PolicyConfig::table4Sweep();
+    for (auto &sys : PolicyConfig::table5Systems())
+        policies.push_back(sys);
+    const PolicyConfig cfg = policies[std::size_t(GetParam())];
+
+    MachineParams mp = MachineParams::hp720();
+    mp.numFrames = 96;
+    Machine machine(mp);
+    ConsistencyOracle oracle(machine.memory().sizeBytes());
+    machine.setObserver(&oracle);
+    OsParams op;
+    op.bufferCacheSlots = 16;
+    op.pageoutLowWater = 8;
+    op.pageoutHighWater = 20;
+    Kernel kernel(machine, cfg, op);
+
+    TaskId t = kernel.createTask();
+    const std::uint32_t pages = 100;
+    VirtAddr base = kernel.vmAllocate(t, pages);
+    for (std::uint32_t round = 0; round < 3; ++round) {
+        for (std::uint32_t p = 0; p < pages; ++p) {
+            kernel.userStore(t, base.plus(std::uint64_t(p) * 4096),
+                             round * 1000 + p);
+        }
+        for (std::uint32_t p = 0; p < pages; ++p) {
+            ASSERT_EQ(kernel.userLoad(t,
+                                      base.plus(std::uint64_t(p) *
+                                                4096)),
+                      round * 1000 + p)
+                << cfg.name;
+        }
+    }
+    EXPECT_EQ(oracle.violationCount(), 0u) << cfg.name;
+    EXPECT_GT(machine.stats().value("os.pageouts"), 0u) << cfg.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, PageoutPolicyTest,
+                         ::testing::Range(0, 11));
+
+} // anonymous namespace
+} // namespace vic

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Integration tests: every workload under every policy configuration
+ * (A–F and the Table 5 systems) must run with zero oracle violations,
+ * and the paper's qualitative relationships between configurations
+ * must hold.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "workload/afs_bench.hh"
+#include "workload/contrived_alias.hh"
+#include "workload/db_server.hh"
+#include "workload/kernel_build.hh"
+#include "workload/latex_bench.hh"
+#include "workload/multiprog.hh"
+#include "workload/runner.hh"
+
+namespace vic
+{
+namespace
+{
+
+// Scaled-down workload parameters so the full matrix stays fast.
+AfsBench::Params
+smallAfs()
+{
+    AfsBench::Params p;
+    p.numFiles = 8;
+    p.computePerFile = 1000;
+    return p;
+}
+
+LatexBench::Params
+smallLatex()
+{
+    LatexBench::Params p;
+    p.inputPages = 3;
+    p.passes = 2;
+    p.computePerPage = 1000;
+    return p;
+}
+
+KernelBuild::Params
+smallBuild()
+{
+    KernelBuild::Params p;
+    p.numSourceFiles = 6;
+    p.compilerTextPages = 3;
+    p.computePerFile = 1000;
+    return p;
+}
+
+// ---------------------------------------------------------------------
+// Correctness matrix: workload x policy, parameterised.
+// ---------------------------------------------------------------------
+
+class WorkloadPolicyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+  protected:
+    static std::unique_ptr<Workload>
+    makeWorkload(int idx)
+    {
+        switch (idx) {
+          case 0: return std::make_unique<AfsBench>(smallAfs());
+          case 1: return std::make_unique<LatexBench>(smallLatex());
+          case 2: return std::make_unique<KernelBuild>(smallBuild());
+          case 3:
+            return std::make_unique<ContrivedAlias>(
+                ContrivedAlias::Params{false, 400, true});
+          case 4:
+            return std::make_unique<ContrivedAlias>(
+                ContrivedAlias::Params{true, 400, true});
+          case 5: {
+              DbServer::Params p;
+              p.transactions = 24;
+              p.computePerTxn = 1000;
+              return std::make_unique<DbServer>(p);
+          }
+          case 6: {
+              DbServer::Params p;
+              p.transactions = 24;
+              p.computePerTxn = 1000;
+              p.fixedAddresses = false;
+              return std::make_unique<DbServer>(p);
+          }
+          case 7: {
+              MultiProg::Params p;
+              p.numJobs = 3;
+              p.quantaPerJob = 4;
+              p.computePerQuantum = 1000;
+              return std::make_unique<MultiProg>(p);
+          }
+        }
+        return nullptr;
+    }
+
+    static PolicyConfig
+    makePolicy(int idx)
+    {
+        // A..F, then the Table 5 systems.
+        if (idx < 6)
+            return PolicyConfig::table4Sweep()[std::size_t(idx)];
+        return PolicyConfig::table5Systems()[std::size_t(idx - 6)];
+    }
+};
+
+TEST_P(WorkloadPolicyTest, OracleCleanAndFaultsResolved)
+{
+    auto [w, p] = GetParam();
+    auto workload = makeWorkload(w);
+    PolicyConfig policy = makePolicy(p);
+
+    RunResult r = runWorkload(*workload, policy);
+    EXPECT_EQ(r.oracleViolations, 0u)
+        << r.workload << " under " << r.policy;
+    EXPECT_GT(r.oracleChecked, 0u);
+    EXPECT_GT(r.cycles, 0u);
+}
+
+std::string
+matrixCaseName(const ::testing::TestParamInfo<std::tuple<int, int>> &info)
+{
+    static const char *workloads[] = {"afs", "latex", "build",
+                                      "aliasUnaligned", "aliasAligned",
+                                      "dbFixed", "dbAligned", "multiprog"};
+    static const char *policies[] = {"A", "B", "C", "D", "E", "F",
+                                     "CMU", "Utah", "Tut", "Apollo",
+                                     "Sun"};
+    return std::string(workloads[std::get<0>(info.param)]) + "_" +
+           policies[std::get<1>(info.param)];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, WorkloadPolicyTest,
+    ::testing::Combine(::testing::Range(0, 8), ::testing::Range(0, 11)),
+    matrixCaseName);
+
+// ---------------------------------------------------------------------
+// Qualitative relationships from the paper's evaluation.
+// ---------------------------------------------------------------------
+
+class EvaluationShapeTest : public ::testing::Test
+{
+  protected:
+    static const std::vector<RunResult> &
+    sweep()
+    {
+        static std::vector<RunResult> results = [] {
+            std::vector<RunResult> out;
+            for (const auto &cfg : PolicyConfig::table4Sweep()) {
+                AfsBench wl(smallAfs());
+                out.push_back(runWorkload(wl, cfg));
+            }
+            return out;
+        }();
+        return results;
+    }
+};
+
+TEST_F(EvaluationShapeTest, NewSystemIsFasterThanOld)
+{
+    EXPECT_LT(sweep().back().cycles, sweep().front().cycles);
+}
+
+TEST_F(EvaluationShapeTest, MappingFaultsConstantAcrossConfigs)
+{
+    // "mapping faults remain almost constant across configurations"
+    const auto base = sweep().front().mappingFaults();
+    for (const auto &r : sweep()) {
+        EXPECT_NEAR(double(r.mappingFaults()), double(base),
+                    0.05 * double(base))
+            << r.policy;
+    }
+}
+
+TEST_F(EvaluationShapeTest, ConsistencyFaultsDropSubstantially)
+{
+    // "...but consistency faults drop substantially"
+    EXPECT_LT(sweep().back().consistencyFaults(),
+              sweep().front().consistencyFaults() / 4);
+}
+
+TEST_F(EvaluationShapeTest, FlushesAndPurgesShrinkFromAToF)
+{
+    const auto &a = sweep().front();
+    const auto &f = sweep().back();
+    EXPECT_LT(f.dPageFlushes(), a.dPageFlushes());
+    EXPECT_LE(f.dPagePurges(), a.dPagePurges());
+}
+
+TEST_F(EvaluationShapeTest, ConfigFFlushesOnlyForDmaAndIfetch)
+{
+    // "For configuration F, the number of page flushes is equal to
+    // the number of DMA-read flushes plus the number of pages copied
+    // from data space into instruction space."
+    const auto &f = sweep().back();
+    EXPECT_EQ(f.dPageFlushes(),
+              f.dmaReadFlushes() + f.stat("pmap.d_flush.ifetch"));
+}
+
+TEST(EvaluationGainTest, FullWorkloadsGainAFewPercent)
+{
+    // Table 1's headline: 5-10% elapsed-time improvement (we accept a
+    // slightly wider band to keep the test robust).
+    {
+        AfsBench a, f;
+        double gain =
+            1.0 - double(runWorkload(f, PolicyConfig::configF()).cycles) /
+                      double(runWorkload(a, PolicyConfig::configA()).cycles);
+        EXPECT_GT(gain, 0.02) << "afs";
+        EXPECT_LT(gain, 0.20) << "afs";
+    }
+    {
+        LatexBench a, f;
+        double gain =
+            1.0 - double(runWorkload(f, PolicyConfig::configF()).cycles) /
+                      double(runWorkload(a, PolicyConfig::configA()).cycles);
+        EXPECT_GT(gain, 0.02) << "latex";
+        EXPECT_LT(gain, 0.20) << "latex";
+    }
+}
+
+TEST(ContrivedShapeTest, AlignedVsUnalignedIsOrdersOfMagnitude)
+{
+    // Section 2.5: aligned = fraction of a second, unaligned = over
+    // two minutes (several hundred times slower).
+    ContrivedAlias aligned({true, 8000, false});
+    ContrivedAlias unaligned({false, 8000, false});
+    RunResult ra = runWorkload(aligned, PolicyConfig::configF());
+    RunResult ru = runWorkload(unaligned, PolicyConfig::configF());
+    EXPECT_EQ(ra.oracleViolations, 0u);
+    EXPECT_EQ(ru.oracleViolations, 0u);
+    EXPECT_GT(ru.cycles, 50 * ra.cycles);
+}
+
+TEST(Table5ShapeTest, CmuDoesLeastCacheManagement)
+{
+    // The CMU system performs no more flushes+purges than any of the
+    // related-work systems on the same operation stream.
+    std::vector<RunResult> rs;
+    for (const auto &cfg : PolicyConfig::table5Systems()) {
+        AfsBench w(smallAfs());
+        rs.push_back(runWorkload(w, cfg));
+    }
+    const auto ops = [](const RunResult &r) {
+        return r.dPageFlushes() + r.dPagePurges() + r.iPagePurges();
+    };
+    for (std::size_t i = 1; i < rs.size(); ++i)
+        EXPECT_LE(ops(rs[0]), ops(rs[i])) << rs[i].policy;
+}
+
+TEST(PageColouringTest, PerColourFreeListReducesPurges)
+{
+    // Ablation A2 (Section 5.1's suggestion): multiple free page
+    // lists cut new-mapping purges.
+    KernelBuild::Params p = smallBuild();
+    p.numSourceFiles = 12;
+
+    PolicyConfig single = PolicyConfig::configF();
+    PolicyConfig coloured = PolicyConfig::configF();
+    coloured.freeListOrg = FreePageList::Organisation::PerColour;
+    coloured.name = "F + page colouring";
+
+    KernelBuild w1(p), w2(p);
+    RunResult rs = runWorkload(w1, single);
+    RunResult rc = runWorkload(w2, coloured);
+    EXPECT_EQ(rc.oracleViolations, 0u);
+    EXPECT_LE(rc.dPagePurges(), rs.dPagePurges());
+    EXPECT_LE(rc.cycles, rs.cycles);
+}
+
+TEST(DbServerShapeTest, AlignedAttachEliminatesConsistencyWork)
+{
+    DbServer::Params p;
+    p.fixedAddresses = false;
+    DbServer wl(p);
+    RunResult r = runWorkload(wl, PolicyConfig::configF());
+    EXPECT_EQ(r.oracleViolations, 0u);
+    EXPECT_EQ(r.consistencyFaults(), 0u);
+    EXPECT_EQ(r.dPagePurges(), 0u);
+}
+
+TEST(DbServerShapeTest, FixedAddressesCostButLazyCostsLeast)
+{
+    DbServer::Params p;  // fixed addresses
+    DbServer wa(p), wf(p);
+    RunResult ra = runWorkload(wa, PolicyConfig::configA());
+    RunResult rf = runWorkload(wf, PolicyConfig::configF());
+    EXPECT_EQ(ra.oracleViolations, 0u);
+    EXPECT_EQ(rf.oracleViolations, 0u);
+    EXPECT_GT(rf.consistencyFaults(), 0u);  // the residual price
+    EXPECT_LE(rf.dPageFlushes() + rf.dPagePurges(),
+              ra.dPageFlushes() + ra.dPagePurges());
+    EXPECT_LT(rf.cycles, ra.cycles);
+}
+
+TEST(MultiProgTest, TimesharingMixOnTwoCpus)
+{
+    MultiProg::Params p;
+    p.numJobs = 4;
+    p.quantaPerJob = 6;
+    p.computePerQuantum = 1000;
+    MachineParams mp = MachineParams::hp720();
+    mp.numCpus = 2;
+    MultiProg wl(p);
+    RunResult r = runWorkload(wl, PolicyConfig::configF(), mp);
+    EXPECT_EQ(r.oracleViolations, 0u);
+}
+
+TEST(RunnerTest, TraceTailCapturesEvents)
+{
+    MultiProg::Params p;
+    p.numJobs = 2;
+    p.quantaPerJob = 2;
+    p.computePerQuantum = 100;
+    MultiProg wl(p);
+    RunResult r = runWorkload(wl, PolicyConfig::configA(),
+                              MachineParams::hp720(), OsParams{},
+                              /*trace_events=*/16);
+    EXPECT_FALSE(r.traceTail.empty());
+    EXPECT_LE(r.traceTail.size(), 16u);
+}
+
+TEST(RunnerTest, SumMatchingAggregatesPerCpuCounters)
+{
+    MachineParams mp = MachineParams::hp720();
+    mp.numCpus = 2;
+    MultiProg::Params p;
+    p.numJobs = 2;
+    p.quantaPerJob = 2;
+    p.computePerQuantum = 100;
+    MultiProg wl(p);
+    RunResult r = runWorkload(wl, PolicyConfig::configF(), mp);
+    EXPECT_EQ(r.sumMatching("dcache", ".reads"),
+              r.stat("dcache0.reads") + r.stat("dcache1.reads"));
+    EXPECT_GT(r.sumMatching("dcache", ".reads"), 0u);
+}
+
+TEST(DeterminismTest, IdenticalRunsProduceIdenticalResults)
+{
+    AfsBench w1(smallAfs()), w2(smallAfs());
+    RunResult a = runWorkload(w1, PolicyConfig::configF());
+    RunResult b = runWorkload(w2, PolicyConfig::configF());
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.stats, b.stats);
+}
+
+} // anonymous namespace
+} // namespace vic
