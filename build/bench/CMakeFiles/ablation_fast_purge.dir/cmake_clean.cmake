@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fast_purge.dir/ablation_fast_purge.cc.o"
+  "CMakeFiles/ablation_fast_purge.dir/ablation_fast_purge.cc.o.d"
+  "ablation_fast_purge"
+  "ablation_fast_purge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fast_purge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

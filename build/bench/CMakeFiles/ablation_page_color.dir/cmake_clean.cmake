@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_page_color.dir/ablation_page_color.cc.o"
+  "CMakeFiles/ablation_page_color.dir/ablation_page_color.cc.o.d"
+  "ablation_page_color"
+  "ablation_page_color.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_page_color.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

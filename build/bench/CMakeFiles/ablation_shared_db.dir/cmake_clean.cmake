@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_shared_db.dir/ablation_shared_db.cc.o"
+  "CMakeFiles/ablation_shared_db.dir/ablation_shared_db.cc.o.d"
+  "ablation_shared_db"
+  "ablation_shared_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shared_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

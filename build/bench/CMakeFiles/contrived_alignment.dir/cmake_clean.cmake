@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contrived_alignment.dir/contrived_alignment.cc.o"
+  "CMakeFiles/contrived_alignment.dir/contrived_alignment.cc.o.d"
+  "contrived_alignment"
+  "contrived_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contrived_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

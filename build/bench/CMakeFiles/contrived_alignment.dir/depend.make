@@ -1,0 +1,2 @@
+# Empty dependencies file for contrived_alignment.
+# This may be replaced when dependencies are built.

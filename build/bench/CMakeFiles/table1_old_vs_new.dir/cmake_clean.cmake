@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_old_vs_new.dir/table1_old_vs_new.cc.o"
+  "CMakeFiles/table1_old_vs_new.dir/table1_old_vs_new.cc.o.d"
+  "table1_old_vs_new"
+  "table1_old_vs_new.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_old_vs_new.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

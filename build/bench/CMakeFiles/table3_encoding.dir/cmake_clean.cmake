@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_encoding.dir/table3_encoding.cc.o"
+  "CMakeFiles/table3_encoding.dir/table3_encoding.cc.o.d"
+  "table3_encoding"
+  "table3_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_configurations.dir/table4_configurations.cc.o"
+  "CMakeFiles/table4_configurations.dir/table4_configurations.cc.o.d"
+  "table4_configurations"
+  "table4_configurations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_configurations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dma_file_io.dir/dma_file_io.cc.o"
+  "CMakeFiles/dma_file_io.dir/dma_file_io.cc.o.d"
+  "dma_file_io"
+  "dma_file_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dma_file_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/self_modifying_jit.dir/self_modifying_jit.cc.o"
+  "CMakeFiles/self_modifying_jit.dir/self_modifying_jit.cc.o.d"
+  "self_modifying_jit"
+  "self_modifying_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/self_modifying_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for self_modifying_jit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_memory_ipc.dir/shared_memory_ipc.cc.o"
+  "CMakeFiles/shared_memory_ipc.dir/shared_memory_ipc.cc.o.d"
+  "shared_memory_ipc"
+  "shared_memory_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_memory_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vic_cache.dir/cache.cc.o"
+  "CMakeFiles/vic_cache.dir/cache.cc.o.d"
+  "CMakeFiles/vic_cache.dir/cache_geometry.cc.o"
+  "CMakeFiles/vic_cache.dir/cache_geometry.cc.o.d"
+  "libvic_cache.a"
+  "libvic_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vic_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vic_common.dir/bitvector.cc.o"
+  "CMakeFiles/vic_common.dir/bitvector.cc.o.d"
+  "CMakeFiles/vic_common.dir/logging.cc.o"
+  "CMakeFiles/vic_common.dir/logging.cc.o.d"
+  "CMakeFiles/vic_common.dir/random.cc.o"
+  "CMakeFiles/vic_common.dir/random.cc.o.d"
+  "CMakeFiles/vic_common.dir/stats.cc.o"
+  "CMakeFiles/vic_common.dir/stats.cc.o.d"
+  "CMakeFiles/vic_common.dir/table.cc.o"
+  "CMakeFiles/vic_common.dir/table.cc.o.d"
+  "CMakeFiles/vic_common.dir/types.cc.o"
+  "CMakeFiles/vic_common.dir/types.cc.o.d"
+  "libvic_common.a"
+  "libvic_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vic_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cache_page_state.cc" "src/core/CMakeFiles/vic_core.dir/cache_page_state.cc.o" "gcc" "src/core/CMakeFiles/vic_core.dir/cache_page_state.cc.o.d"
+  "/root/repo/src/core/classic_pmap.cc" "src/core/CMakeFiles/vic_core.dir/classic_pmap.cc.o" "gcc" "src/core/CMakeFiles/vic_core.dir/classic_pmap.cc.o.d"
+  "/root/repo/src/core/lazy_pmap.cc" "src/core/CMakeFiles/vic_core.dir/lazy_pmap.cc.o" "gcc" "src/core/CMakeFiles/vic_core.dir/lazy_pmap.cc.o.d"
+  "/root/repo/src/core/phys_page_info.cc" "src/core/CMakeFiles/vic_core.dir/phys_page_info.cc.o" "gcc" "src/core/CMakeFiles/vic_core.dir/phys_page_info.cc.o.d"
+  "/root/repo/src/core/pmap.cc" "src/core/CMakeFiles/vic_core.dir/pmap.cc.o" "gcc" "src/core/CMakeFiles/vic_core.dir/pmap.cc.o.d"
+  "/root/repo/src/core/policy_config.cc" "src/core/CMakeFiles/vic_core.dir/policy_config.cc.o" "gcc" "src/core/CMakeFiles/vic_core.dir/policy_config.cc.o.d"
+  "/root/repo/src/core/spec_executor.cc" "src/core/CMakeFiles/vic_core.dir/spec_executor.cc.o" "gcc" "src/core/CMakeFiles/vic_core.dir/spec_executor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/vic_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vic_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dma/CMakeFiles/vic_dma.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/vic_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/vic_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/vic_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vic_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vic_core.dir/cache_page_state.cc.o"
+  "CMakeFiles/vic_core.dir/cache_page_state.cc.o.d"
+  "CMakeFiles/vic_core.dir/classic_pmap.cc.o"
+  "CMakeFiles/vic_core.dir/classic_pmap.cc.o.d"
+  "CMakeFiles/vic_core.dir/lazy_pmap.cc.o"
+  "CMakeFiles/vic_core.dir/lazy_pmap.cc.o.d"
+  "CMakeFiles/vic_core.dir/phys_page_info.cc.o"
+  "CMakeFiles/vic_core.dir/phys_page_info.cc.o.d"
+  "CMakeFiles/vic_core.dir/pmap.cc.o"
+  "CMakeFiles/vic_core.dir/pmap.cc.o.d"
+  "CMakeFiles/vic_core.dir/policy_config.cc.o"
+  "CMakeFiles/vic_core.dir/policy_config.cc.o.d"
+  "CMakeFiles/vic_core.dir/spec_executor.cc.o"
+  "CMakeFiles/vic_core.dir/spec_executor.cc.o.d"
+  "libvic_core.a"
+  "libvic_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vic_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dma/disk.cc" "src/dma/CMakeFiles/vic_dma.dir/disk.cc.o" "gcc" "src/dma/CMakeFiles/vic_dma.dir/disk.cc.o.d"
+  "/root/repo/src/dma/dma_engine.cc" "src/dma/CMakeFiles/vic_dma.dir/dma_engine.cc.o" "gcc" "src/dma/CMakeFiles/vic_dma.dir/dma_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/vic_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vic_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vic_dma.dir/disk.cc.o"
+  "CMakeFiles/vic_dma.dir/disk.cc.o.d"
+  "CMakeFiles/vic_dma.dir/dma_engine.cc.o"
+  "CMakeFiles/vic_dma.dir/dma_engine.cc.o.d"
+  "libvic_dma.a"
+  "libvic_dma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vic_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/cpu.cc" "src/machine/CMakeFiles/vic_machine.dir/cpu.cc.o" "gcc" "src/machine/CMakeFiles/vic_machine.dir/cpu.cc.o.d"
+  "/root/repo/src/machine/machine.cc" "src/machine/CMakeFiles/vic_machine.dir/machine.cc.o" "gcc" "src/machine/CMakeFiles/vic_machine.dir/machine.cc.o.d"
+  "/root/repo/src/machine/machine_params.cc" "src/machine/CMakeFiles/vic_machine.dir/machine_params.cc.o" "gcc" "src/machine/CMakeFiles/vic_machine.dir/machine_params.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dma/CMakeFiles/vic_dma.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/vic_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/vic_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/vic_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vic_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

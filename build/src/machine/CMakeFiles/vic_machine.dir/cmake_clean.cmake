@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vic_machine.dir/cpu.cc.o"
+  "CMakeFiles/vic_machine.dir/cpu.cc.o.d"
+  "CMakeFiles/vic_machine.dir/machine.cc.o"
+  "CMakeFiles/vic_machine.dir/machine.cc.o.d"
+  "CMakeFiles/vic_machine.dir/machine_params.cc.o"
+  "CMakeFiles/vic_machine.dir/machine_params.cc.o.d"
+  "libvic_machine.a"
+  "libvic_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vic_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vic_mem.dir/free_page_list.cc.o"
+  "CMakeFiles/vic_mem.dir/free_page_list.cc.o.d"
+  "CMakeFiles/vic_mem.dir/physical_memory.cc.o"
+  "CMakeFiles/vic_mem.dir/physical_memory.cc.o.d"
+  "libvic_mem.a"
+  "libvic_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vic_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

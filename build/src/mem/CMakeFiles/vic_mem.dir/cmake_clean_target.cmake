@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvic_mem.a"
+)

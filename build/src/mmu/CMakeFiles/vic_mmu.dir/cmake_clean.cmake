@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vic_mmu.dir/page_table.cc.o"
+  "CMakeFiles/vic_mmu.dir/page_table.cc.o.d"
+  "libvic_mmu.a"
+  "libvic_mmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vic_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vic_oracle.dir/consistency_oracle.cc.o"
+  "CMakeFiles/vic_oracle.dir/consistency_oracle.cc.o.d"
+  "libvic_oracle.a"
+  "libvic_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vic_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

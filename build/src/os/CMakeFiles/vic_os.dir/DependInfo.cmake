@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/address_space.cc" "src/os/CMakeFiles/vic_os.dir/address_space.cc.o" "gcc" "src/os/CMakeFiles/vic_os.dir/address_space.cc.o.d"
+  "/root/repo/src/os/buffer_cache.cc" "src/os/CMakeFiles/vic_os.dir/buffer_cache.cc.o" "gcc" "src/os/CMakeFiles/vic_os.dir/buffer_cache.cc.o.d"
+  "/root/repo/src/os/file_system.cc" "src/os/CMakeFiles/vic_os.dir/file_system.cc.o" "gcc" "src/os/CMakeFiles/vic_os.dir/file_system.cc.o.d"
+  "/root/repo/src/os/kernel.cc" "src/os/CMakeFiles/vic_os.dir/kernel.cc.o" "gcc" "src/os/CMakeFiles/vic_os.dir/kernel.cc.o.d"
+  "/root/repo/src/os/page_preparer.cc" "src/os/CMakeFiles/vic_os.dir/page_preparer.cc.o" "gcc" "src/os/CMakeFiles/vic_os.dir/page_preparer.cc.o.d"
+  "/root/repo/src/os/pageout.cc" "src/os/CMakeFiles/vic_os.dir/pageout.cc.o" "gcc" "src/os/CMakeFiles/vic_os.dir/pageout.cc.o.d"
+  "/root/repo/src/os/vm_object.cc" "src/os/CMakeFiles/vic_os.dir/vm_object.cc.o" "gcc" "src/os/CMakeFiles/vic_os.dir/vm_object.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/vic_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vic_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dma/CMakeFiles/vic_dma.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/vic_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/vic_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/vic_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vic_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

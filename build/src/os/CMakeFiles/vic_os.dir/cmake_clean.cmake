@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vic_os.dir/address_space.cc.o"
+  "CMakeFiles/vic_os.dir/address_space.cc.o.d"
+  "CMakeFiles/vic_os.dir/buffer_cache.cc.o"
+  "CMakeFiles/vic_os.dir/buffer_cache.cc.o.d"
+  "CMakeFiles/vic_os.dir/file_system.cc.o"
+  "CMakeFiles/vic_os.dir/file_system.cc.o.d"
+  "CMakeFiles/vic_os.dir/kernel.cc.o"
+  "CMakeFiles/vic_os.dir/kernel.cc.o.d"
+  "CMakeFiles/vic_os.dir/page_preparer.cc.o"
+  "CMakeFiles/vic_os.dir/page_preparer.cc.o.d"
+  "CMakeFiles/vic_os.dir/pageout.cc.o"
+  "CMakeFiles/vic_os.dir/pageout.cc.o.d"
+  "CMakeFiles/vic_os.dir/vm_object.cc.o"
+  "CMakeFiles/vic_os.dir/vm_object.cc.o.d"
+  "libvic_os.a"
+  "libvic_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vic_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

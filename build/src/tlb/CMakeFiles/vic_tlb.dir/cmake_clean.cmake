@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vic_tlb.dir/tlb.cc.o"
+  "CMakeFiles/vic_tlb.dir/tlb.cc.o.d"
+  "libvic_tlb.a"
+  "libvic_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vic_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/afs_bench.cc" "src/workload/CMakeFiles/vic_workload.dir/afs_bench.cc.o" "gcc" "src/workload/CMakeFiles/vic_workload.dir/afs_bench.cc.o.d"
+  "/root/repo/src/workload/contrived_alias.cc" "src/workload/CMakeFiles/vic_workload.dir/contrived_alias.cc.o" "gcc" "src/workload/CMakeFiles/vic_workload.dir/contrived_alias.cc.o.d"
+  "/root/repo/src/workload/db_server.cc" "src/workload/CMakeFiles/vic_workload.dir/db_server.cc.o" "gcc" "src/workload/CMakeFiles/vic_workload.dir/db_server.cc.o.d"
+  "/root/repo/src/workload/kernel_build.cc" "src/workload/CMakeFiles/vic_workload.dir/kernel_build.cc.o" "gcc" "src/workload/CMakeFiles/vic_workload.dir/kernel_build.cc.o.d"
+  "/root/repo/src/workload/latex_bench.cc" "src/workload/CMakeFiles/vic_workload.dir/latex_bench.cc.o" "gcc" "src/workload/CMakeFiles/vic_workload.dir/latex_bench.cc.o.d"
+  "/root/repo/src/workload/multiprog.cc" "src/workload/CMakeFiles/vic_workload.dir/multiprog.cc.o" "gcc" "src/workload/CMakeFiles/vic_workload.dir/multiprog.cc.o.d"
+  "/root/repo/src/workload/runner.cc" "src/workload/CMakeFiles/vic_workload.dir/runner.cc.o" "gcc" "src/workload/CMakeFiles/vic_workload.dir/runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/vic_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/oracle/CMakeFiles/vic_oracle.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vic_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/vic_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/dma/CMakeFiles/vic_dma.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/vic_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/vic_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/vic_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vic_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

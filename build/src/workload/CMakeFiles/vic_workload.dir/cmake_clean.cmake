@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vic_workload.dir/afs_bench.cc.o"
+  "CMakeFiles/vic_workload.dir/afs_bench.cc.o.d"
+  "CMakeFiles/vic_workload.dir/contrived_alias.cc.o"
+  "CMakeFiles/vic_workload.dir/contrived_alias.cc.o.d"
+  "CMakeFiles/vic_workload.dir/db_server.cc.o"
+  "CMakeFiles/vic_workload.dir/db_server.cc.o.d"
+  "CMakeFiles/vic_workload.dir/kernel_build.cc.o"
+  "CMakeFiles/vic_workload.dir/kernel_build.cc.o.d"
+  "CMakeFiles/vic_workload.dir/latex_bench.cc.o"
+  "CMakeFiles/vic_workload.dir/latex_bench.cc.o.d"
+  "CMakeFiles/vic_workload.dir/multiprog.cc.o"
+  "CMakeFiles/vic_workload.dir/multiprog.cc.o.d"
+  "CMakeFiles/vic_workload.dir/runner.cc.o"
+  "CMakeFiles/vic_workload.dir/runner.cc.o.d"
+  "libvic_workload.a"
+  "libvic_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vic_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/architecture_test.dir/architecture_test.cc.o"
+  "CMakeFiles/architecture_test.dir/architecture_test.cc.o.d"
+  "architecture_test"
+  "architecture_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/architecture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

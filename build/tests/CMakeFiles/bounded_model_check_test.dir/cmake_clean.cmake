@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounded_model_check_test.dir/bounded_model_check_test.cc.o"
+  "CMakeFiles/bounded_model_check_test.dir/bounded_model_check_test.cc.o.d"
+  "bounded_model_check_test"
+  "bounded_model_check_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounded_model_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classic_pmap_test.dir/classic_pmap_test.cc.o"
+  "CMakeFiles/classic_pmap_test.dir/classic_pmap_test.cc.o.d"
+  "classic_pmap_test"
+  "classic_pmap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classic_pmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/free_page_list_test.dir/free_page_list_test.cc.o"
+  "CMakeFiles/free_page_list_test.dir/free_page_list_test.cc.o.d"
+  "free_page_list_test"
+  "free_page_list_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/free_page_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazy_pmap_test.dir/lazy_pmap_test.cc.o"
+  "CMakeFiles/lazy_pmap_test.dir/lazy_pmap_test.cc.o.d"
+  "lazy_pmap_test"
+  "lazy_pmap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazy_pmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

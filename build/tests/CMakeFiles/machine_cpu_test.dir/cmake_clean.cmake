@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_cpu_test.dir/machine_cpu_test.cc.o"
+  "CMakeFiles/machine_cpu_test.dir/machine_cpu_test.cc.o.d"
+  "machine_cpu_test"
+  "machine_cpu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_cpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

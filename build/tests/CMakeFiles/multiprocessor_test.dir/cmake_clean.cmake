@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprocessor_test.dir/multiprocessor_test.cc.o"
+  "CMakeFiles/multiprocessor_test.dir/multiprocessor_test.cc.o.d"
+  "multiprocessor_test"
+  "multiprocessor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprocessor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

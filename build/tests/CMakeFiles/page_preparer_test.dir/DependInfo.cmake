@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/page_preparer_test.cc" "tests/CMakeFiles/page_preparer_test.dir/page_preparer_test.cc.o" "gcc" "tests/CMakeFiles/page_preparer_test.dir/page_preparer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/vic_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/vic_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/oracle/CMakeFiles/vic_oracle.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/vic_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/dma/CMakeFiles/vic_dma.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/vic_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/vic_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/vic_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vic_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_preparer_test.dir/page_preparer_test.cc.o"
+  "CMakeFiles/page_preparer_test.dir/page_preparer_test.cc.o.d"
+  "page_preparer_test"
+  "page_preparer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_preparer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

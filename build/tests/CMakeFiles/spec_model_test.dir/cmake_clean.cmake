@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_model_test.dir/spec_model_test.cc.o"
+  "CMakeFiles/spec_model_test.dir/spec_model_test.cc.o.d"
+  "spec_model_test"
+  "spec_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
