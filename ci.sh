@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Continuous-integration driver. Three gating steps plus best-effort
+# lint:
+#
+#   1. tier-1: plain build + full ctest suite (the seed contract);
+#   2. sanitizer: rebuild and rerun the suite under
+#      AddressSanitizer + UndefinedBehaviorSanitizer;
+#   3. protocol lint: verify_policy must prove every shipping policy
+#      sound and the broken one unsound with a replaying
+#      counterexample;
+#   4. style lint: clang-format / clang-tidy, skipped with a notice
+#      when the tools are not installed (they are configs-first: the
+#      repo must stay clean under gcc -Werror regardless).
+#
+# Usage: ./ci.sh [jobs]
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${1:-$(nproc)}"
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "tier-1: build"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+
+step "tier-1: ctest"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+step "sanitizer build (address;undefined)"
+cmake -B build-asan -S . \
+    -DVIC_SANITIZE="address;undefined" -DVIC_WERROR=ON >/dev/null
+cmake --build build-asan -j "$JOBS"
+
+step "sanitizer ctest"
+(cd build-asan && ctest --output-on-failure -j "$JOBS")
+
+step "protocol lint (verify_policy)"
+./build/tools/verify_policy
+
+step "style lint"
+if command -v clang-format >/dev/null 2>&1; then
+    mapfile -t sources < <(git ls-files '*.cc' '*.hh')
+    clang-format --dry-run --Werror "${sources[@]}"
+    echo "clang-format: clean"
+else
+    echo "clang-format not installed — skipping (config: .clang-format)"
+fi
+if command -v clang-tidy >/dev/null 2>&1 && \
+   command -v run-clang-tidy >/dev/null 2>&1; then
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    run-clang-tidy -p build -quiet "src/.*" "tools/.*"
+else
+    echo "clang-tidy not installed — skipping (config: .clang-tidy)"
+fi
+
+step "OK"

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Example: statically verify a consistency policy and replay a
+ * counterexample.
+ *
+ * Shows the three-step workflow of the vic::verify API:
+ *
+ *   1. PolicyVerifier::verify() — exhaustively explore the abstract
+ *      protocol state machine for a PolicyConfig and check the paper's
+ *      invariants (no stale read, no lost dirty write-back, no
+ *      shadowed DMA);
+ *   2. inspect the minimal counterexample trace if one exists;
+ *   3. TraceReplayer::replay() — run that trace on a fresh concrete
+ *      Machine under the ConsistencyOracle to prove the bug is real.
+ *
+ * The broken policy fails in two events; CMU's lazy policy verifies
+ * sound over its whole reachable state space.
+ */
+
+#include <cstdio>
+
+#include "core/policy_config.hh"
+#include "verify/policy_verifier.hh"
+#include "verify/trace_replay.hh"
+
+int
+main()
+{
+    using vic::PolicyConfig;
+    namespace verify = vic::verify;
+
+    const verify::PolicyVerifier verifier;
+
+    // A sound policy: the verifier proves every reachable state clean.
+    for (const PolicyConfig &p : PolicyConfig::table5Systems()) {
+        if (p.name != "CMU")
+            continue;
+        const verify::VerifyResult r = verifier.verify(p);
+        std::printf("%s: %s — %llu reachable states, %llu transitions, "
+                    "diameter %u\n",
+                    r.policyName.c_str(),
+                    r.sound ? "sound" : "unsound",
+                    static_cast<unsigned long long>(r.numStates),
+                    static_cast<unsigned long long>(r.numTransitions),
+                    r.diameter);
+    }
+
+    // The deliberately broken policy: get the shortest failing trace.
+    const verify::VerifyResult bad =
+        verifier.verify(PolicyConfig::broken());
+    if (bad.sound) {
+        std::printf("unexpected: broken policy verified sound\n");
+        return 1;
+    }
+    std::printf("\n%s: unsound\n  minimal counterexample: %s\n"
+                "  violation: %s (%s)\n",
+                bad.policyName.c_str(),
+                verify::traceName(bad.counterexample).c_str(),
+                verify::violationKindName(bad.violation->kind),
+                bad.violation->detail.c_str());
+
+    // Replay it on the concrete machine to confirm it is a real bug.
+    const verify::TraceReplayer replayer(PolicyConfig::broken());
+    const verify::ReplayResult rr = replayer.replay(bad.counterexample);
+    std::printf("  concrete replay: %s (first oracle violation at "
+                "event %d, %s)\n",
+                rr.violated ? "reproduced" : "did NOT reproduce",
+                rr.firstViolationEvent, rr.kind.c_str());
+    return rr.violated ? 0 : 1;
+}

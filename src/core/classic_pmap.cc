@@ -26,12 +26,18 @@ ClassicPmap::conflicts(VirtAddr a, VirtAddr b) const
 
 void
 ClassicPmap::cleanResidue(FrameId frame, FrameMeta &meta,
-                          const char *reason)
+                          const char *reason, bool base_modified)
 {
     if (!meta.residue)
         return;
     const Residue &r = *meta.residue;
-    if (r.dirty)
+    // The residue's cache page may also carry dirt written through a
+    // live aligned sibling mapping (whose modified bit is still live),
+    // or through the mapping being removed right now (@p
+    // base_modified). Purging would destroy that data, so flush.
+    const bool dirty = r.dirty ||
+        colourPossiblyDirty(meta, dColourOf(r.va.va), base_modified);
+    if (dirty)
         flushDataPage(frame, dColourOf(r.va.va), reason);
     else
         purgeDataPage(frame, dColourOf(r.va.va), reason);
@@ -93,6 +99,12 @@ ClassicPmap::enterExecMode(FrameId frame, FrameMeta &meta,
             flushDataPage(frame, c, "ifetch");
             flushed.push_back(c);
         }
+    }
+    // A dirty residue (Tut) holds newest data in its cache page too,
+    // and no live mapping's modified bit covers it.
+    if (meta.residue && meta.residue->dirty) {
+        flushDataPage(frame, dColourOf(meta.residue->va.va), "ifetch");
+        meta.residue->dirty = false;
     }
     // Without stale state, assume the instruction cache copy is old.
     purgeInstPage(frame, icolour, "ifetch");
@@ -166,7 +178,12 @@ ClassicPmap::enter(SpaceVa va, FrameId frame, Protection vm_prot,
 
     // Tut-style residue: if the frame still has cache contents from a
     // previous mapping, they must be removed unless the new address
-    // matches (equal address for Tut; aligned otherwise).
+    // matches (equal address for Tut; aligned otherwise). A matching
+    // dirty residue is consumed without a flush — the dirty data stays
+    // valid through the new mapping — but the dirtiness itself must
+    // survive, or a later exec-mode switch or DMA would miss the
+    // flush. It is carried into the new mapping's modified bit below.
+    bool carry_dirty = false;
     if (meta.residue) {
         const Residue &r = *meta.residue;
         const bool matches = cfg.equalVaOnly
@@ -181,6 +198,7 @@ ClassicPmap::enter(SpaceVa va, FrameId frame, Protection vm_prot,
             if (access == AccessType::IFetch)
                 purgeInstPage(frame, iColourOf(va.va), "newmap");
         } else {
+            carry_dirty = r.dirty;
             meta.residue.reset();
         }
     }
@@ -216,8 +234,16 @@ ClassicPmap::enter(SpaceVa va, FrameId frame, Protection vm_prot,
     // mode-switch fault performs the D-cache flush / I-cache purge
     // that keep the split caches consistent.
     if (access == AccessType::IFetch && eff.execute) {
-        if (!meta.execMode)
+        if (!meta.execMode) {
+            // The consumed residue's dirty data is about to be
+            // executed; enterExecMode cannot see it (this mapping is
+            // not installed yet), so flush it to memory first.
+            if (carry_dirty) {
+                flushDataPage(frame, dColourOf(va.va), "ifetch");
+                carry_dirty = false;
+            }
             enterExecMode(frame, meta, iColourOf(va.va));
+        }
         eff.write = false;
     } else {
         if (isWrite(access) && meta.execMode)
@@ -229,6 +255,11 @@ ClassicPmap::enter(SpaceVa va, FrameId frame, Protection vm_prot,
     }
 
     setTranslation(va, frame, eff);
+    if (carry_dirty) {
+        PageTableEntry *pte = mach.pageTable().lookupMutable(va);
+        vic_assert(pte != nullptr, "translation just installed");
+        pte->modified = true;
+    }
     meta.mappings.push_back(VaMapping{va, vm_prot});
 }
 
@@ -274,7 +305,10 @@ ClassicPmap::remove(SpaceVa va)
         // residue at another address must be cleaned now — only one is
         // tracked per frame.
         if (meta.residue && meta.residue->va.va != va.va)
-            cleanResidue(frame, meta, "unmap");
+            cleanResidue(frame, meta, "unmap",
+                         modified &&
+                             mach.dcache().geometry().aligned(
+                                 va.va, meta.residue->va.va));
         meta.residue = Residue{va, modified,
                                removed_mapping.vmProt.execute};
     }
@@ -344,7 +378,13 @@ ClassicPmap::resolveConsistencyFault(SpaceVa va, AccessType access)
 
     // Write to an aliased page: break every conflicting mapping, then
     // grant this one its VM protection (minus execute, which the next
-    // ifetch re-earns through the mode switch).
+    // ifetch re-earns through the mode switch). A residue at a
+    // conflicting address is an alias too: its cache page is about to
+    // go stale (and any dirty data in it must reach memory first), so
+    // clean it now — otherwise a later matching re-enter would revive
+    // the stale copy.
+    if (meta.residue && conflicts(meta.residue->va.va, va.va))
+        cleanResidue(frame, meta, "alias");
     std::vector<VaMapping> to_break;
     for (const auto &other : meta.mappings) {
         if (other.va != va && conflicts(other.va.va, va.va))

@@ -79,7 +79,8 @@ class ClassicPmap : public Pmap
     FrameId frameOf(SpaceVa va) const;
 
     /** Remove @p frame's residue from the cache (flush if dirty). */
-    void cleanResidue(FrameId frame, FrameMeta &meta, const char *reason);
+    void cleanResidue(FrameId frame, FrameMeta &meta, const char *reason,
+                      bool base_modified = false);
 
     /** Break one existing mapping: clean its cache pages and drop the
      *  translation. */

@@ -64,13 +64,10 @@ LazyPmap::syncDirtyFromModifiedBits(PhysPageInfo &info)
 }
 
 Protection
-LazyPmap::cacheProtFor(const PhysPageInfo &info, const VaMapping &m) const
+LazyPmap::cacheStateProt(const CacheStateVector &d,
+                         const CacheStateVector &i, CachePageId cd,
+                         CachePageId ci, bool use_modified_bit)
 {
-    const CachePageId cd = dColourOf(m.va.va);
-    const CachePageId ci = iColourOf(m.va.va);
-    const CacheStateVector &d = info.dstate;
-    const CacheStateVector &i = info.istate;
-
     Protection p;
 
     // Reads are safe iff this mapping's data cache page is mapped and
@@ -88,7 +85,7 @@ LazyPmap::cacheProtFor(const PhysPageInfo &info, const VaMapping &m) const
     // this is the unique mapped data cache page and the page has no
     // live instruction-cache presence to invalidate.
     const bool dirty_here = d.cacheDirty && d.mapped.test(cd);
-    const bool modbit_ok = cfg.useModifiedBit && !d.cacheDirty &&
+    const bool modbit_ok = use_modified_bit && !d.cacheDirty &&
         d.mapped.test(cd) && !d.stale.test(cd) &&
         d.mapped.exactlyOne() && i.mapped.none();
     p.write = dirty_here || modbit_ok;
@@ -96,11 +93,104 @@ LazyPmap::cacheProtFor(const PhysPageInfo &info, const VaMapping &m) const
     return p;
 }
 
+Protection
+LazyPmap::cacheProtFor(const PhysPageInfo &info, const VaMapping &m) const
+{
+    return cacheStateProt(info.dstate, info.istate, dColourOf(m.va.va),
+                          iColourOf(m.va.va), cfg.useModifiedBit);
+}
+
 void
 LazyPmap::applyProtections(PhysPageInfo &info)
 {
     for (const auto &m : info.mappings)
         setHardwareProt(m.va, m.vmProt.intersect(cacheProtFor(info, m)));
+}
+
+std::vector<LazyPmap::PlannedOp>
+LazyPmap::planCacheControl(CacheStateVector &dstate,
+                           CacheStateVector &istate, MemOp op,
+                           std::optional<CachePageId> d_target,
+                           std::optional<CachePageId> i_target,
+                           AccessType access, bool will_overwrite,
+                           bool need_data, bool use_need_data,
+                           bool use_will_overwrite)
+{
+    std::vector<PlannedOp> planned;
+    const bool cpu_op = op == MemOp::CpuRead || op == MemOp::CpuWrite;
+
+    // --- Stanza 2: displace the dirty data cache page unless the
+    // operation is a data reference aligned with it. Instruction
+    // fetches never align with data, so they always force this.
+    if (dstate.cacheDirty) {
+        const CachePageId w = dstate.dirtyColour();
+        const bool aligned_data_ref =
+            cpu_op && access != AccessType::IFetch && *d_target == w;
+        if (!aligned_data_ref) {
+            // A DMA-write overwrites memory anyway, so the dirty data
+            // need only be purged; otherwise it is flushed unless the
+            // caller said the data is dead and config E permits the
+            // downgrade.
+            const bool flush =
+                op != MemOp::DmaWrite && (need_data || !use_need_data);
+            planned.push_back(
+                {CacheKind::Data,
+                 flush ? RequiredOp::Flush : RequiredOp::Purge, w});
+            dstate.cacheDirty = false;
+            // Table 2: a flushed (or purged) dirty line leaves the
+            // cache, so its state is Empty — except under DMA-read,
+            // where the line is written back but stays consistent
+            // (Present). Clearing the mapped bit here keeps the later
+            // stale-marking stanza from pessimistically tagging the
+            // already-clean cache page as stale, which would cost a
+            // redundant purge on its next use.
+            if (op != MemOp::DmaRead)
+                dstate.mapped.reset(w);
+        }
+    }
+
+    // --- Stanza 3: the target cache page must not be stale.
+    if (cpu_op) {
+        if (access == AccessType::IFetch) {
+            if (istate.stale.test(*i_target)) {
+                planned.push_back({CacheKind::Instruction,
+                                   RequiredOp::Purge, *i_target});
+                istate.stale.reset(*i_target);
+            }
+        } else if (dstate.stale.test(*d_target)) {
+            // Config F: a page about to be entirely overwritten leaves
+            // the stale state without the purge.
+            if (!(will_overwrite && use_will_overwrite))
+                planned.push_back(
+                    {CacheKind::Data, RequiredOp::Purge, *d_target});
+            dstate.stale.reset(*d_target);
+        }
+    }
+
+    // --- Stanza 4: writes into the memory system make every mapped
+    // cache page (in both caches) stale and unmapped; a CPU write then
+    // re-maps its own cache page as the unique dirty one.
+    if (op == MemOp::DmaWrite || op == MemOp::CpuWrite) {
+        dstate.stale.orWith(dstate.mapped);
+        dstate.mapped.clearAll();
+        istate.stale.orWith(istate.mapped);
+        istate.mapped.clearAll();
+        if (op == MemOp::CpuWrite) {
+            dstate.stale.reset(*d_target);
+            dstate.mapped.set(*d_target);
+            dstate.cacheDirty = true;
+        }
+    }
+
+    // --- Stanza 5: a read marks the target cache page mapped.
+    if (op == MemOp::CpuRead) {
+        if (access == AccessType::IFetch)
+            istate.mapped.set(*i_target);
+        else
+            dstate.mapped.set(*d_target);
+    }
+
+    return planned;
 }
 
 void
@@ -126,74 +216,22 @@ LazyPmap::cacheControl(FrameId frame, PhysPageInfo &info, MemOp op,
         ci = iColourOf(target->va);
     }
 
-    // --- Stanza 2: displace the dirty data cache page unless the
-    // operation is a data reference aligned with it. Instruction
-    // fetches never align with data, so they always force this.
-    if (info.dstate.cacheDirty) {
-        const CachePageId w = info.dstate.dirtyColour();
-        const bool aligned_data_ref =
-            cpu_op && access != AccessType::IFetch && *cd == w;
-        if (!aligned_data_ref) {
-            // A DMA-write overwrites memory anyway, so the dirty data
-            // need only be purged; otherwise it is flushed unless the
-            // caller said the data is dead and config E permits the
-            // downgrade.
-            const bool flush = op != MemOp::DmaWrite &&
-                (need_data || !cfg.useNeedData);
-            if (flush)
-                flushDataPage(frame, w, reason);
-            else
-                purgeDataPage(frame, w, reason);
-            info.dstate.cacheDirty = false;
-            // Table 2: a flushed (or purged) dirty line leaves the
-            // cache, so its state is Empty — except under DMA-read,
-            // where the line is written back but stays consistent
-            // (Present). Clearing the mapped bit here keeps the later
-            // stale-marking stanza from pessimistically tagging the
-            // already-clean cache page as stale, which would cost a
-            // redundant purge on its next use.
-            if (op != MemOp::DmaRead)
-                info.dstate.mapped.reset(w);
-        }
-    }
+    // Stanzas 2-5: decide state transitions and the required cache
+    // operations, then perform the latter on the real caches. The
+    // planned operations depend only on the pre-operation state, so
+    // executing them after the full plan is equivalent to the
+    // interleaved form.
+    const std::vector<PlannedOp> planned = planCacheControl(
+        info.dstate, info.istate, op, cd, ci, access, will_overwrite,
+        need_data, cfg.useNeedData, cfg.useWillOverwrite);
 
-    // --- Stanza 3: the target cache page must not be stale.
-    if (cpu_op) {
-        if (access == AccessType::IFetch) {
-            if (info.istate.stale.test(*ci)) {
-                purgeInstPage(frame, *ci, reason);
-                info.istate.stale.reset(*ci);
-            }
-        } else if (info.dstate.stale.test(*cd)) {
-            // Config F: a page about to be entirely overwritten leaves
-            // the stale state without the purge.
-            if (!(will_overwrite && cfg.useWillOverwrite))
-                purgeDataPage(frame, *cd, reason);
-            info.dstate.stale.reset(*cd);
-        }
-    }
-
-    // --- Stanza 4: writes into the memory system make every mapped
-    // cache page (in both caches) stale and unmapped; a CPU write then
-    // re-maps its own cache page as the unique dirty one.
-    if (op == MemOp::DmaWrite || op == MemOp::CpuWrite) {
-        info.dstate.stale.orWith(info.dstate.mapped);
-        info.dstate.mapped.clearAll();
-        info.istate.stale.orWith(info.istate.mapped);
-        info.istate.mapped.clearAll();
-        if (op == MemOp::CpuWrite) {
-            info.dstate.stale.reset(*cd);
-            info.dstate.mapped.set(*cd);
-            info.dstate.cacheDirty = true;
-        }
-    }
-
-    // --- Stanza 5: a read marks the target cache page mapped.
-    if (op == MemOp::CpuRead) {
-        if (access == AccessType::IFetch)
-            info.istate.mapped.set(*ci);
+    for (const PlannedOp &p : planned) {
+        if (p.cache == CacheKind::Instruction)
+            purgeInstPage(frame, p.colour, reason);
+        else if (p.op == RequiredOp::Flush)
+            flushDataPage(frame, p.colour, reason);
         else
-            info.dstate.mapped.set(*cd);
+            purgeDataPage(frame, p.colour, reason);
     }
 
     // --- Stanza 6: reprogram protections so no inconsistency can be

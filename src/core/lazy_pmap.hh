@@ -32,6 +32,7 @@
 
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "core/phys_page_info.hh"
 #include "core/pmap.hh"
@@ -43,6 +44,44 @@ class LazyPmap : public Pmap
 {
   public:
     LazyPmap(Machine &m, const PolicyConfig &policy_config);
+
+    /** One cache operation the Figure 1 algorithm decided on. */
+    struct PlannedOp
+    {
+        CacheKind cache = CacheKind::Data;
+        RequiredOp op = RequiredOp::None;
+        CachePageId colour = 0;
+
+        bool operator==(const PlannedOp &) const = default;
+    };
+
+    /**
+     * The CacheControl decision procedure (Figure 1, stanzas 2-5) as a
+     * pure function of the Table 3 state: advances @p dstate /
+     * @p istate to the post-operation encoding and returns the cache
+     * flushes/purges that must precede the operation, in order.
+     *
+     * Shared between the concrete cacheControl() and the static
+     * protocol verifier (vic::verify), so the abstract model cannot
+     * drift from the implementation.
+     */
+    static std::vector<PlannedOp> planCacheControl(
+        CacheStateVector &dstate, CacheStateVector &istate, MemOp op,
+        std::optional<CachePageId> d_target,
+        std::optional<CachePageId> i_target, AccessType access,
+        bool will_overwrite, bool need_data, bool use_need_data,
+        bool use_will_overwrite);
+
+    /**
+     * The final-stanza protection rule as a pure function of the
+     * Table 3 state: what one mapping of data colour @p d_colour /
+     * instruction colour @p i_colour may do without trapping.
+     */
+    static Protection cacheStateProt(const CacheStateVector &dstate,
+                                     const CacheStateVector &istate,
+                                     CachePageId d_colour,
+                                     CachePageId i_colour,
+                                     bool use_modified_bit);
 
     void enter(SpaceVa va, FrameId frame, Protection vm_prot,
                AccessType access, const EnterHints &hints) override;

@@ -40,8 +40,11 @@ ConsistencyOracle::check(PhysAddr pa, std::uint32_t observed,
     if (shadow[idx] == observed)
         return;
     ++totalViolations;
+    const Violation v{pa, shadow[idx], observed, kind};
     if (faults.size() < maxRecorded)
-        faults.push_back(Violation{pa, shadow[idx], observed, kind});
+        faults.push_back(v);
+    if (violationHook)
+        violationHook(v);
 }
 
 void

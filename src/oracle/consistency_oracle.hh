@@ -21,6 +21,7 @@
 #define VIC_ORACLE_CONSISTENCY_ORACLE_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -67,8 +68,21 @@ class ConsistencyOracle : public MemoryObserver
     /** Forget all shadow state and violations. */
     void reset();
 
+    /**
+     * Install a callback invoked synchronously on every detected
+     * violation (even past the recording cap). Trace-replay drivers
+     * use it to attribute a violation to the event being replayed.
+     * Pass nullptr to remove.
+     */
+    void setViolationHook(std::function<void(const Violation &)> hook)
+    {
+        violationHook = std::move(hook);
+    }
+
   private:
     static constexpr std::size_t maxRecorded = 64;
+
+    std::function<void(const Violation &)> violationHook;
 
     std::vector<std::uint32_t> shadow;
     std::vector<bool> defined;

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Abstract product machine for the static protocol verifier.
+ *
+ * Models ONE physical page of a virtually indexed, physically tagged,
+ * write-back machine as the product of three components:
+ *
+ *  1. the ground truth — a "freshness" lattice recording which copy of
+ *     the page's representative word currently holds the newest value:
+ *     memory, a data-cache page, or an instruction-cache page. The
+ *     paper's invariants are properties of this component alone: no
+ *     stale read (a CPU load/ifetch must hit a fresh copy), no
+ *     shadowed DMA (a device read must see fresh memory), no lost
+ *     dirty write-back (destroying the only fresh copy is detected the
+ *     moment anything observes the survivor);
+ *  2. the policy's own bookkeeping — the Table 3 mapped/stale/dirty
+ *     vectors for the lazy strategy, or mapping/residue/exec-mode
+ *     metadata for the classic ones. The lazy component is driven
+ *     through LazyPmap::planCacheControl / cacheStateProt, i.e. the
+ *     same code the simulator runs, so the model cannot drift;
+ *  3. the mapping layer — which virtual alias slots are live, their
+ *     hardware protections and page-table modified bits.
+ *
+ * The event alphabet covers the paper's whole consistency problem:
+ * loads, stores and instruction fetches through aligned and unaligned
+ * alias slots, DMA in both directions, unmap, and (for the per-VA Tut
+ * policy) remap at a fresh virtual address. Mapping is implicit — an
+ * access through a dead slot takes the kernel's demand-mapping path,
+ * entering the translation with default hints, exactly as
+ * Kernel::resolveMappingFault does.
+ *
+ * The model follows a single-word discipline: all CPU and DMA traffic
+ * touches the page's word 0 only. That makes the page-granularity
+ * abstraction exact, so every abstract trace is realisable by a
+ * concrete replay (TraceReplayer) and every abstract violation
+ * corresponds to a ConsistencyOracle violation at the same event.
+ */
+
+#ifndef VIC_VERIFY_ABSTRACT_MODEL_HH
+#define VIC_VERIFY_ABSTRACT_MODEL_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/policy_config.hh"
+#include "mmu/fault.hh"
+
+namespace vic::verify
+{
+
+// ---------------------------------------------------------------------
+// Events and traces
+// ---------------------------------------------------------------------
+
+enum class EventKind : std::uint8_t
+{
+    Load,       ///< CPU word load through a slot (maps on demand)
+    Store,      ///< CPU word store through a slot (maps on demand)
+    IFetch,     ///< CPU instruction fetch through a slot
+    Unmap,      ///< pmap remove of a slot's translation
+    UnmapMove,  ///< unmap, then move the slot to a fresh (still
+                ///< aligned) virtual address — distinguishes per-VA
+                ///< residue tracking (Tut) from per-colour tracking
+    DmaIn,      ///< device writes memory (e.g. disk read completing)
+    DmaOut,     ///< device reads memory (e.g. disk write issued)
+};
+
+const char *eventKindName(EventKind k);
+
+/** One step of an abstract execution. @c slot selects the alias slot
+ *  for CPU/unmap events and is ignored for DMA. */
+struct Event
+{
+    EventKind kind = EventKind::Load;
+    std::uint8_t slot = 0;
+
+    bool operator==(const Event &) const = default;
+};
+
+/** "store@B"-style display name. */
+std::string eventName(const Event &e);
+
+using Trace = std::vector<Event>;
+
+/** "store@A -> load@B" display form. */
+std::string traceName(const Trace &t);
+
+// ---------------------------------------------------------------------
+// Alias slot plan
+// ---------------------------------------------------------------------
+
+/**
+ * The fixed set of virtual alias slots the model (and the concrete
+ * replay) uses. Slots are virtual pages mapping the single physical
+ * page under analysis; two slots with equal colours are aligned
+ * aliases, distinct colours are unaligned aliases.
+ */
+struct SlotPlan
+{
+    struct Slot
+    {
+        CachePageId dColour = 0;
+        CachePageId iColour = 0;
+        /** Distinguishes same-colour slots; the replayer folds it into
+         *  the virtual address. */
+        std::uint8_t replica = 0;
+    };
+
+    std::vector<Slot> slots;
+    /** Number of distinct data / instruction colours the plan uses
+     *  (the abstract caches are only this wide). */
+    std::uint32_t dColours = 2;
+    std::uint32_t iColours = 2;
+
+    /**
+     * The default plan: slot A (colour 0), slot B (colour 1, an
+     * unaligned alias of A), slot C (colour 0 again — an aligned alias
+     * of A at a different virtual address). This covers every
+     * qualitative alias relation the paper discusses.
+     */
+    static SlotPlan standard();
+};
+
+// ---------------------------------------------------------------------
+// Violations
+// ---------------------------------------------------------------------
+
+enum class ViolationKind : std::uint8_t
+{
+    StaleLoad,    ///< CPU load observed a non-newest value
+    StaleIFetch,  ///< instruction fetch observed a non-newest value
+    StaleDmaOut,  ///< device read while memory was not current
+};
+
+const char *violationKindName(ViolationKind k);
+
+struct AbstractViolation
+{
+    ViolationKind kind = ViolationKind::StaleLoad;
+    std::uint8_t slot = 0;  ///< slot of the observing event (CPU only)
+    std::string detail;     ///< failure-mode classification
+};
+
+// ---------------------------------------------------------------------
+// Model state
+// ---------------------------------------------------------------------
+
+/** Compile-time bounds; SlotPlan sizes must fit. */
+constexpr std::uint32_t kMaxColours = 4;
+constexpr std::uint32_t kMaxSlots = 4;
+
+/**
+ * One abstract state: ground truth + mapping layer + policy
+ * bookkeeping. Fields used only by one pmap strategy are kept zeroed
+ * under the other so equal behaviours collapse to equal states.
+ */
+struct ModelState
+{
+    // --- ground truth (freshness lattice) ---
+    struct DLine
+    {
+        bool present = false;  ///< d-cache holds a copy at this colour
+        bool fresh = false;    ///< ... and it is the newest value
+        bool dirty = false;    ///< ... and it differs from memory
+        bool operator==(const DLine &) const = default;
+    };
+    struct ILine
+    {
+        bool present = false;
+        bool fresh = false;
+        bool operator==(const ILine &) const = default;
+    };
+    bool memFresh = true;  ///< memory holds the newest value
+    std::array<DLine, kMaxColours> dline{};
+    std::array<ILine, kMaxColours> iline{};
+
+    // --- mapping layer ---
+    std::array<bool, kMaxSlots> live{};    ///< translation exists
+    std::array<bool, kMaxSlots> modbit{};  ///< page-table modified bit
+    std::array<bool, kMaxSlots> vaGen{};   ///< which VA the slot uses
+                                           ///< (flipped by UnmapMove)
+    std::array<bool, kMaxSlots> hwWrite{}; ///< hardware prot (classic)
+    std::array<bool, kMaxSlots> hwExec{};
+    /** Slots in mapping-list order (classic semantics depend on
+     *  iteration order and swap-removal). */
+    std::array<std::uint8_t, kMaxSlots> order{};
+    std::uint8_t numLive = 0;
+    /** Frame has been entered at least once (pmap has bookkeeping). */
+    bool everTouched = false;
+
+    // --- lazy bookkeeping (Table 3), one bit per colour ---
+    std::uint8_t dMapped = 0;
+    std::uint8_t dStale = 0;
+    std::uint8_t iMapped = 0;
+    std::uint8_t iStale = 0;
+    bool dCacheDirty = false;
+
+    // --- classic bookkeeping ---
+    bool execMode = false;
+    bool hasResidue = false;
+    std::uint8_t residueSlot = 0;
+    bool residueGen = false;
+    bool residueDirty = false;
+    bool residueExec = false;
+
+    bool operator==(const ModelState &) const = default;
+
+    /** Canonical 128-bit packing (hash/dedup key). */
+    using Key = std::array<std::uint64_t, 2>;
+    Key pack() const;
+};
+
+struct ModelStateKeyHash
+{
+    std::size_t operator()(const ModelState::Key &k) const
+    {
+        // splitmix-style combine
+        std::uint64_t h = k[0] * 0x9e3779b97f4a7c15ull;
+        h ^= h >> 32;
+        h += k[1] * 0xbf58476d1ce4e5b9ull;
+        h ^= h >> 29;
+        return static_cast<std::size_t>(h);
+    }
+};
+
+// ---------------------------------------------------------------------
+// Simulator
+// ---------------------------------------------------------------------
+
+/**
+ * Executes abstract events against a ModelState for one PolicyConfig.
+ * Deterministic and side-effect free apart from the passed state, so a
+ * reachability search can use it directly.
+ */
+class AbstractSimulator
+{
+  public:
+    explicit AbstractSimulator(const PolicyConfig &policy,
+                               SlotPlan plan = SlotPlan::standard());
+
+    const PolicyConfig &policy() const { return cfg; }
+    const SlotPlan &plan() const { return slotPlan; }
+
+    /** The event alphabet for this policy. UnmapMove is included only
+     *  when the policy can distinguish it from Unmap (per-VA residue
+     *  tracking). */
+    std::vector<Event> alphabet() const;
+
+    /** Power-up state: nothing mapped, nothing cached, memory fresh. */
+    ModelState initial() const;
+
+    /**
+     * Apply @p e to @p s in place. Returns the violation if the event
+     * observed stale data (the state is still advanced past it, like
+     * the concrete machine, which reads the wrong value and carries
+     * on).
+     */
+    std::optional<AbstractViolation> step(ModelState &s,
+                                          const Event &e) const;
+
+  private:
+    PolicyConfig cfg;
+    SlotPlan slotPlan;
+    bool lazy;
+
+    CachePageId dcol(std::uint8_t slot) const
+    { return slotPlan.slots[slot].dColour; }
+    CachePageId icol(std::uint8_t slot) const
+    { return slotPlan.slots[slot].iColour; }
+    bool conflicts(std::uint8_t a, std::uint8_t b) const;
+
+    // ground-truth transfers
+    void gtFlushData(ModelState &s, CachePageId c) const;
+    void gtPurgeData(ModelState &s, CachePageId c) const;
+    void gtPurgeInst(ModelState &s, CachePageId c) const;
+    std::optional<AbstractViolation>
+    gtCpuAccess(ModelState &s, std::uint8_t slot, AccessType t) const;
+    std::string classify(const ModelState &s, bool ifetch) const;
+
+    // the trap-and-retry CPU path
+    std::optional<AbstractViolation>
+    cpuAccess(ModelState &s, std::uint8_t slot, AccessType t) const;
+    bool accessPermitted(const ModelState &s, std::uint8_t slot,
+                         AccessType t) const;
+
+    // mapping-order helpers
+    void addOrdered(ModelState &s, std::uint8_t slot) const;
+    void removeOrdered(ModelState &s, std::uint8_t slot) const;
+    void normalize(ModelState &s) const;
+
+    // lazy policy (via LazyPmap's extracted pure logic)
+    void lazySync(ModelState &s) const;
+    void lazyCacheControl(ModelState &s, MemOp op,
+                          std::optional<std::uint8_t> slot,
+                          AccessType access, bool will_overwrite,
+                          bool need_data) const;
+    void lazyEnter(ModelState &s, std::uint8_t slot,
+                   AccessType t) const;
+    void lazyUnmap(ModelState &s, std::uint8_t slot) const;
+
+    // classic policy (mirrors ClassicPmap)
+    bool classicColourPossiblyDirty(const ModelState &s, CachePageId c,
+                                    bool base_modified) const;
+    void classicCleanResidue(ModelState &s,
+                             bool base_modified = false) const;
+    void classicCleanThrough(ModelState &s, std::uint8_t slot,
+                             bool flush_dirty, bool had_exec) const;
+    void classicEnterExecMode(ModelState &s, CachePageId icolour) const;
+    void classicEnterWriteMode(ModelState &s) const;
+    void classicBreakMapping(ModelState &s, std::uint8_t slot) const;
+    void classicEnter(ModelState &s, std::uint8_t slot,
+                      AccessType t) const;
+    void classicUnmap(ModelState &s, std::uint8_t slot) const;
+    bool classicResolveFault(ModelState &s, std::uint8_t slot,
+                             AccessType t) const;
+    void classicDmaRead(ModelState &s) const;
+    void classicDmaWrite(ModelState &s) const;
+};
+
+} // namespace vic::verify
+
+#endif // VIC_VERIFY_ABSTRACT_MODEL_HH

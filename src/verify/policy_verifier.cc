@@ -1,0 +1,123 @@
+#include "verify/policy_verifier.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace vic::verify
+{
+
+PolicyVerifier::PolicyVerifier(VerifyOptions opts)
+    : options(std::move(opts))
+{
+}
+
+namespace
+{
+
+/** BFS bookkeeping for one discovered state. */
+struct Discovery
+{
+    ModelState::Key parent{};
+    Event via;
+    std::uint32_t depth = 0;
+    bool isRoot = false;
+};
+
+using SeenMap =
+    std::unordered_map<ModelState::Key, Discovery, ModelStateKeyHash>;
+
+Trace
+reconstruct(const SeenMap &seen, const ModelState::Key &last,
+            const Event &final_event)
+{
+    Trace t;
+    t.push_back(final_event);
+    ModelState::Key k = last;
+    for (;;) {
+        auto it = seen.find(k);
+        vic_assert(it != seen.end(), "broken BFS parent chain");
+        if (it->second.isRoot)
+            break;
+        t.push_back(it->second.via);
+        k = it->second.parent;
+    }
+    std::reverse(t.begin(), t.end());
+    return t;
+}
+
+} // namespace
+
+VerifyResult
+PolicyVerifier::verify(const PolicyConfig &policy) const
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    AbstractSimulator sim(policy, options.plan);
+    const std::vector<Event> alphabet = sim.alphabet();
+
+    VerifyResult res;
+    res.policyName = policy.name;
+
+    SeenMap seen;
+    std::deque<ModelState> frontier;
+
+    const ModelState init = sim.initial();
+    seen.emplace(init.pack(), Discovery{{}, {}, 0, true});
+    frontier.push_back(init);
+    res.numStates = 1;
+
+    bool truncated = false;
+    while (!frontier.empty()) {
+        const ModelState cur = frontier.front();
+        frontier.pop_front();
+        const ModelState::Key cur_key = cur.pack();
+        const std::uint32_t cur_depth = seen.at(cur_key).depth;
+
+        for (const Event &e : alphabet) {
+            ModelState next = cur;
+            const std::optional<AbstractViolation> v =
+                sim.step(next, e);
+            ++res.numTransitions;
+
+            if (v) {
+                // First violation in BFS order: minimal counterexample.
+                res.sound = false;
+                res.fixedPointReached = true;
+                res.counterexample = reconstruct(seen, cur_key, e);
+                res.violation = v;
+                res.diameter = std::max(res.diameter, cur_depth + 1);
+                res.seconds =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+                return res;
+            }
+
+            const ModelState::Key key = next.pack();
+            if (seen.find(key) != seen.end())
+                continue;
+            if (res.numStates >= options.maxStates) {
+                truncated = true;
+                continue;
+            }
+            seen.emplace(key,
+                         Discovery{cur_key, e, cur_depth + 1, false});
+            frontier.push_back(std::move(next));
+            ++res.numStates;
+            res.diameter = std::max(res.diameter, cur_depth + 1);
+        }
+    }
+
+    res.sound = !truncated;
+    res.fixedPointReached = !truncated;
+    res.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    return res;
+}
+
+} // namespace vic::verify

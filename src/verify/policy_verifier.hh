@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Exhaustive reachability analysis of the abstract protocol machine.
+ *
+ * For one PolicyConfig, explores every state the AbstractSimulator can
+ * reach from power-up under its full event alphabet, to a fixed point
+ * — no depth bound, unlike the bounded model check test. Breadth-first
+ * order with a deterministic event order makes the first violation
+ * found a minimal (shortest possible) counterexample trace; parent
+ * links reconstruct it for replay on the concrete machine.
+ */
+
+#ifndef VIC_VERIFY_POLICY_VERIFIER_HH
+#define VIC_VERIFY_POLICY_VERIFIER_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "verify/abstract_model.hh"
+
+namespace vic::verify
+{
+
+struct VerifyOptions
+{
+    SlotPlan plan = SlotPlan::standard();
+    /** Safety valve against state-space bugs; far above any real
+     *  policy's reachable set. */
+    std::uint64_t maxStates = 4'000'000;
+};
+
+struct VerifyResult
+{
+    std::string policyName;
+    /** No reachable state violates the invariants. Only meaningful
+     *  when @c fixedPointReached. */
+    bool sound = false;
+    /** The full reachable set was explored (maxStates not hit). */
+    bool fixedPointReached = false;
+
+    std::uint64_t numStates = 0;       ///< reachable states
+    std::uint64_t numTransitions = 0;  ///< explored edges
+    std::uint32_t diameter = 0;        ///< max BFS depth seen
+
+    /** Shortest event sequence leading to a violation (empty when
+     *  sound). */
+    Trace counterexample;
+    std::optional<AbstractViolation> violation;
+
+    double seconds = 0.0;
+};
+
+class PolicyVerifier
+{
+  public:
+    explicit PolicyVerifier(VerifyOptions opts = {});
+
+    /** Explore @p policy's reachable states and check the paper's
+     *  invariants on every transition. */
+    VerifyResult verify(const PolicyConfig &policy) const;
+
+  private:
+    VerifyOptions options;
+};
+
+} // namespace vic::verify
+
+#endif // VIC_VERIFY_POLICY_VERIFIER_HH
