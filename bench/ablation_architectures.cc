@@ -16,83 +16,105 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
+#include "bench/suites.hh"
 #include "common/table.hh"
 
-using namespace vic;
-using namespace vic::bench;
-
-int
-main()
+namespace vic::bench
 {
-    banner("Ablation: other memory-system architectures",
-           "Wheeler & Bershad 1992, Section 3.3");
+namespace
+{
 
-    struct Variant
-    {
-        const char *name;
-        MachineParams mp;
-    };
+struct Variant
+{
+    const char *name; ///< display name
+    const char *tag;  ///< run-id slug
+    MachineParams mp;
+};
+
+std::vector<Variant>
+architectureVariants()
+{
     std::vector<Variant> variants;
 
-    variants.push_back({"VIPT write-back (base)",
+    variants.push_back({"VIPT write-back (base)", "base",
                         MachineParams::hp720()});
     {
         MachineParams mp = MachineParams::hp720();
         mp.dcachePolicy = WritePolicy::WriteThrough;
-        variants.push_back({"VIPT write-through", mp});
+        variants.push_back({"VIPT write-through", "write-through", mp});
     }
     {
         MachineParams mp = MachineParams::hp720();
         mp.dcacheIndexing = Indexing::Physical;
         mp.icacheIndexing = Indexing::Physical;
-        variants.push_back({"physically indexed", mp});
+        variants.push_back({"physically indexed", "physical", mp});
     }
     {
         MachineParams mp = MachineParams::hp720();
         mp.dmaSnoops = true;
-        variants.push_back({"VIPT + snooping DMA", mp});
+        variants.push_back({"VIPT + snooping DMA", "snoop-dma", mp});
     }
     {
         MachineParams mp = MachineParams::hp720();
         mp.dcacheWays = 2;
         mp.icacheWays = 2;
-        variants.push_back({"VIPT 2-way (8 colours)", mp});
+        variants.push_back({"VIPT 2-way (8 colours)", "2way", mp});
     }
     {
         MachineParams mp = MachineParams::hp720();
         mp.dcacheWays = 16;
         mp.icacheWays = 16;
-        variants.push_back({"VIPT 16-way (span=page)", mp});
+        variants.push_back({"VIPT 16-way (span=page)", "16way", mp});
     }
     {
         MachineParams mp = MachineParams::hp720();
         mp.numCpus = 2;
-        variants.push_back({"VIPT 2-CPU coherent", mp});
+        variants.push_back({"VIPT 2-CPU coherent", "2cpu", mp});
     }
+    return variants;
+}
+
+std::vector<RunSpec>
+architecturesSpecs(const SuiteOptions &opt)
+{
+    std::vector<RunSpec> specs;
+    for (std::size_t w = 0; w < numPaperWorkloads; ++w) {
+        for (const Variant &v : architectureVariants()) {
+            specs.push_back(paperSpec("architectures", w,
+                                      PolicyConfig::configF(), opt,
+                                      v.mp, v.tag));
+        }
+    }
+    return specs;
+}
+
+bool
+architecturesReport(const SuiteOptions &opt,
+                    const std::vector<RunOutcome> &outcomes)
+{
+    const std::vector<Variant> variants = architectureVariants();
 
     bool shapes_ok = true;
     for (std::size_t w = 0; w < numPaperWorkloads; ++w) {
         std::string wname;
         Table t({"Architecture", "Colours", "Elapsed (s)", "D flushes",
                  "D purges", "Write-backs", "Cons faults"});
-        for (const auto &v : variants) {
-            auto wl = paperWorkload(w);
-            wname = wl->name();
-            RunResult r = runWorkload(*wl, PolicyConfig::configF(),
-                                      v.mp);
-            checkOracle(r);
+        for (std::size_t i = 0; i < variants.size(); ++i) {
+            const Variant &v = variants[i];
+            const RunResult &r =
+                outcomes[w * variants.size() + i].result;
+            wname = r.workload;
             t.row();
             t.cell(std::string(v.name));
             t.cell(std::uint64_t(v.mp.dcacheGeometry().numColours()));
             t.cell(r.seconds, 4);
             t.cell(r.dPageFlushes());
             t.cell(r.dPagePurges());
-            t.cell(r.sumMatching("dcache", ".write_backs"));
+            t.cell(r.writeBacks());
             t.cell(r.consistencyFaults());
 
             if (v.mp.dcachePolicy == WritePolicy::WriteThrough)
-                shapes_ok &= r.sumMatching("dcache", ".write_backs") == 0;
+                shapes_ok &= r.writeBacks() == 0;
         }
         std::printf("--- %s ---\n", wname.c_str());
         t.print();
@@ -110,6 +132,30 @@ main()
                 "work (the rules are\n");
     std::printf("  unchanged); hardware snooping adds only "
                 "write-backs/bus traffic.\n");
-    std::printf("SHAPE CHECK: %s\n", shapes_ok ? "PASS" : "FAIL");
-    return shapes_ok ? 0 : 1;
+    return shapeCheck(opt, shapes_ok,
+                      "write-through machines perform zero "
+                      "write-backs");
 }
+
+[[maybe_unused]] const bool registered = [] {
+    Suite s;
+    s.name = "architectures";
+    s.title = "Ablation: other memory-system architectures";
+    s.paperRef = "Wheeler & Bershad 1992, Section 3.3";
+    s.order = 90;
+    s.specs = architecturesSpecs;
+    s.report = architecturesReport;
+    registerSuite(std::move(s));
+    return true;
+}();
+
+} // anonymous namespace
+} // namespace vic::bench
+
+#ifdef VIC_SUITE_STANDALONE
+int
+main(int argc, char **argv)
+{
+    return vic::bench::suiteMain("architectures", argc, argv);
+}
+#endif

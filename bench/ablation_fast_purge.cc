@@ -10,53 +10,56 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
+#include "bench/suites.hh"
 #include "common/table.hh"
 
-using namespace vic;
-using namespace vic::bench;
-
+namespace vic::bench
+{
 namespace
 {
 
-RunResult
-runWith(std::size_t w, const MachineParams &mp)
+MachineParams
+fastPurgeParams()
 {
-    auto wl = paperWorkload(w);
-    RunResult r = runWorkload(*wl, PolicyConfig::configF(), mp);
-    checkOracle(r);
-    return r;
-}
-
-} // anonymous namespace
-
-int
-main()
-{
-    banner("Ablation: single-cycle page purge",
-           "Wheeler & Bershad 1992, Section 5.1 (architectural "
-           "recommendation)");
-
-    MachineParams base = MachineParams::hp720();
-
     // A one-cycle PAGE purge: per-line purge cost so small that the
     // whole page costs ~1 cycle. Model by zeroing the per-line purge
     // costs (the flush costs stay: flushes move data and cannot be
     // free).
-    MachineParams fast = base;
+    MachineParams fast = MachineParams::hp720();
     fast.dcacheCosts.opLineAbsent = 0;
     fast.dcacheCosts.opLinePresent = 1;
     fast.icacheCosts.opLineAbsent = 0;
     fast.icacheCosts.opLinePresent = 1;
     fast.icacheCosts.uniformOpCost = false;
+    return fast;
+}
 
+std::vector<RunSpec>
+fastPurgeSpecs(const SuiteOptions &opt)
+{
+    std::vector<RunSpec> specs;
+    for (std::size_t w = 0; w < numPaperWorkloads; ++w) {
+        specs.push_back(paperSpec("fast-purge", w,
+                                  PolicyConfig::configF(), opt,
+                                  MachineParams::hp720(), "base"));
+        specs.push_back(paperSpec("fast-purge", w,
+                                  PolicyConfig::configF(), opt,
+                                  fastPurgeParams(), "fast"));
+    }
+    return specs;
+}
+
+bool
+fastPurgeReport(const SuiteOptions &opt,
+                const std::vector<RunOutcome> &outcomes)
+{
     Table t({"Program", "Elapsed base (s)", "Elapsed fast-purge (s)",
              "Saved (s)", "Saved (%)"});
 
     double total_base = 0, total_fast = 0;
     for (std::size_t w = 0; w < numPaperWorkloads; ++w) {
-        RunResult rb = runWith(w, base);
-        RunResult rf = runWith(w, fast);
+        const RunResult &rb = outcomes[2 * w].result;
+        const RunResult &rf = outcomes[2 * w + 1].result;
         total_base += rb.seconds;
         total_fast += rf.seconds;
         t.row();
@@ -75,8 +78,31 @@ main()
                 "small but real architectural win\n");
     const double pct =
         100.0 * (total_base - total_fast) / total_base;
-    const bool shapes_ok = pct > 0.0 && pct < 5.0;
-    std::printf("SHAPE CHECK: %s (small but nonzero saving)\n",
-                shapes_ok ? "PASS" : "FAIL");
-    return shapes_ok ? 0 : 1;
+    return shapeCheck(opt, pct > 0.0 && pct < 5.0,
+                      "small but nonzero saving from a one-cycle "
+                      "page purge");
 }
+
+[[maybe_unused]] const bool registered = [] {
+    Suite s;
+    s.name = "fast-purge";
+    s.title = "Ablation: single-cycle page purge";
+    s.paperRef = "Wheeler & Bershad 1992, Section 5.1 (architectural "
+                 "recommendation)";
+    s.order = 70;
+    s.specs = fastPurgeSpecs;
+    s.report = fastPurgeReport;
+    registerSuite(std::move(s));
+    return true;
+}();
+
+} // anonymous namespace
+} // namespace vic::bench
+
+#ifdef VIC_SUITE_STANDALONE
+int
+main(int argc, char **argv)
+{
+    return vic::bench::suiteMain("fast-purge", argc, argv);
+}
+#endif

@@ -18,43 +18,66 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
+#include "bench/suites.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 
-using namespace vic;
-using namespace vic::bench;
-
-int
-main()
+namespace vic::bench
 {
-    banner("Ablation: cache size / colour count sweep",
-           "Wheeler & Bershad 1992, Section 1 (the architectural "
-           "trade-off)");
+namespace
+{
 
-    const std::uint64_t kib = 1024;
-    const std::uint64_t sizes[] = {4 * kib, 16 * kib, 64 * kib,
-                                   256 * kib};
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kSizes[] = {4 * kKiB, 16 * kKiB, 64 * kKiB,
+                                    256 * kKiB};
+constexpr std::size_t kNumSizes = std::size(kSizes);
 
-    bool shapes_ok = true;
+MachineParams
+geometryParams(std::uint64_t size)
+{
+    MachineParams mp = MachineParams::hp720();
+    mp.dcacheBytes = size;
+    mp.icacheBytes = size;
+    return mp;
+}
+
+std::vector<RunSpec>
+geometrySpecs(const SuiteOptions &opt)
+{
+    std::vector<RunSpec> specs;
     for (const auto &cfg :
          {PolicyConfig::configA(), PolicyConfig::configF()}) {
+        for (std::uint64_t size : kSizes) {
+            // Workload 2 is kernel-build.
+            specs.push_back(paperSpec(
+                "geometry", 2, cfg, opt, geometryParams(size),
+                format("%lluKB", (unsigned long long)(size / kKiB))));
+        }
+    }
+    return specs;
+}
+
+bool
+geometryReport(const SuiteOptions &opt,
+               const std::vector<RunOutcome> &outcomes)
+{
+    bool shapes_ok = true;
+    for (std::size_t c = 0; c < 2; ++c) {
         Table t({"D-cache", "Colours", "Elapsed (s)", "Hit rate %",
                  "Cons faults", "D flushes", "D purges"});
-        for (std::uint64_t size : sizes) {
-            MachineParams mp = MachineParams::hp720();
-            mp.dcacheBytes = size;
-            mp.icacheBytes = size;
-
-            KernelBuild wl;
-            RunResult r = runWorkload(wl, cfg, mp);
-            checkOracle(r);
+        std::string policy;
+        for (std::size_t i = 0; i < kNumSizes; ++i) {
+            const std::uint64_t size = kSizes[i];
+            const MachineParams mp = geometryParams(size);
+            const RunResult &r = outcomes[c * kNumSizes + i].result;
+            policy = r.policy;
 
             const double hits = double(r.stat("dcache.hits"));
             const double misses = double(r.stat("dcache.misses"));
 
             t.row();
-            t.cell(format("%llu KB", (unsigned long long)(size / kib)));
+            t.cell(format("%llu KB",
+                          (unsigned long long)(size / kKiB)));
             t.cell(std::uint64_t(mp.dcacheGeometry().numColours()));
             t.cell(r.seconds, 4);
             t.cell(100.0 * hits / (hits + misses), 2);
@@ -66,7 +89,7 @@ main()
                 shapes_ok &= r.stat("pmap.d_flush.alias") == 0 &&
                              r.stat("pmap.d_purge.alias") == 0;
         }
-        std::printf("--- kernel-build under %s ---\n", cfg.name.c_str());
+        std::printf("--- kernel-build under %s ---\n", policy.c_str());
         t.print();
         std::printf("\n");
     }
@@ -80,7 +103,30 @@ main()
                 "flat — the paper's point\n");
     std::printf("  that careful management removes the software "
                 "penalty of big VI caches.\n");
-    std::printf("SHAPE CHECK: %s (one colour => no alias "
-                "operations)\n", shapes_ok ? "PASS" : "FAIL");
-    return shapes_ok ? 0 : 1;
+    return shapeCheck(opt, shapes_ok,
+                      "one colour => no alias operations");
 }
+
+[[maybe_unused]] const bool registered = [] {
+    Suite s;
+    s.name = "geometry";
+    s.title = "Ablation: cache size / colour count sweep";
+    s.paperRef = "Wheeler & Bershad 1992, Section 1 (the "
+                 "architectural trade-off)";
+    s.order = 100;
+    s.specs = geometrySpecs;
+    s.report = geometryReport;
+    registerSuite(std::move(s));
+    return true;
+}();
+
+} // anonymous namespace
+} // namespace vic::bench
+
+#ifdef VIC_SUITE_STANDALONE
+int
+main(int argc, char **argv)
+{
+    return vic::bench::suiteMain("geometry", argc, argv);
+}
+#endif

@@ -13,72 +13,102 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
+#include "bench/suites.hh"
 #include "common/table.hh"
-#include "oracle/consistency_oracle.hh"
 
-using namespace vic;
-using namespace vic::bench;
-
-int
-main()
+namespace vic::bench
 {
-    banner("Ablation: per-colour free page lists (page colouring)",
-           "Wheeler & Bershad 1992, Section 5.1 (suggested "
-           "optimisation)");
+namespace
+{
 
+PolicyConfig
+singleList()
+{
     PolicyConfig single = PolicyConfig::configF();
     single.name = "F, single free list";
+    return single;
+}
+
+PolicyConfig
+colouredLists()
+{
     PolicyConfig coloured = PolicyConfig::configF();
     coloured.freeListOrg = FreePageList::Organisation::PerColour;
     coloured.name = "F, per-colour lists";
+    return coloured;
+}
 
+std::vector<RunSpec>
+pageColorSpecs(const SuiteOptions &opt)
+{
+    std::vector<RunSpec> specs;
+    for (std::size_t w = 0; w < numPaperWorkloads; ++w) {
+        specs.push_back(paperSpec("page-color", w, singleList(), opt,
+                                  MachineParams::hp720(), "single"));
+        specs.push_back(paperSpec("page-color", w, colouredLists(),
+                                  opt, MachineParams::hp720(),
+                                  "coloured"));
+    }
+    return specs;
+}
+
+bool
+pageColorReport(const SuiteOptions &opt,
+                const std::vector<RunOutcome> &outcomes)
+{
     Table t({"Program", "Policy", "Elapsed (s)", "D purges",
              "I purges", "D flushes", "Colour hits", "Colour misses"});
-    bool shapes_ok = true;
     std::uint64_t purges_single = 0, purges_coloured = 0;
 
-    for (std::size_t w = 0; w < numPaperWorkloads; ++w) {
-        for (const auto &cfg : {single, coloured}) {
-            // The free-list hit statistics live inside the kernel, so
-            // run manually rather than through runWorkload.
-            Machine machine{MachineParams::hp720()};
-            ConsistencyOracle oracle(machine.memory().sizeBytes());
-            machine.setObserver(&oracle);
-            Kernel kernel(machine, cfg);
-            auto wl = paperWorkload(w);
-            wl->run(kernel);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const RunResult &r = outcomes[i].result;
+        t.row();
+        t.cell(r.workload);
+        t.cell(r.policy);
+        t.cell(r.seconds, 4);
+        t.cell(r.dPagePurges());
+        t.cell(r.iPagePurges());
+        t.cell(r.dPageFlushes());
+        t.cell(r.stat("os.freelist.colour_hits"));
+        t.cell(r.stat("os.freelist.colour_misses"));
 
-            if (oracle.violationCount() != 0) {
-                std::fprintf(stderr, "FATAL: oracle violations\n");
-                return 1;
-            }
-
-            t.row();
-            t.cell(wl->name());
-            t.cell(cfg.name);
-            t.cell(machine.elapsedSeconds(), 4);
-            t.cell(machine.stats().value("pmap.d_page_purges"));
-            t.cell(machine.stats().value("pmap.i_page_purges"));
-            t.cell(machine.stats().value("pmap.d_page_flushes"));
-            t.cell(kernel.freeList().colourHits());
-            t.cell(kernel.freeList().colourMisses());
-
-            const bool is_coloured =
-                cfg.freeListOrg == FreePageList::Organisation::PerColour;
-            (is_coloured ? purges_coloured : purges_single) +=
-                machine.stats().value("pmap.d_page_purges") +
-                machine.stats().value("pmap.i_page_purges");
-        }
+        // Spec order alternates single, coloured per workload.
+        (i % 2 ? purges_coloured : purges_single) +=
+            r.dPagePurges() + r.iPagePurges();
     }
     t.print();
-    shapes_ok = purges_coloured <= purges_single;
+    const bool shapes_ok = purges_coloured <= purges_single;
 
     std::printf("\nexpected shape: per-colour lists raise the colour "
                 "hit rate and cut new-mapping purges\n");
-    std::printf("SHAPE CHECK: %s (total purges %llu -> %llu)\n",
-                shapes_ok ? "PASS" : "FAIL",
+    std::printf("total purges: %llu (single) -> %llu (per-colour)\n",
                 (unsigned long long)purges_single,
                 (unsigned long long)purges_coloured);
-    return shapes_ok ? 0 : 1;
+    return shapeCheck(opt, shapes_ok,
+                      "per-colour free lists do not increase total "
+                      "purges");
 }
+
+[[maybe_unused]] const bool registered = [] {
+    Suite s;
+    s.name = "page-color";
+    s.title = "Ablation: per-colour free page lists (page colouring)";
+    s.paperRef = "Wheeler & Bershad 1992, Section 5.1 (suggested "
+                 "optimisation)";
+    s.order = 80;
+    s.specs = pageColorSpecs;
+    s.report = pageColorReport;
+    registerSuite(std::move(s));
+    return true;
+}();
+
+} // anonymous namespace
+} // namespace vic::bench
+
+#ifdef VIC_SUITE_STANDALONE
+int
+main(int argc, char **argv)
+{
+    return vic::bench::suiteMain("page-color", argc, argv);
+}
+#endif

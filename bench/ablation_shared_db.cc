@@ -20,44 +20,62 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
+#include "bench/suites.hh"
 #include "common/table.hh"
 #include "workload/db_server.hh"
 
-using namespace vic;
-using namespace vic::bench;
-
-int
-main()
+namespace vic::bench
 {
-    banner("Ablation: shared persistent data structure (db-server)",
-           "Wheeler & Bershad 1992, Section 2.2 (fixed-address "
-           "aliases)");
+namespace
+{
 
-    Table t({"Variant", "Policy", "Elapsed (s)", "Cons faults",
-             "D flushes", "D purges"});
-    std::uint64_t fixed_f_ops = 0, aligned_f_ops = 0;
-
+std::vector<RunSpec>
+sharedDbSpecs(const SuiteOptions &)
+{
+    std::vector<RunSpec> specs;
     for (bool fixed : {true, false}) {
         for (const auto &cfg :
              {PolicyConfig::configA(), PolicyConfig::configB(),
               PolicyConfig::configF()}) {
-            DbServer::Params p;
-            p.fixedAddresses = fixed;
-            DbServer wl(p);
-            RunResult r = runWorkload(wl, cfg);
-            checkOracle(r);
-            t.row();
-            t.cell(r.workload);
-            t.cell(r.policy);
-            t.cell(r.seconds, 4);
-            t.cell(r.consistencyFaults());
-            t.cell(r.dPageFlushes());
-            t.cell(r.dPagePurges());
-            if (cfg.useWillOverwrite) {
-                (fixed ? fixed_f_ops : aligned_f_ops) =
-                    r.dPageFlushes() + r.dPagePurges();
-            }
+            RunSpec spec;
+            spec.suite = "shared-db";
+            spec.id = std::string("shared-db/") +
+                      (fixed ? "fixed" : "aligned") + "/" +
+                      policyTag(cfg);
+            spec.make = [fixed] {
+                DbServer::Params p;
+                p.fixedAddresses = fixed;
+                return std::make_unique<DbServer>(p);
+            };
+            spec.policy = cfg;
+            spec.seed = DbServer::Params{}.seed;
+            specs.push_back(std::move(spec));
+        }
+    }
+    return specs;
+}
+
+bool
+sharedDbReport(const SuiteOptions &opt,
+               const std::vector<RunOutcome> &outcomes)
+{
+    Table t({"Variant", "Policy", "Elapsed (s)", "Cons faults",
+             "D flushes", "D purges"});
+    std::uint64_t fixed_f_ops = 0, aligned_f_ops = 0;
+
+    // Spec order: fixed {A, B, F}, then aligned {A, B, F}.
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const RunResult &r = outcomes[i].result;
+        t.row();
+        t.cell(r.workload);
+        t.cell(r.policy);
+        t.cell(r.seconds, 4);
+        t.cell(r.consistencyFaults());
+        t.cell(r.dPageFlushes());
+        t.cell(r.dPagePurges());
+        if (i % 3 == 2) {
+            (i < 3 ? fixed_f_ops : aligned_f_ops) =
+                r.dPageFlushes() + r.dPagePurges();
         }
     }
     t.print();
@@ -66,11 +84,36 @@ main()
                 "work under every policy (lazy F\n");
     std::printf("least); kernel-chosen aligned addresses eliminate it "
                 "entirely.\n");
-    const bool shapes_ok =
-        fixed_f_ops > 0 && aligned_f_ops < fixed_f_ops / 4;
-    std::printf("SHAPE CHECK: %s (F fixed=%llu ops, F aligned=%llu)\n",
-                shapes_ok ? "PASS" : "FAIL",
+    std::printf("F fixed=%llu ops, F aligned=%llu ops\n",
                 (unsigned long long)fixed_f_ops,
                 (unsigned long long)aligned_f_ops);
-    return shapes_ok ? 0 : 1;
+    const bool shapes_ok =
+        fixed_f_ops > 0 && aligned_f_ops < fixed_f_ops / 4;
+    return shapeCheck(opt, shapes_ok,
+                      "fixed aliases cost ops, aligned aliases "
+                      "nearly none");
 }
+
+[[maybe_unused]] const bool registered = [] {
+    Suite s;
+    s.name = "shared-db";
+    s.title = "Ablation: shared persistent data structure (db-server)";
+    s.paperRef = "Wheeler & Bershad 1992, Section 2.2 (fixed-address "
+                 "aliases)";
+    s.order = 110;
+    s.specs = sharedDbSpecs;
+    s.report = sharedDbReport;
+    registerSuite(std::move(s));
+    return true;
+}();
+
+} // anonymous namespace
+} // namespace vic::bench
+
+#ifdef VIC_SUITE_STANDALONE
+int
+main(int argc, char **argv)
+{
+    return vic::bench::suiteMain("shared-db", argc, argv);
+}
+#endif

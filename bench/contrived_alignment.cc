@@ -12,45 +12,69 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
+#include "bench/suites.hh"
 #include "common/table.hh"
 #include "workload/contrived_alias.hh"
 
-using namespace vic;
-using namespace vic::bench;
-
-int
-main()
+namespace vic::bench
 {
-    banner("Contrived alignment microbenchmark",
-           "Wheeler & Bershad 1992, Section 2.5 (in-text experiment)");
+namespace
+{
 
-    // The paper's 1,000,000 writes, scaled 1:25 (the ratio is
-    // preserved; multiply the times by 25 to compare absolutes).
-    const std::uint32_t writes = 40000;
+// The paper's 1,000,000 writes, scaled 1:25 (the ratio is preserved;
+// multiply the times by 25 to compare absolutes).
+constexpr std::uint32_t kWrites = 40000;
+constexpr std::uint32_t kSmokeWrites = 4000;
+
+std::vector<RunSpec>
+contrivedSpecs(const SuiteOptions &opt)
+{
+    const std::uint32_t writes = opt.smoke ? kSmokeWrites : kWrites;
+    std::vector<RunSpec> specs;
+    for (const auto &cfg :
+         {PolicyConfig::configF(), PolicyConfig::configA()}) {
+        for (bool aligned : {true, false}) {
+            RunSpec spec;
+            spec.suite = "contrived";
+            spec.id = std::string("contrived/") +
+                      (aligned ? "aligned" : "unaligned") + "/" +
+                      policyTag(cfg);
+            spec.make = [aligned, writes] {
+                return std::make_unique<ContrivedAlias>(
+                    ContrivedAlias::Params{aligned, writes, false});
+            };
+            spec.policy = cfg;
+            specs.push_back(std::move(spec));
+        }
+    }
+    return specs;
+}
+
+bool
+contrivedReport(const SuiteOptions &opt,
+                const std::vector<RunOutcome> &outcomes)
+{
+    const std::uint32_t writes = opt.smoke ? kSmokeWrites : kWrites;
 
     Table t({"Variant", "Policy", "Writes", "Elapsed (s)",
              "Consistency faults", "D flushes", "D purges"});
 
+    // Spec order: F/aligned, F/unaligned, A/aligned, A/unaligned.
     double aligned_s = 0, unaligned_s = 0;
-    for (const auto &cfg :
-         {PolicyConfig::configF(), PolicyConfig::configA()}) {
-        for (bool aligned : {true, false}) {
-            ContrivedAlias wl({aligned, writes, false});
-            RunResult r = runWorkload(wl, cfg);
-            checkOracle(r);
-            t.row();
-            t.cell(r.workload);
-            t.cell(r.policy);
-            t.cell(std::uint64_t(writes));
-            t.cell(r.seconds, 6);
-            t.cell(r.consistencyFaults());
-            t.cell(r.dPageFlushes());
-            t.cell(r.dPagePurges());
-            if (cfg.name == PolicyConfig::configF().name) {
-                (aligned ? aligned_s : unaligned_s) = r.seconds;
-            }
-        }
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const RunResult &r = outcomes[i].result;
+        t.row();
+        t.cell(r.workload);
+        t.cell(r.policy);
+        t.cell(std::uint64_t(writes));
+        t.cell(r.seconds, 6);
+        t.cell(r.consistencyFaults());
+        t.cell(r.dPageFlushes());
+        t.cell(r.dPagePurges());
+        if (i == 0)
+            aligned_s = r.seconds;
+        else if (i == 1)
+            unaligned_s = r.seconds;
     }
     t.print();
 
@@ -58,8 +82,31 @@ main()
                 unaligned_s / aligned_s);
     std::printf("paper: aligned = 'a fraction of a second', unaligned "
                 "= 'over 2 minutes' (roughly 300x or more)\n");
-    const bool shapes_ok = unaligned_s > 50 * aligned_s;
-    std::printf("SHAPE CHECK: %s (>= 2 orders of magnitude)\n",
-                shapes_ok ? "PASS" : "FAIL");
-    return shapes_ok ? 0 : 1;
+    return shapeCheck(opt, unaligned_s > 50 * aligned_s,
+                      "unaligned at least 2 orders of magnitude "
+                      "slower than aligned");
 }
+
+[[maybe_unused]] const bool registered = [] {
+    Suite s;
+    s.name = "contrived";
+    s.title = "Contrived alignment microbenchmark";
+    s.paperRef =
+        "Wheeler & Bershad 1992, Section 2.5 (in-text experiment)";
+    s.order = 60;
+    s.specs = contrivedSpecs;
+    s.report = contrivedReport;
+    registerSuite(std::move(s));
+    return true;
+}();
+
+} // anonymous namespace
+} // namespace vic::bench
+
+#ifdef VIC_SUITE_STANDALONE
+int
+main(int argc, char **argv)
+{
+    return vic::bench::suiteMain("contrived", argc, argv);
+}
+#endif

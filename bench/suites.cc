@@ -1,0 +1,288 @@
+#include "bench/suites.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "workload/afs_bench.hh"
+#include "workload/kernel_build.hh"
+#include "workload/latex_bench.hh"
+
+namespace vic::bench
+{
+
+// ----------------------------------------------------------------------
+// Registry
+// ----------------------------------------------------------------------
+
+namespace
+{
+
+std::vector<Suite> &
+registry()
+{
+    static std::vector<Suite> suites;
+    return suites;
+}
+
+} // anonymous namespace
+
+void
+registerSuite(Suite suite)
+{
+    registry().push_back(std::move(suite));
+}
+
+std::vector<const Suite *>
+allSuites()
+{
+    std::vector<const Suite *> out;
+    for (const Suite &s : registry())
+        out.push_back(&s);
+    std::sort(out.begin(), out.end(),
+              [](const Suite *a, const Suite *b) {
+                  return a->order < b->order;
+              });
+    return out;
+}
+
+const Suite *
+findSuite(const std::string &name)
+{
+    for (const Suite &s : registry()) {
+        if (s.name == name)
+            return &s;
+    }
+    return nullptr;
+}
+
+// ----------------------------------------------------------------------
+// Paper workloads at full and smoke scale
+// ----------------------------------------------------------------------
+
+std::unique_ptr<Workload>
+makePaperWorkload(std::size_t idx, bool smoke)
+{
+    switch (idx) {
+      case 0: {
+          AfsBench::Params p;
+          if (smoke) {
+              p.numFiles = 8;
+              p.computePerFile /= 4;
+          }
+          return std::make_unique<AfsBench>(p);
+      }
+      case 1: {
+          LatexBench::Params p;
+          if (smoke) {
+              p.passes = 1;
+              p.inputPages = 3;
+          }
+          return std::make_unique<LatexBench>(p);
+      }
+      default: {
+          KernelBuild::Params p;
+          if (smoke) {
+              p.numSourceFiles = 12;
+              p.computePerFile /= 4;
+          }
+          return std::make_unique<KernelBuild>(p);
+      }
+    }
+}
+
+std::uint64_t
+paperWorkloadSeed(std::size_t idx)
+{
+    switch (idx) {
+      case 0: return AfsBench::Params{}.seed;
+      case 1: return LatexBench::Params{}.seed;
+      default: return KernelBuild::Params{}.seed;
+    }
+}
+
+std::string
+policyTag(const PolicyConfig &policy)
+{
+    // Policy display names carry explanatory suffixes
+    // ("F (+will overwrite)"); ids use the leading tag only.
+    const std::size_t space = policy.name.find(' ');
+    return space == std::string::npos ? policy.name
+                                      : policy.name.substr(0, space);
+}
+
+RunSpec
+paperSpec(const std::string &suite, std::size_t idx,
+          const PolicyConfig &policy, const SuiteOptions &opt,
+          const MachineParams &mp, const std::string &variant)
+{
+    static const char *names[] = {"afs-bench", "latex-paper",
+                                  "kernel-build"};
+    RunSpec spec;
+    spec.suite = suite;
+    spec.id = suite + "/" + names[idx < 2 ? idx : 2] + "/" +
+              policyTag(policy);
+    if (!variant.empty())
+        spec.id += "/" + variant;
+    const bool smoke = opt.smoke;
+    spec.make = [idx, smoke] { return makePaperWorkload(idx, smoke); };
+    spec.policy = policy;
+    spec.machine = mp;
+    spec.seed = paperWorkloadSeed(idx);
+    return spec;
+}
+
+RunSpec
+paperSpec(const std::string &suite, std::size_t idx,
+          const PolicyConfig &policy, const SuiteOptions &opt)
+{
+    return paperSpec(suite, idx, policy, opt, MachineParams::hp720(),
+                     "");
+}
+
+// ----------------------------------------------------------------------
+// Report helpers
+// ----------------------------------------------------------------------
+
+bool
+outcomesClean(const std::vector<RunOutcome> &outcomes)
+{
+    bool clean = true;
+    for (const RunOutcome &out : outcomes) {
+        if (!out.ok) {
+            std::fprintf(stderr, "FAILED run %s: %s\n",
+                         out.id.c_str(), out.error.c_str());
+            clean = false;
+        } else if (out.result.oracleViolations != 0) {
+            std::fprintf(
+                stderr,
+                "FATAL: %llu consistency violations in %s\n",
+                (unsigned long long)out.result.oracleViolations,
+                out.id.c_str());
+            clean = false;
+        }
+    }
+    return clean;
+}
+
+bool
+shapeCheck(const SuiteOptions &opt, bool ok, const char *what)
+{
+    if (ok) {
+        std::printf("SHAPE CHECK: PASS (%s)\n", what);
+        return true;
+    }
+    if (opt.smoke) {
+        std::printf("SHAPE CHECK: advisory-fail under --smoke "
+                    "(%s; calibrated for full scale)\n",
+                    what);
+        return true;
+    }
+    std::printf("SHAPE CHECK: FAIL (%s)\n", what);
+    return false;
+}
+
+void
+suiteBanner(const Suite &suite)
+{
+    std::printf("==============================================="
+                "=====================\n");
+    std::printf("%s\n", suite.title.c_str());
+    std::printf("reproduces: %s\n", suite.paperRef.c_str());
+    std::printf("machine: scaled HP 9000/720 (50 MHz, VIPT "
+                "write-back D-cache)\n");
+    std::printf("==============================================="
+                "=====================\n\n");
+}
+
+// ----------------------------------------------------------------------
+// Standalone driver
+// ----------------------------------------------------------------------
+
+int
+suiteMain(const std::string &name, int argc, char **argv)
+{
+    ExperimentEngine::Options engine_opts;
+    SuiteOptions suite_opts;
+    std::string json_path;
+    std::size_t trace_events = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--jobs" || arg == "-j") {
+            engine_opts.jobs =
+                static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--smoke") {
+            suite_opts.smoke = true;
+        } else if (arg == "--json") {
+            json_path = next();
+        } else if (arg == "--trace") {
+            trace_events = std::strtoul(next(), nullptr, 10);
+        } else if (arg == "--progress") {
+            engine_opts.echoProgress = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: %s [--jobs N] [--smoke] [--json PATH] "
+                        "[--trace N] [--progress]\n",
+                        argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option %s (try --help)\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    const Suite *suite = findSuite(name);
+    if (!suite) {
+        std::fprintf(stderr, "suite '%s' is not registered\n",
+                     name.c_str());
+        return 2;
+    }
+
+    suiteBanner(*suite);
+
+    std::vector<RunSpec> specs = suite->specs(suite_opts);
+    for (RunSpec &spec : specs)
+        spec.traceEvents = trace_events;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    ExperimentEngine engine;
+    std::vector<RunOutcome> outcomes = engine.run(specs, engine_opts);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    bool ok = outcomesClean(outcomes);
+    if (ok && suite->report)
+        ok = suite->report(suite_opts, outcomes);
+    if (suite->validate)
+        ok = suite->validate(suite_opts) && ok;
+
+    if (!json_path.empty()) {
+        ArtifactMeta meta;
+        meta.jobs = engine_opts.jobs;
+        meta.smoke = suite_opts.smoke;
+        meta.filter = suite->name;
+        meta.wallSeconds = wall;
+        if (!writeArtifactFile(json_path, meta, outcomes)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         json_path.c_str());
+            return 2;
+        }
+        std::printf("\nwrote %zu run(s) to %s\n", outcomes.size(),
+                    json_path.c_str());
+    }
+    return ok ? 0 : 1;
+}
+
+} // namespace vic::bench

@@ -10,32 +10,38 @@
  * large reductions in page flush and purge counts.
  */
 
-#include "bench/bench_util.hh"
+#include "bench/suites.hh"
 #include "common/table.hh"
 
-using namespace vic;
-using namespace vic::bench;
-
-int
-main()
+namespace vic::bench
 {
-    banner("Table 1: old vs new consistency management",
-           "Wheeler & Bershad 1992, Table 1 (Section 2.5)");
+namespace
+{
 
+std::vector<RunSpec>
+table1Specs(const SuiteOptions &opt)
+{
+    std::vector<RunSpec> specs;
+    for (std::size_t i = 0; i < numPaperWorkloads; ++i) {
+        specs.push_back(
+            paperSpec("table1", i, PolicyConfig::configA(), opt));
+        specs.push_back(
+            paperSpec("table1", i, PolicyConfig::configF(), opt));
+    }
+    return specs;
+}
+
+bool
+table1Report(const SuiteOptions &opt,
+             const std::vector<RunOutcome> &outcomes)
+{
     Table t({"Program", "Elapsed old (s)", "Elapsed new (s)", "% gain",
              "Flushes old", "Flushes new", "Purges old", "Purges new"});
-
-    const PolicyConfig old_cfg = PolicyConfig::configA();
-    const PolicyConfig new_cfg = PolicyConfig::configF();
     bool shapes_ok = true;
 
     for (std::size_t i = 0; i < numPaperWorkloads; ++i) {
-        auto w_old = paperWorkload(i);
-        auto w_new = paperWorkload(i);
-        RunResult r_old = runWorkload(*w_old, old_cfg);
-        RunResult r_new = runWorkload(*w_new, new_cfg);
-        checkOracle(r_old);
-        checkOracle(r_new);
+        const RunResult &r_old = outcomes[2 * i].result;
+        const RunResult &r_new = outcomes[2 * i + 1].result;
 
         t.row();
         t.cell(r_old.workload);
@@ -59,8 +65,30 @@ main()
                 "5%%, kernel-build 8.5%%\n");
     std::printf("(absolute seconds are scaled-down workloads; the "
                 "gains and count reductions are the result)\n");
-    std::printf("SHAPE CHECK: %s (new faster by 2-20%% on every "
-                "benchmark, counts reduced)\n",
-                shapes_ok ? "PASS" : "FAIL");
-    return shapes_ok ? 0 : 1;
+    return shapeCheck(opt, shapes_ok,
+                      "new faster by 2-20% on every benchmark, "
+                      "counts reduced");
 }
+
+[[maybe_unused]] const bool registered = [] {
+    Suite s;
+    s.name = "table1";
+    s.title = "Table 1: old vs new consistency management";
+    s.paperRef = "Wheeler & Bershad 1992, Table 1 (Section 2.5)";
+    s.order = 10;
+    s.specs = table1Specs;
+    s.report = table1Report;
+    registerSuite(std::move(s));
+    return true;
+}();
+
+} // anonymous namespace
+} // namespace vic::bench
+
+#ifdef VIC_SUITE_STANDALONE
+int
+main(int argc, char **argv)
+{
+    return vic::bench::suiteMain("table1", argc, argv);
+}
+#endif

@@ -9,20 +9,23 @@
  *     a micro-scenario builds a one-line cache in the claimed state,
  *     applies the operation with the required flush/purge, and checks
  *     that no stale data is ever transferred.
+ *
+ * The scenarios build their own single-line caches rather than full
+ * machines, so this suite contributes no engine runs; everything
+ * happens in validate().
  */
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
+#include "bench/suites.hh"
 #include "cache/cache.hh"
 #include "common/table.hh"
 #include "core/cache_page_state.hh"
 #include "core/spec_executor.hh"
 #include "mem/physical_memory.hh"
 
-using namespace vic;
-using namespace vic::bench;
-
+namespace vic::bench
+{
 namespace
 {
 
@@ -43,7 +46,8 @@ cellText(CachePageState from, SpecTransition t)
 
 /** Rebuild a one-line VIPT cache into a given model state for
  *  (va, pa) and check the operation's transition preserves data
- *  visibility. Returns the number of scenarios checked. */
+ *  visibility. Returns the number of scenarios checked, or -1 on the
+ *  first inconsistent one. */
 int
 validateAgainstConcreteCache()
 {
@@ -100,7 +104,7 @@ validateAgainstConcreteCache()
                                    memOpName(op),
                                    cachePageStateName(from), got,
                                    newest);
-                      std::exit(1);
+                      return -1;
                   }
                   break;
               }
@@ -108,7 +112,7 @@ validateAgainstConcreteCache()
                   cache.write(va, pa, 400);
                   if (cache.read(va, pa) != 400) {
                       std::fprintf(stderr, "FAIL write-read\n");
-                      std::exit(1);
+                      return -1;
                   }
                   break;
               case MemOp::DmaRead: {
@@ -120,7 +124,7 @@ validateAgainstConcreteCache()
                                    "want %u\n",
                                    cachePageStateName(from),
                                    mem.readWord(pa), newest);
-                      std::exit(1);
+                      return -1;
                   }
                   break;
               }
@@ -131,7 +135,7 @@ validateAgainstConcreteCache()
                   cache.purgeLine(va, pa);
                   if (cache.read(va, pa) != 500) {
                       std::fprintf(stderr, "FAIL DMA-write refetch\n");
-                      std::exit(1);
+                      return -1;
                   }
                   break;
               }
@@ -143,7 +147,7 @@ validateAgainstConcreteCache()
                   if (from == CachePageState::Dirty &&
                       mem.readWord(pa) != newest) {
                       std::fprintf(stderr, "FAIL flush write-back\n");
-                      std::exit(1);
+                      return -1;
                   }
                   break;
             }
@@ -153,14 +157,9 @@ validateAgainstConcreteCache()
     return checked;
 }
 
-} // anonymous namespace
-
-int
-main()
+bool
+table2Validate(const SuiteOptions &)
 {
-    banner("Table 2: cache line state transitions",
-           "Wheeler & Bershad 1992, Table 2 (Section 3.2)");
-
     Table t({"Operation", "Target cache line",
              "Similarly mapped, unaligned lines"});
     for (MemOp op : allMemOps) {
@@ -187,7 +186,34 @@ main()
 
     // Validation 2: concrete cache scenarios.
     int n = validateAgainstConcreteCache();
+    if (n < 0)
+        return false;
     std::printf("validated %d (state x operation) scenarios against "
                 "the concrete cache simulator: all consistent\n", n);
-    return 0;
+    return true;
 }
+
+[[maybe_unused]] const bool registered = [] {
+    Suite s;
+    s.name = "table2";
+    s.title = "Table 2: cache line state transitions";
+    s.paperRef = "Wheeler & Bershad 1992, Table 2 (Section 3.2)";
+    s.order = 20;
+    s.specs = [](const SuiteOptions &) {
+        return std::vector<RunSpec>{};
+    };
+    s.validate = table2Validate;
+    registerSuite(std::move(s));
+    return true;
+}();
+
+} // anonymous namespace
+} // namespace vic::bench
+
+#ifdef VIC_SUITE_STANDALONE
+int
+main(int argc, char **argv)
+{
+    return vic::bench::suiteMain("table2", argc, argv);
+}
+#endif

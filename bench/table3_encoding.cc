@@ -6,26 +6,47 @@
  * (resident frame, colour) pair during a real workload run under the
  * lazy pmap, tallying how often each state occurs and checking the
  * encoding invariants throughout.
+ *
+ * The engine contributes the oracle-checked afs-bench/config-F sweep;
+ * the live census needs direct access to the LazyPmap internals, so
+ * it builds its own machine inside validate().
  */
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
+#include "bench/suites.hh"
 #include "common/table.hh"
 #include "core/lazy_pmap.hh"
 #include "machine/machine.hh"
 #include "oracle/consistency_oracle.hh"
 #include "os/kernel.hh"
+#include "workload/latex_bench.hh"
 
-using namespace vic;
-using namespace vic::bench;
-
-int
-main()
+namespace vic::bench
 {
-    banner("Table 3: cache page state encoding",
-           "Wheeler & Bershad 1992, Table 3 (Section 4.1)");
+namespace
+{
 
+std::vector<RunSpec>
+table3Specs(const SuiteOptions &opt)
+{
+    return {paperSpec("table3", 0, PolicyConfig::configF(), opt)};
+}
+
+bool
+table3Report(const SuiteOptions &, const std::vector<RunOutcome> &out)
+{
+    const RunResult &r = out[0].result;
+    std::printf("engine sweep: afs-bench under config F, oracle "
+                "checked %llu transfers, %llu violations\n\n",
+                (unsigned long long)r.oracleChecked,
+                (unsigned long long)r.oracleViolations);
+    return true;
+}
+
+bool
+table3Validate(const SuiteOptions &opt)
+{
     Table t({"Cache page state", "P[p].mapped[c]", "P[p].stale[c]",
              "P[p].cache_dirty"});
     t.row();
@@ -83,8 +104,7 @@ main()
         warm.run(kernel);
         sample();
     }
-    AfsBench wl;
-    wl.run(kernel);
+    makePaperWorkload(0, opt.smoke)->run(kernel);
     sample();
 
     std::printf("\nlive census of decoded (frame, colour) data-cache "
@@ -99,5 +119,29 @@ main()
     std::printf("oracle: %llu transfers checked, %llu violations\n",
                 (unsigned long long)oracle.checkedCount(),
                 (unsigned long long)oracle.violationCount());
-    return oracle.violationCount() == 0 ? 0 : 1;
+    return oracle.violationCount() == 0;
 }
+
+[[maybe_unused]] const bool registered = [] {
+    Suite s;
+    s.name = "table3";
+    s.title = "Table 3: cache page state encoding";
+    s.paperRef = "Wheeler & Bershad 1992, Table 3 (Section 4.1)";
+    s.order = 30;
+    s.specs = table3Specs;
+    s.report = table3Report;
+    s.validate = table3Validate;
+    registerSuite(std::move(s));
+    return true;
+}();
+
+} // anonymous namespace
+} // namespace vic::bench
+
+#ifdef VIC_SUITE_STANDALONE
+int
+main(int argc, char **argv)
+{
+    return vic::bench::suiteMain("table3", argc, argv);
+}
+#endif

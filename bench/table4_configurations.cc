@@ -15,12 +15,11 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
+#include "bench/suites.hh"
 #include "common/table.hh"
 
-using namespace vic;
-using namespace vic::bench;
-
+namespace vic::bench
+{
 namespace
 {
 
@@ -30,32 +29,37 @@ avgCycles(const RunResult &r, const char *cycles, std::uint64_t count)
     return count == 0 ? 0.0 : double(r.stat(cycles)) / double(count);
 }
 
-} // anonymous namespace
-
-int
-main()
+std::vector<RunSpec>
+table4Specs(const SuiteOptions &opt)
 {
-    banner("Table 4: the six consistency-management configurations",
-           "Wheeler & Bershad 1992, Table 4 (Section 5)");
+    std::vector<RunSpec> specs;
+    for (std::size_t w = 0; w < numPaperWorkloads; ++w) {
+        for (const auto &cfg : PolicyConfig::table4Sweep())
+            specs.push_back(paperSpec("table4", w, cfg, opt));
+    }
+    return specs;
+}
 
-    const auto configs = PolicyConfig::table4Sweep();
+bool
+table4Report(const SuiteOptions &opt,
+             const std::vector<RunOutcome> &outcomes)
+{
+    const std::size_t num_configs =
+        outcomes.size() / numPaperWorkloads;
 
     // Keep results for the totals row and the Section 5.1 analysis.
     std::vector<RunResult> config_f;
     bool shapes_ok = true;
 
     for (std::size_t w = 0; w < numPaperWorkloads; ++w) {
-        std::string wname;
         Table t({"Config", "Elapsed (s)", "Map faults", "Cons faults",
                  "D flushes", "DMA-rd flushes", "D->I flushes",
                  "D purges", "I purges", "DMA-wr purges",
                  "cyc/flush", "cyc/purge"});
         std::vector<RunResult> per_config;
-        for (const auto &cfg : configs) {
-            auto wl = paperWorkload(w);
-            wname = wl->name();
-            RunResult r = runWorkload(*wl, cfg);
-            checkOracle(r);
+        for (std::size_t c = 0; c < num_configs; ++c) {
+            const RunResult &r =
+                outcomes[w * num_configs + c].result;
             per_config.push_back(r);
 
             const std::uint64_t flush_ops =
@@ -80,10 +84,11 @@ main()
             t.cell(avgCycles(r, "dcache.flush_cycles", flush_ops), 1);
             t.cell(avgCycles(r, "dcache.purge_cycles", purge_ops), 1);
 
-            if (&cfg == &configs.back())
+            if (c + 1 == num_configs)
                 config_f.push_back(r);
         }
-        std::printf("--- %s ---\n", wname.c_str());
+        std::printf("--- %s ---\n",
+                    per_config.front().workload.c_str());
         t.print();
         std::printf("\n");
 
@@ -104,7 +109,7 @@ main()
     std::uint64_t dma_rd = 0, d2i = 0, dma_wr = 0;
     std::uint64_t cons_faults = 0;
     double seconds = 0;
-    Cycles purge_cycles = 0, nondma_purge_pages = 0;
+    Cycles purge_cycles = 0;
     for (const auto &r : config_f) {
         flushes += r.dPageFlushes();
         purges_d += r.dPagePurges();
@@ -115,9 +120,7 @@ main()
         cons_faults += r.consistencyFaults();
         seconds += r.seconds;
         purge_cycles += r.stat("dcache.purge_cycles");
-        nondma_purge_pages += r.dPagePurges() - r.dmaWritePurges();
     }
-    (void)nondma_purge_pages;
 
     std::printf("=== configuration F totals across the three "
                 "benchmarks ===\n");
@@ -145,9 +148,31 @@ main()
                 "-- the paper: 1.50 s = 0.22%%\n",
                 double(purge_cycles) / 50e6,
                 100.0 * double(purge_cycles) / 50e6 / seconds);
-    std::printf("SHAPE CHECK: %s (monotone A->F, constant mapping "
-                "faults, collapsing consistency faults,\n"
-                "             config-F flush identity)\n",
-                shapes_ok ? "PASS" : "FAIL");
-    return shapes_ok ? 0 : 1;
+    return shapeCheck(opt, shapes_ok,
+                      "monotone A->F, constant mapping faults, "
+                      "collapsing consistency faults, config-F flush "
+                      "identity");
 }
+
+[[maybe_unused]] const bool registered = [] {
+    Suite s;
+    s.name = "table4";
+    s.title = "Table 4: the six consistency-management configurations";
+    s.paperRef = "Wheeler & Bershad 1992, Table 4 (Section 5)";
+    s.order = 40;
+    s.specs = table4Specs;
+    s.report = table4Report;
+    registerSuite(std::move(s));
+    return true;
+}();
+
+} // anonymous namespace
+} // namespace vic::bench
+
+#ifdef VIC_SUITE_STANDALONE
+int
+main(int argc, char **argv)
+{
+    return vic::bench::suiteMain("table4", argc, argv);
+}
+#endif

@@ -10,18 +10,28 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
+#include "bench/suites.hh"
 #include "common/table.hh"
 
-using namespace vic;
-using namespace vic::bench;
-
-int
-main()
+namespace vic::bench
 {
-    banner("Table 5: related-work systems comparison",
-           "Wheeler & Bershad 1992, Table 5 (Section 6)");
+namespace
+{
 
+std::vector<RunSpec>
+table5Specs(const SuiteOptions &opt)
+{
+    std::vector<RunSpec> specs;
+    for (std::size_t w = 0; w < numPaperWorkloads; ++w) {
+        for (const auto &cfg : PolicyConfig::table5Systems())
+            specs.push_back(paperSpec("table5", w, cfg, opt));
+    }
+    return specs;
+}
+
+void
+printFunctionalMatrix()
+{
     // Functional matrix (from the paper's narrative; our policy
     // parametrisation of each system).
     Table f({"System", "Unaligned aliases", "Unmap policy",
@@ -69,19 +79,26 @@ main()
     f.cell(std::string("no / no"));
     f.print();
     std::printf("\n");
+}
+
+bool
+table5Report(const SuiteOptions &opt,
+             const std::vector<RunOutcome> &outcomes)
+{
+    printFunctionalMatrix();
+
+    const std::size_t num_systems =
+        outcomes.size() / numPaperWorkloads;
 
     // Measured comparison on the three paper workloads.
     bool shapes_ok = true;
     for (std::size_t w = 0; w < numPaperWorkloads; ++w) {
-        std::string wname;
         Table t({"System", "Elapsed (s)", "D flushes", "D purges",
                  "I purges", "Cons faults", "Total cache ops"});
         std::vector<RunResult> rs;
-        for (const auto &cfg : PolicyConfig::table5Systems()) {
-            auto wl = paperWorkload(w);
-            wname = wl->name();
-            RunResult r = runWorkload(*wl, cfg);
-            checkOracle(r);
+        for (std::size_t i = 0; i < num_systems; ++i) {
+            const RunResult &r =
+                outcomes[w * num_systems + i].result;
             t.row();
             t.cell(r.policy);
             t.cell(r.seconds, 4);
@@ -93,7 +110,7 @@ main()
                    r.iPagePurges());
             rs.push_back(r);
         }
-        std::printf("--- %s ---\n", wname.c_str());
+        std::printf("--- %s ---\n", rs.front().workload.c_str());
         t.print();
         std::printf("\n");
 
@@ -106,6 +123,30 @@ main()
 
     std::printf("expected shape: the CMU row performs the fewest "
                 "cache operations on every workload\n");
-    std::printf("SHAPE CHECK: %s\n", shapes_ok ? "PASS" : "FAIL");
-    return shapes_ok ? 0 : 1;
+    return shapeCheck(opt, shapes_ok,
+                      "CMU performs the fewest cache operations on "
+                      "every workload");
 }
+
+[[maybe_unused]] const bool registered = [] {
+    Suite s;
+    s.name = "table5";
+    s.title = "Table 5: related-work systems comparison";
+    s.paperRef = "Wheeler & Bershad 1992, Table 5 (Section 6)";
+    s.order = 50;
+    s.specs = table5Specs;
+    s.report = table5Report;
+    registerSuite(std::move(s));
+    return true;
+}();
+
+} // anonymous namespace
+} // namespace vic::bench
+
+#ifdef VIC_SUITE_STANDALONE
+int
+main(int argc, char **argv)
+{
+    return vic::bench::suiteMain("table5", argc, argv);
+}
+#endif

@@ -8,7 +8,15 @@
 #   3. protocol lint: verify_policy must prove every shipping policy
 #      sound and the broken one unsound with a replaying
 #      counterexample;
-#   4. style lint: clang-format / clang-tidy, skipped with a notice
+#   4. bench smoke: vic_bench sweeps every suite at smoke scale
+#      through the experiment engine, gated on zero oracle
+#      violations, and archives the JSON artifact (BENCH_smoke.json);
+#      the same sweep rerun serially must produce an artifact
+#      equivalent to the parallel one modulo wall-clock — the
+#      engine's determinism contract;
+#   5. thread sanitizer: the experiment engine's fan-out (engine
+#      tests + the smoke sweep) rebuilt and rerun under TSan;
+#   6. style lint: clang-format / clang-tidy, skipped with a notice
 #      when the tools are not installed (they are configs-first: the
 #      repo must stay clean under gcc -Werror regardless).
 #
@@ -38,6 +46,27 @@ step "sanitizer ctest"
 
 step "protocol lint (verify_policy)"
 ./build/tools/verify_policy
+
+step "bench smoke sweep (vic_bench, --jobs 2)"
+./build/tools/vic_bench --smoke --jobs 2 --json BENCH_smoke.json
+echo "artifact archived: BENCH_smoke.json"
+
+step "bench determinism (--jobs 1 vs --jobs 2 artifacts)"
+./build/tools/vic_bench --smoke --jobs 1 --json BENCH_smoke_j1.json \
+    >/dev/null
+./build/tools/vic_bench --diff BENCH_smoke_j1.json BENCH_smoke.json
+rm -f BENCH_smoke_j1.json
+
+step "thread sanitizer build (experiment engine)"
+cmake -B build-tsan -S . -DVIC_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" \
+    --target experiment_engine_test vic_bench
+
+step "thread sanitizer: engine tests + smoke sweep"
+./build-tsan/tests/experiment_engine_test
+./build-tsan/tools/vic_bench --smoke --jobs 4 --json /dev/null \
+    >/dev/null
+echo "TSan: clean"
 
 step "style lint"
 if command -v clang-format >/dev/null 2>&1; then

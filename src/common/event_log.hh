@@ -90,4 +90,19 @@ class EventLog
 
 } // namespace vic
 
+/**
+ * Log one event with the message construction provably skipped when
+ * tracing is off: @p expr is evaluated only after the single
+ * enabled() branch passes, so a hot path never pays for building a
+ * std::string it would immediately drop. Always prefer this (or an
+ * explicit enabled() early-return) over calling log(format(...))
+ * directly. @p evlog is evaluated twice; pass a cheap accessor such
+ * as machine.events().
+ */
+#define VIC_EVLOG(evlog, expr)                                        \
+    do {                                                              \
+        if ((evlog).enabled())                                        \
+            (evlog).log(expr);                                        \
+    } while (0)
+
 #endif // VIC_COMMON_EVENT_LOG_HH

@@ -27,11 +27,9 @@ Pmap::flushDataPage(FrameId frame, CachePageId colour,
 {
     ++statDFlushes;
     ++reasonCounter("d_flush", reason);
-    if (mach.events().enabled()) {
-        mach.events().log(format("flush  D frame=%llu colour=%u (%s)",
-                                 (unsigned long long)frame, colour,
-                                 reason));
-    }
+    VIC_EVLOG(mach.events(),
+              format("flush  D frame=%llu colour=%u (%s)",
+                     (unsigned long long)frame, colour, reason));
     // On a multiprocessor the dirty line may live in any CPU's cache
     // (hardware coherence migrates it): the operation is broadcast, as
     // a cross-processor shootdown would be.
@@ -46,11 +44,9 @@ Pmap::purgeDataPage(FrameId frame, CachePageId colour,
 {
     ++statDPurges;
     ++reasonCounter("d_purge", reason);
-    if (mach.events().enabled()) {
-        mach.events().log(format("purge  D frame=%llu colour=%u (%s)",
-                                 (unsigned long long)frame, colour,
-                                 reason));
-    }
+    VIC_EVLOG(mach.events(),
+              format("purge  D frame=%llu colour=%u (%s)",
+                     (unsigned long long)frame, colour, reason));
     for (std::uint32_t cpu = 0; cpu < mach.numCpus(); ++cpu)
         mach.dcache(cpu).purgePage(dColourVa(colour),
                                    mach.frameAddr(frame));
@@ -62,11 +58,9 @@ Pmap::purgeInstPage(FrameId frame, CachePageId colour,
 {
     ++statIPurges;
     ++reasonCounter("i_purge", reason);
-    if (mach.events().enabled()) {
-        mach.events().log(format("purge  I frame=%llu colour=%u (%s)",
-                                 (unsigned long long)frame, colour,
-                                 reason));
-    }
+    VIC_EVLOG(mach.events(),
+              format("purge  I frame=%llu colour=%u (%s)",
+                     (unsigned long long)frame, colour, reason));
     for (std::uint32_t cpu = 0; cpu < mach.numCpus(); ++cpu)
         mach.icache(cpu).purgePage(iColourVa(colour),
                                    mach.frameAddr(frame));

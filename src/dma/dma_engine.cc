@@ -29,6 +29,12 @@ DmaEngine::deviceWrite(PhysAddr pa, const std::uint32_t *words,
     ++statWrites;
     statWordsMoved += nwords;
     clk.advance(costs.setup + costs.perWord * nwords);
+    if (evlog) {
+        VIC_EVLOG(*evlog,
+                  format("dma-wr pa=%llx words=%u%s",
+                         (unsigned long long)pa.value, nwords,
+                         snooped.empty() ? "" : " (snooped)"));
+    }
 
     for (std::uint32_t i = 0; i < nwords; ++i) {
         PhysAddr addr = pa.plus(std::uint64_t(i) * 4);
@@ -52,6 +58,12 @@ DmaEngine::deviceRead(PhysAddr pa, std::uint32_t *out,
     ++statReads;
     statWordsMoved += nwords;
     clk.advance(costs.setup + costs.perWord * nwords);
+    if (evlog) {
+        VIC_EVLOG(*evlog,
+                  format("dma-rd pa=%llx words=%u%s",
+                         (unsigned long long)pa.value, nwords,
+                         snooped.empty() ? "" : " (snooped)"));
+    }
 
     for (std::uint32_t i = 0; i < nwords; ++i) {
         PhysAddr addr = pa.plus(std::uint64_t(i) * 4);

@@ -20,6 +20,7 @@
 
 #include "cache/cache.hh"
 #include "common/cycle_clock.hh"
+#include "common/event_log.hh"
 #include "common/observer.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -50,6 +51,10 @@ class DmaEngine
     /** Install the transfer observer (consistency oracle). */
     void setObserver(MemoryObserver *obs) { observer = obs; }
 
+    /** Attach the machine's event log; transfers are recorded when it
+     *  is enabled (one guarded branch per transfer, not per word). */
+    void setEventLog(EventLog *log) { evlog = log; }
+
     /**
      * DMA-write: the device deposits @p nwords words into memory
      * starting at @p pa (e.g. a disk read completing). In snooping mode
@@ -73,6 +78,7 @@ class DmaEngine
     CycleClock &clk;
     std::vector<Cache *> snooped;
     MemoryObserver *observer = nullptr;
+    EventLog *evlog = nullptr;
 
     Counter &statWrites;
     Counter &statReads;

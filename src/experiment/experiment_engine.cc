@@ -1,0 +1,150 @@
+#include "experiment/experiment_engine.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace vic
+{
+
+std::uint64_t
+ExperimentEngine::splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+ExperimentEngine::effectiveSeed(std::uint64_t base,
+                                std::uint32_t replica)
+{
+    if (replica == 0)
+        return base;
+    // Two mix rounds over (base, replica) give unrelated streams for
+    // nearby replica indices while staying a pure function of the
+    // spec — no scheduling state can leak in.
+    return splitmix64(splitmix64(base) ^
+                      splitmix64(0x5eedULL + replica));
+}
+
+bool
+ExperimentEngine::matchesFilter(const std::string &id,
+                                const std::string &filter)
+{
+    if (filter.empty())
+        return true;
+    std::size_t start = 0;
+    while (start <= filter.size()) {
+        std::size_t comma = filter.find(',', start);
+        if (comma == std::string::npos)
+            comma = filter.size();
+        const std::string token = filter.substr(start, comma - start);
+        if (!token.empty() && id.find(token) != std::string::npos)
+            return true;
+        start = comma + 1;
+    }
+    return false;
+}
+
+RunOutcome
+ExperimentEngine::runOne(const RunSpec &spec)
+{
+    RunOutcome out;
+    out.id = spec.id;
+    out.suite = spec.suite;
+    out.policy = spec.policy.name;
+    out.seed = spec.seed;
+    out.replica = spec.replica;
+    out.effectiveSeed = effectiveSeed(spec.seed, spec.replica);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+        vic_assert(static_cast<bool>(spec.make),
+                   "RunSpec '%s' has no workload factory",
+                   spec.id.c_str());
+        std::unique_ptr<Workload> workload = spec.make();
+        workload->reseed(out.effectiveSeed);
+        out.workload = workload->name();
+        out.result = runWorkload(*workload, spec.policy, spec.machine,
+                                 spec.os, spec.traceEvents);
+        out.ok = true;
+    } catch (const std::exception &e) {
+        out.ok = false;
+        out.error = e.what();
+    } catch (...) {
+        out.ok = false;
+        out.error = "unknown exception";
+    }
+    if (out.workload.empty())
+        out.workload = out.ok ? out.result.workload : "?";
+    out.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    return out;
+}
+
+std::vector<RunOutcome>
+ExperimentEngine::run(const std::vector<RunSpec> &specs,
+                      const Options &options) const
+{
+    std::vector<RunOutcome> outcomes(specs.size());
+
+    std::mutex progress_mutex;
+    std::atomic<std::size_t> done{0};
+    const auto report = [&](const RunOutcome &out) {
+        if (!options.echoProgress)
+            return;
+        const std::size_t k = ++done;
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        std::fprintf(stderr, "  [%zu/%zu] %-44s %s  (%.2fs)\n", k,
+                     specs.size(), out.id.c_str(),
+                     out.ok ? "ok" : "FAILED", out.wallSeconds);
+    };
+
+    const unsigned jobs =
+        options.jobs < 2 || specs.size() < 2
+            ? 1
+            : std::min<unsigned>(options.jobs,
+                                 static_cast<unsigned>(specs.size()));
+
+    if (jobs == 1) {
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            outcomes[i] = runOne(specs[i]);
+            report(outcomes[i]);
+        }
+        return outcomes;
+    }
+
+    // Work-stealing by atomic index: completion order is arbitrary,
+    // but each worker writes only its claimed outcome slot, so the
+    // returned vector is in spec order by construction.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t) {
+        workers.emplace_back([&] {
+            while (true) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= specs.size())
+                    return;
+                outcomes[i] = runOne(specs[i]);
+                report(outcomes[i]);
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    return outcomes;
+}
+
+} // namespace vic

@@ -636,13 +636,12 @@ Kernel::ipcTransferRegion(TaskId from, VirtAddr src_start, TaskId to)
 bool
 Kernel::handleFault(const Fault &fault)
 {
-    if (mach.events().enabled()) {
-        mach.events().log(format(
-            "fault  %s %s space=%u va=%llx",
-            fault.type == FaultType::Protection ? "prot " : "unmap",
-            accessTypeName(fault.access), fault.address.space,
-            (unsigned long long)fault.address.va.value));
-    }
+    VIC_EVLOG(mach.events(),
+              format("fault  %s %s space=%u va=%llx",
+                     fault.type == FaultType::Protection ? "prot "
+                                                         : "unmap",
+                     accessTypeName(fault.access), fault.address.space,
+                     (unsigned long long)fault.address.va.value));
     if (fault.type == FaultType::Protection) {
         if (pmapImpl->resolveConsistencyFault(fault.address,
                                               fault.access)) {

@@ -96,12 +96,12 @@ PageoutDaemon::pageOut(const Candidate &c)
     obj->clearFrame(c.page);
     kernel.freeFrame(c.frame);
     ++statPageouts;
-    if (m.events().enabled()) {
-        m.events().log(format(
-            "pageout frame=%llu (%s)", (unsigned long long)c.frame,
-            obj->backing() == VmObject::Backing::File ? "dropped"
-                                                      : "swapped"));
-    }
+    VIC_EVLOG(m.events(),
+              format("pageout frame=%llu (%s)",
+                     (unsigned long long)c.frame,
+                     obj->backing() == VmObject::Backing::File
+                         ? "dropped"
+                         : "swapped"));
     return true;
 }
 

@@ -34,6 +34,7 @@ class AfsBench : public Workload
 
     std::string name() const override { return "afs-bench"; }
     void run(Kernel &kernel) override;
+    void reseed(std::uint64_t seed) override { params.seed = seed; }
 
   private:
     Params params;

@@ -53,6 +53,7 @@ class DbServer : public Workload
     }
 
     void run(Kernel &kernel) override;
+    void reseed(std::uint64_t seed) override { params.seed = seed; }
 
   private:
     Params params;

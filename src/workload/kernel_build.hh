@@ -39,6 +39,7 @@ class KernelBuild : public Workload
 
     std::string name() const override { return "kernel-build"; }
     void run(Kernel &kernel) override;
+    void reseed(std::uint64_t seed) override { params.seed = seed; }
 
   private:
     Params params;

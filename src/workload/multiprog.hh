@@ -41,6 +41,7 @@ class MultiProg : public Workload
 
     std::string name() const override { return "multiprog"; }
     void run(Kernel &kernel) override;
+    void reseed(std::uint64_t seed) override { params.seed = seed; }
 
   private:
     Params params;

@@ -13,20 +13,48 @@ RunResult::stat(const std::string &name) const
     return it == stats.end() ? 0 : it->second;
 }
 
+namespace
+{
+
+bool
+matchesPattern(const std::string &name,
+               const RunResult::StatPattern &p)
+{
+    if (!p.exact.empty())
+        return name == p.exact;
+    if (name.size() < p.prefix.size() + p.suffix.size())
+        return false;
+    if (name.compare(0, p.prefix.size(), p.prefix) != 0)
+        return false;
+    return name.compare(name.size() - p.suffix.size(),
+                        p.suffix.size(), p.suffix) == 0;
+}
+
+} // anonymous namespace
+
 std::uint64_t
 RunResult::sumMatching(const std::string &prefix,
                        const std::string &suffix) const
 {
+    return sumMatchingAny(
+        {{.exact = "", .prefix = prefix, .suffix = suffix}});
+}
+
+std::uint64_t
+RunResult::sumMatchingAny(const std::vector<StatPattern> &patterns) const
+{
+    // Each counter contributes at most once, no matter how many
+    // patterns select it: iterate counters (each name appears exactly
+    // once in the map) and test against the pattern list, rather than
+    // summing per-pattern.
     std::uint64_t total = 0;
     for (const auto &[name, value] : stats) {
-        if (name.size() < prefix.size() + suffix.size())
-            continue;
-        if (name.compare(0, prefix.size(), prefix) != 0)
-            continue;
-        if (name.compare(name.size() - suffix.size(), suffix.size(),
-                         suffix) != 0)
-            continue;
-        total += value;
+        for (const auto &p : patterns) {
+            if (matchesPattern(name, p)) {
+                total += value;
+                break;
+            }
+        }
     }
     return total;
 }
@@ -45,11 +73,23 @@ runWorkload(Workload &workload, const PolicyConfig &policy,
 
     workload.run(kernel);
 
+    // Kernel-held statistics that do not live in the machine's
+    // StatSet are exported into it before the snapshot so every
+    // metric a bench reads comes from the same capture point.
+    machine.stats().counter("os.freelist.colour_hits") +=
+        kernel.freeList().colourHits();
+    machine.stats().counter("os.freelist.colour_misses") +=
+        kernel.freeList().colourMisses();
+
     RunResult r;
     r.workload = workload.name();
     r.policy = policy.name;
     r.cycles = machine.clock().now();
-    r.seconds = machine.elapsedSeconds();
+    // Derive seconds from the SAME clock read as r.cycles: a second
+    // read could disagree with the counter snapshot if anything (a
+    // phase reset, an observer) touched the clock in between, and the
+    // two fields must never tell different stories.
+    r.seconds = double(r.cycles) / machine_params.clockHz;
     r.oracleViolations = oracle.violationCount();
     r.oracleChecked = oracle.checkedCount();
     r.stats = machine.stats().snapshot();

@@ -12,6 +12,7 @@
 #ifndef VIC_WORKLOAD_WORKLOAD_HH
 #define VIC_WORKLOAD_WORKLOAD_HH
 
+#include <cstdint>
 #include <string>
 
 #include "os/kernel.hh"
@@ -29,6 +30,15 @@ class Workload
 
     /** Execute the operation stream against @p kernel. */
     virtual void run(Kernel &kernel) = 0;
+
+    /**
+     * Replace the workload's random-stream seed before run(). The
+     * experiment engine calls this with the RunSpec's (SplitMix64-
+     * expanded) seed so a run's operation stream is a function of its
+     * spec alone — never of scheduling, defaults, or run order.
+     * Workloads without a random stream ignore it.
+     */
+    virtual void reseed(std::uint64_t /*seed*/) {}
 };
 
 } // namespace vic

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * vic_bench — the aggregating bench driver.
+ *
+ * Collects the RunSpecs of every registered suite (bench/suites.hh)
+ * into ONE engine batch, fans the runs out across --jobs worker
+ * threads, then replays each suite's report over its slice of the
+ * outcomes and writes the whole sweep as a single versioned JSON
+ * artifact. Because the engine collects outcomes in spec order and
+ * every run owns its machine, the artifact is byte-identical between
+ * --jobs 1 and --jobs N apart from the wall-clock fields — which is
+ * exactly what --diff checks.
+ *
+ * Usage:
+ *   vic_bench [--list] [--filter s1,s2] [--jobs N] [--smoke]
+ *             [--json PATH] [--trace N] [--progress]
+ *   vic_bench --diff A.json B.json
+ *
+ * --filter takes comma-separated substrings matched against suite
+ * names and run ids (a suite is swept when its name matches, or run
+ * by run when individual ids match). Exit status: 0 when every
+ * selected run completed without oracle violations and every
+ * non-advisory shape check passed.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/suites.hh"
+
+namespace
+{
+
+using namespace vic;
+using namespace vic::bench;
+
+int
+listSuites()
+{
+    std::printf("%-14s %-5s %s\n", "suite", "runs", "title");
+    SuiteOptions opts;
+    for (const Suite *s : allSuites()) {
+        std::printf("%-14s %-5zu %s\n", s->name.c_str(),
+                    s->specs(opts).size(), s->title.c_str());
+    }
+    return 0;
+}
+
+int
+diffArtifacts(const std::string &path_a, const std::string &path_b)
+{
+    auto slurp = [](const std::string &path, std::string *out) {
+        std::ifstream in(path);
+        if (!in)
+            return false;
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        *out = ss.str();
+        return true;
+    };
+    std::string a, b;
+    if (!slurp(path_a, &a) || !slurp(path_b, &b)) {
+        std::fprintf(stderr, "cannot read %s\n",
+                     a.empty() ? path_a.c_str() : path_b.c_str());
+        return 2;
+    }
+    std::string why;
+    if (artifactsEquivalent(a, b, &why)) {
+        std::printf("equivalent (modulo wall-clock): %s == %s\n",
+                    path_a.c_str(), path_b.c_str());
+        return 0;
+    }
+    std::printf("DIFFER: %s\n", why.c_str());
+    return 1;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    ExperimentEngine::Options engine_opts;
+    SuiteOptions suite_opts;
+    std::string json_path;
+    std::string filter;
+    std::size_t trace_events = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            return listSuites();
+        } else if (arg == "--diff") {
+            if (i + 2 >= argc) {
+                std::fprintf(stderr, "--diff needs two paths\n");
+                return 2;
+            }
+            return diffArtifacts(argv[i + 1], argv[i + 2]);
+        } else if (arg == "--filter" || arg == "-f") {
+            filter = next();
+        } else if (arg == "--jobs" || arg == "-j") {
+            engine_opts.jobs = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--smoke") {
+            suite_opts.smoke = true;
+        } else if (arg == "--json") {
+            json_path = next();
+        } else if (arg == "--trace") {
+            trace_events = std::strtoul(next(), nullptr, 10);
+        } else if (arg == "--progress") {
+            engine_opts.echoProgress = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: %s [--list] [--filter s1,s2] [--jobs N] "
+                "[--smoke] [--json PATH] [--trace N] [--progress]\n"
+                "       %s --diff A.json B.json\n",
+                argv[0], argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option %s (try --help)\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    // Gather the selected runs of every suite into one batch; remember
+    // each suite's slice so its report sees exactly its outcomes.
+    struct Slice
+    {
+        const Suite *suite;
+        std::size_t begin, end;
+    };
+    std::vector<RunSpec> batch;
+    std::vector<Slice> slices;
+    for (const Suite *suite : allSuites()) {
+        std::vector<RunSpec> specs = suite->specs(suite_opts);
+        const bool suite_match =
+            ExperimentEngine::matchesFilter(suite->name, filter);
+        const std::size_t begin = batch.size();
+        std::size_t kept = 0;
+        for (RunSpec &spec : specs) {
+            if (!suite_match &&
+                !ExperimentEngine::matchesFilter(spec.id, filter))
+                continue;
+            spec.traceEvents = trace_events;
+            batch.push_back(std::move(spec));
+            ++kept;
+        }
+        // A suite with no engine runs of its own (table2) still
+        // participates when its name matches the filter.
+        if (kept > 0 || (suite_match && specs.empty()))
+            slices.push_back({suite, begin, batch.size()});
+    }
+
+    if (batch.empty() && slices.empty()) {
+        std::fprintf(stderr, "filter '%s' selects nothing "
+                             "(try --list)\n",
+                     filter.c_str());
+        return 2;
+    }
+
+    std::printf("vic_bench: %zu run(s) across %zu suite(s), "
+                "--jobs %u%s\n\n",
+                batch.size(), slices.size(), engine_opts.jobs,
+                suite_opts.smoke ? ", --smoke" : "");
+
+    const auto t0 = std::chrono::steady_clock::now();
+    ExperimentEngine engine;
+    std::vector<RunOutcome> outcomes = engine.run(batch, engine_opts);
+    const double wall =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    // Per-suite reports over their slices. Partial slices (id-level
+    // filters) skip the report — its indexing assumes the full spec
+    // list — but still gate on clean runs.
+    bool ok = outcomesClean(outcomes);
+    for (const Slice &slice : slices) {
+        suiteBanner(*slice.suite);
+        const std::vector<RunOutcome> mine(
+            outcomes.begin() + slice.begin,
+            outcomes.begin() + slice.end);
+        const bool full =
+            mine.size() == slice.suite->specs(suite_opts).size();
+        bool suite_ok = true;
+        if (slice.suite->report && full && outcomesClean(mine))
+            suite_ok = slice.suite->report(suite_opts, mine);
+        else if (slice.suite->report && !full)
+            std::printf("(report skipped: filter selected %zu of the "
+                        "suite's runs)\n",
+                        mine.size());
+        if (slice.suite->validate)
+            suite_ok = slice.suite->validate(suite_opts) && suite_ok;
+        ok = suite_ok && ok;
+        std::printf("\n");
+    }
+
+    std::printf("sweep: %zu run(s) in %.2f s host time -> %s\n",
+                outcomes.size(), wall, ok ? "OK" : "FAILED");
+
+    if (!json_path.empty()) {
+        ArtifactMeta meta;
+        meta.jobs = engine_opts.jobs;
+        meta.smoke = suite_opts.smoke;
+        meta.filter = filter;
+        meta.wallSeconds = wall;
+        if (!writeArtifactFile(json_path, meta, outcomes)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         json_path.c_str());
+            return 2;
+        }
+        std::printf("wrote artifact: %s\n", json_path.c_str());
+    }
+    return ok ? 0 : 1;
+}
