@@ -7,7 +7,10 @@
 #      AddressSanitizer + UndefinedBehaviorSanitizer;
 #   3. protocol lint: verify_policy must prove every shipping policy
 #      sound and the broken one unsound with a replaying
-#      counterexample;
+#      counterexample; the --necessity pass additionally proves every
+#      cache op the shipping lazy policies issue load-bearing and
+#      that no classic policy retains a fully-removable call site,
+#      archiving the machine-readable verdicts (VERIFY_report.json);
 #   4. bench smoke: vic_bench sweeps every suite at smoke scale
 #      through the experiment engine, gated on zero oracle
 #      violations, and archives the JSON artifact (BENCH_smoke.json);
@@ -16,9 +19,11 @@
 #      engine's determinism contract;
 #   5. thread sanitizer: the experiment engine's fan-out (engine
 #      tests + the smoke sweep) rebuilt and rerun under TSan;
-#   6. style lint: clang-format / clang-tidy, skipped with a notice
-#      when the tools are not installed (they are configs-first: the
-#      repo must stay clean under gcc -Werror regardless).
+#   6. determinism lint: no wall-clock or entropy source may appear
+#      in simulation code (tools/lint_determinism.sh) — gating;
+#   7. style lint: clang-format / clang-tidy, gating when installed
+#      and skipped with a notice otherwise (they are configs-first:
+#      the repo must stay clean under gcc -Werror regardless).
 #
 # Usage: ./ci.sh [jobs]
 
@@ -44,8 +49,9 @@ cmake --build build-asan -j "$JOBS"
 step "sanitizer ctest"
 (cd build-asan && ctest --output-on-failure -j "$JOBS")
 
-step "protocol lint (verify_policy)"
-./build/tools/verify_policy
+step "protocol lint (verify_policy --necessity)"
+./build/tools/verify_policy --necessity --json VERIFY_report.json
+echo "artifact archived: VERIFY_report.json"
 
 step "bench smoke sweep (vic_bench, --jobs 2)"
 ./build/tools/vic_bench --smoke --jobs 2 --json BENCH_smoke.json
@@ -68,6 +74,9 @@ step "thread sanitizer: engine tests + smoke sweep"
     >/dev/null
 echo "TSan: clean"
 
+step "determinism lint"
+tools/lint_determinism.sh
+
 step "style lint"
 if command -v clang-format >/dev/null 2>&1; then
     mapfile -t sources < <(git ls-files '*.cc' '*.hh')
@@ -79,7 +88,10 @@ fi
 if command -v clang-tidy >/dev/null 2>&1 && \
    command -v run-clang-tidy >/dev/null 2>&1; then
     cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-    run-clang-tidy -p build -quiet "src/.*" "tools/.*"
+    # Gating: any finding fails the build.
+    run-clang-tidy -p build -quiet -warnings-as-errors='*' \
+        "src/.*" "tools/.*"
+    echo "clang-tidy: clean"
 else
     echo "clang-tidy not installed — skipping (config: .clang-tidy)"
 fi

@@ -72,12 +72,15 @@ targetTransition(CachePageState current, MemOp op)
 
       case MemOp::DmaRead:
         // The device reads memory, so memory must hold the newest
-        // data: a dirty line is flushed (after which it is consistent
-        // with memory, i.e. present).
+        // data: a dirty line is flushed. On this machine a flush
+        // writes back AND invalidates (like every other Dirty+Flush
+        // row of this table), so the page ends Empty; claiming
+        // Present here costs a provably redundant purge of the
+        // absent page on its next differently-mapped use.
         switch (current) {
           case S::Empty: return {S::Empty};
           case S::Present: return {S::Present};
-          case S::Dirty: return {S::Present, R::Flush};
+          case S::Dirty: return {S::Empty, R::Flush};
           case S::Stale: return {S::Stale};
         }
         break;

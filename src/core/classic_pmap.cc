@@ -191,12 +191,12 @@ ClassicPmap::enter(SpaceVa va, FrameId frame, Protection vm_prot,
             : mach.dcache().geometry().aligned(r.va.va, va.va);
         if (!matches) {
             cleanResidue(frame, meta, "newmap");
-            // The new virtual page may hold this frame's stale data
-            // from an even earlier life; Tut removes both old and new
-            // cache pages.
-            purgeDataPage(frame, dColourOf(va.va), "newmap");
-            if (access == AccessType::IFetch)
-                purgeInstPage(frame, iColourOf(va.va), "newmap");
+            // No purge of the new cache page: the residue is the only
+            // place this frame's lines survive outside live mappings
+            // (an earlier residue was cleaned when it was replaced),
+            // so the frame cannot have stale data there. The
+            // necessity analyzer proves every instance of such a
+            // purge redundant.
         } else {
             carry_dirty = r.dirty;
             meta.residue.reset();
@@ -359,10 +359,13 @@ ClassicPmap::resolveConsistencyFault(SpaceVa va, AccessType access)
     if (access == AccessType::IFetch) {
         // Write-to-execute mode switch: flush the dirty data out,
         // assume the instruction cache is stale, trap future writes.
+        // Once exec mode holds no further purge is needed: stores
+        // trap (write-xor-execute) and DMA input purges eagerly, so
+        // the instruction cache cannot have gone stale — the
+        // necessity analyzer proves the old purge-on-every-fault
+        // redundant in every instance.
         if (!meta.execMode)
             enterExecMode(frame, meta, iColourOf(va.va));
-        else
-            purgeInstPage(frame, iColourOf(va.va), "ifetch");
         Protection eff = m->vmProt;
         eff.write = false;
         setHardwareProt(va, eff);

@@ -137,15 +137,15 @@ LazyPmap::planCacheControl(CacheStateVector &dstate,
                 {CacheKind::Data,
                  flush ? RequiredOp::Flush : RequiredOp::Purge, w});
             dstate.cacheDirty = false;
-            // Table 2: a flushed (or purged) dirty line leaves the
-            // cache, so its state is Empty — except under DMA-read,
-            // where the line is written back but stays consistent
-            // (Present). Clearing the mapped bit here keeps the later
-            // stale-marking stanza from pessimistically tagging the
-            // already-clean cache page as stale, which would cost a
-            // redundant purge on its next use.
-            if (op != MemOp::DmaRead)
-                dstate.mapped.reset(w);
+            // A flushed (or purged) dirty line leaves the cache — on
+            // this machine a flush writes back AND invalidates — so
+            // the cache page's state is Empty. That holds under
+            // DMA-read too: the paper's Table 2 keeps the page
+            // Present there, but with an invalidating flush the
+            // Present claim is wrong bookkeeping, and the necessity
+            // analyzer proves it costs a redundant purge of the
+            // (absent) page on its next differently-mapped use.
+            dstate.mapped.reset(w);
         }
     }
 

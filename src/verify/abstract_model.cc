@@ -63,6 +63,19 @@ violationKindName(ViolationKind k)
     return "?";
 }
 
+std::string
+IssuedOp::name() const
+{
+    std::string s = op == RequiredOp::Flush ? "flush " : "purge ";
+    s += cache == CacheKind::Instruction ? 'i' : 'd';
+    s += static_cast<char>('0' + colour);
+    s += present ? (dirty ? " (present,dirty)" : " (present)")
+                 : " (absent)";
+    s += " @";
+    s += site;
+    return s;
+}
+
 // ---------------------------------------------------------------------
 // Slot plan
 // ---------------------------------------------------------------------
@@ -165,9 +178,9 @@ maskOf(const BitVector &b)
 } // namespace
 
 AbstractSimulator::AbstractSimulator(const PolicyConfig &policy,
-                                     SlotPlan plan)
+                                     SlotPlan plan, bool adversarial)
     : cfg(policy), slotPlan(std::move(plan)),
-      lazy(policy.pmapKind == PmapKind::Lazy)
+      lazy(policy.pmapKind == PmapKind::Lazy), advMode(adversarial)
 {
     vic_assert(slotPlan.slots.size() <= kMaxSlots,
                "slot plan too large");
@@ -218,6 +231,46 @@ AbstractSimulator::conflicts(std::uint8_t a, std::uint8_t b) const
 }
 
 // ---------------------------------------------------------------------
+// Issued-op instrumentation
+// ---------------------------------------------------------------------
+
+/** Sets the active call-site label for ops issued in its scope. */
+struct AbstractSimulator::SiteScope
+{
+    const AbstractSimulator &sim;
+    const char *saved;
+    SiteScope(const AbstractSimulator &s, const char *site)
+        : sim(s), saved(s.curSite)
+    {
+        sim.curSite = site;
+    }
+    ~SiteScope() { sim.curSite = saved; }
+    SiteScope(const SiteScope &) = delete;
+    SiteScope &operator=(const SiteScope &) = delete;
+};
+
+bool
+AbstractSimulator::issueOp(CacheKind cache, RequiredOp op,
+                           CachePageId colour, bool present,
+                           bool dirty) const
+{
+    if (rec)
+        rec->ops.push_back({cache, op, colour, present, dirty, curSite});
+    const bool apply = opCursor != skipAt;
+    ++opCursor;
+    return apply;
+}
+
+bool
+AbstractSimulator::hazard(const ModelState &s)
+{
+    for (const ModelState::DLine &l : s.dline)
+        if (l.present && l.dirty && !l.fresh)
+            return true;
+    return false;
+}
+
+// ---------------------------------------------------------------------
 // Ground truth
 // ---------------------------------------------------------------------
 
@@ -225,6 +278,9 @@ void
 AbstractSimulator::gtFlushData(ModelState &s, CachePageId c) const
 {
     ModelState::DLine &l = s.dline[c];
+    if (!issueOp(CacheKind::Data, RequiredOp::Flush, c, l.present,
+                 l.present && l.dirty))
+        return;
     if (!l.present)
         return;
     // A dirty write-back replaces memory's copy: memory now holds
@@ -238,16 +294,24 @@ AbstractSimulator::gtFlushData(ModelState &s, CachePageId c) const
 void
 AbstractSimulator::gtPurgeData(ModelState &s, CachePageId c) const
 {
+    ModelState::DLine &l = s.dline[c];
+    if (!issueOp(CacheKind::Data, RequiredOp::Purge, c, l.present,
+                 l.present && l.dirty))
+        return;
     // Purging the only fresh copy silently loses the newest data;
     // that is detected at the next observing event, when no fresh
     // copy remains.
-    s.dline[c] = ModelState::DLine{};
+    l = ModelState::DLine{};
 }
 
 void
 AbstractSimulator::gtPurgeInst(ModelState &s, CachePageId c) const
 {
-    s.iline[c] = ModelState::ILine{};
+    ModelState::ILine &l = s.iline[c];
+    if (!issueOp(CacheKind::Instruction, RequiredOp::Purge, c, l.present,
+                 false))
+        return;
+    l = ModelState::ILine{};
 }
 
 std::string
@@ -296,7 +360,14 @@ AbstractSimulator::gtCpuAccess(ModelState &s, std::uint8_t slot,
     if (t == AccessType::Store) {
         // The stored word is by definition the newest value; every
         // other copy becomes stale.
-        l.fresh = true;
+        const bool hit_stale = !l.fresh;
+        if (hit_stale && rec)
+            rec->staleStore = true;
+        // Adversarial refinement: a store into a non-newest line can
+        // only freshen the stored word — the line's other words stay
+        // stale in the multi-word machine, so the line as a whole
+        // remains non-newest (and is now dirty: a write-back hazard).
+        l.fresh = advMode ? !hit_stale : true;
         l.dirty = true;
         s.memFresh = false;
         for (std::uint32_t c = 0; c < kMaxColours; ++c) {
@@ -392,6 +463,10 @@ AbstractSimulator::cpuAccess(ModelState &s, std::uint8_t slot,
         if (!s.live[slot]) {
             // Demand mapping with default hints, as the kernel's
             // resolveMappingFault does.
+            if (rec) {
+                ++rec->traps;
+                ++rec->pmapCalls;
+            }
             if (lazy)
                 lazyEnter(s, slot, t);
             else
@@ -399,8 +474,15 @@ AbstractSimulator::cpuAccess(ModelState &s, std::uint8_t slot,
             continue;
         }
         if (!accessPermitted(s, slot, t)) {
+            if (rec) {
+                ++rec->traps;
+                ++rec->pmapCalls;
+            }
             bool resolved;
             if (lazy) {
+                const SiteScope scope(
+                    *this, t == AccessType::IFetch ? "lazy.ifetch-fault"
+                                                   : "lazy.fault");
                 lazyCacheControl(s,
                                  isWrite(t) ? MemOp::CpuWrite
                                             : MemOp::CpuRead,
@@ -499,6 +581,9 @@ AbstractSimulator::lazyEnter(ModelState &s, std::uint8_t slot,
     s.live[slot] = true;
     s.modbit[slot] = false;
     addOrdered(s, slot);
+    const SiteScope scope(*this, t == AccessType::IFetch
+                                     ? "lazy.ifetch-enter"
+                                     : "lazy.enter");
     lazyCacheControl(s, isWrite(t) ? MemOp::CpuWrite : MemOp::CpuRead,
                      slot, t, /*will_overwrite=*/false,
                      /*need_data=*/true);
@@ -651,10 +736,15 @@ AbstractSimulator::classicEnter(ModelState &s, std::uint8_t slot,
             ? (s.residueSlot == slot && s.residueGen == s.vaGen[slot])
             : (dcol(s.residueSlot) == dcol(slot));
         if (!matches) {
+            const SiteScope scope(*this,
+                                  "classic.enter.clean-residue");
             classicCleanResidue(s);
-            gtPurgeData(s, dcol(slot));
-            if (t == AccessType::IFetch)
-                gtPurgeInst(s, icol(slot));
+            // No purge of the NEW colour: the residue is the only
+            // place this frame's lines survive outside live
+            // mappings (any earlier residue was cleaned when it was
+            // replaced), so the new cache page cannot hold the
+            // frame's stale data. The necessity analyzer proves
+            // every instance of such a purge redundant.
         } else {
             carry_dirty = s.residueDirty;
             s.hasResidue = false;
@@ -673,8 +763,11 @@ AbstractSimulator::classicEnter(ModelState &s, std::uint8_t slot,
         if (isWrite(t) || s.hwWrite[k] || s.modbit[k])
             to_break.push_back(k);
     }
-    for (std::uint8_t k : to_break)
-        classicBreakMapping(s, k);
+    {
+        const SiteScope scope(*this, "classic.enter.break-alias");
+        for (std::uint8_t k : to_break)
+            classicBreakMapping(s, k);
+    }
 
     bool eff_write = true, eff_exec = true;  // vmProt == all
     if (!isWrite(t) && conflicting_alias)
@@ -683,9 +776,12 @@ AbstractSimulator::classicEnter(ModelState &s, std::uint8_t slot,
     if (t == AccessType::IFetch && eff_exec) {
         if (!s.execMode) {
             if (carry_dirty) {
+                const SiteScope scope(*this,
+                                      "classic.enter.carry-flush");
                 gtFlushData(s, dcol(slot));
                 carry_dirty = false;
             }
+            const SiteScope scope(*this, "classic.exec-mode");
             classicEnterExecMode(s, icol(slot));
         }
         eff_write = false;
@@ -719,12 +815,14 @@ AbstractSimulator::classicUnmap(ModelState &s, std::uint8_t slot) const
     if (cfg.brokenNoConsistency) {
         // Leave whatever is in the cache.
     } else if (cfg.cleanOnUnmap) {
+        const SiteScope scope(*this, "classic.unmap.clean");
         const bool dirty =
             classicColourPossiblyDirty(s, dcol(slot), modified);
         classicCleanThrough(s, slot, dirty, /*had_exec=*/true);
     } else {
         // Tut residue: one per frame; a pre-existing residue at a
         // different address must be cleaned now.
+        const SiteScope scope(*this, "classic.unmap.clean-residue");
         if (s.hasResidue && !(s.residueSlot == slot &&
                               s.residueGen == s.vaGen[slot]))
             classicCleanResidue(s, modified &&
@@ -749,10 +847,15 @@ AbstractSimulator::classicResolveFault(ModelState &s, std::uint8_t slot,
     }
 
     if (t == AccessType::IFetch) {
-        if (!s.execMode)
+        // Only the write-to-execute mode switch needs cache work.
+        // While exec mode holds, stores trap (write-xor-execute) and
+        // DMA input purges eagerly, so no instruction cache page can
+        // be stale — the necessity analyzer proves the old
+        // purge-on-every-ifetch-fault redundant in every instance.
+        if (!s.execMode) {
+            const SiteScope scope(*this, "classic.exec-mode");
             classicEnterExecMode(s, icol(slot));
-        else
-            gtPurgeInst(s, icol(slot));
+        }
         s.hwWrite[slot] = false;
         s.hwExec[slot] = true;
         return true;
@@ -766,8 +869,10 @@ AbstractSimulator::classicResolveFault(ModelState &s, std::uint8_t slot,
 
     // A residue at a conflicting address is an alias too: clean it
     // before the store makes its cache page stale.
-    if (s.hasResidue && conflicts(s.residueSlot, slot))
+    if (s.hasResidue && conflicts(s.residueSlot, slot)) {
+        const SiteScope scope(*this, "classic.fault.clean-residue");
         classicCleanResidue(s);
+    }
 
     std::vector<std::uint8_t> to_break;
     for (std::uint8_t i = 0; i < s.numLive; ++i) {
@@ -775,8 +880,11 @@ AbstractSimulator::classicResolveFault(ModelState &s, std::uint8_t slot,
         if (k != slot && conflicts(k, slot))
             to_break.push_back(k);
     }
-    for (std::uint8_t k : to_break)
-        classicBreakMapping(s, k);
+    {
+        const SiteScope scope(*this, "classic.fault.break-alias");
+        for (std::uint8_t k : to_break)
+            classicBreakMapping(s, k);
+    }
 
     s.hwWrite[slot] = true;
     s.hwExec[slot] = false;
@@ -790,6 +898,9 @@ AbstractSimulator::classicDmaRead(ModelState &s) const
         return;
     if (!s.everTouched)
         return;
+    const SiteScope scope(*this, "classic.dma-out.flush");
+    if (rec)
+        ++rec->pmapCalls;
     for (std::uint8_t i = 0; i < s.numLive; ++i) {
         const std::uint8_t k = s.order[i];
         if (s.modbit[k]) {
@@ -810,6 +921,9 @@ AbstractSimulator::classicDmaWrite(ModelState &s) const
         return;
     if (!s.everTouched)
         return;
+    const SiteScope scope(*this, "classic.dma-in.purge");
+    if (rec)
+        ++rec->pmapCalls;
     for (std::uint8_t i = 0; i < s.numLive; ++i) {
         const std::uint8_t k = s.order[i];
         s.modbit[k] = false;
@@ -833,6 +947,7 @@ AbstractSimulator::classicDmaWrite(ModelState &s) const
 std::optional<AbstractViolation>
 AbstractSimulator::step(ModelState &s, const Event &e) const
 {
+    opCursor = 0;
     std::optional<AbstractViolation> violation;
 
     switch (e.kind) {
@@ -859,9 +974,13 @@ AbstractSimulator::step(ModelState &s, const Event &e) const
       case EventKind::DmaIn:
         // Policy preparation, then the device writes word 0.
         if (lazy) {
-            if (s.everTouched)
+            if (s.everTouched) {
+                const SiteScope scope(*this, "lazy.dma-in");
+                if (rec)
+                    ++rec->pmapCalls;
                 lazyCacheControl(s, MemOp::DmaWrite, std::nullopt,
                                  AccessType::Load, false, false);
+            }
         } else {
             classicDmaWrite(s);
         }
@@ -878,9 +997,13 @@ AbstractSimulator::step(ModelState &s, const Event &e) const
 
       case EventKind::DmaOut:
         if (lazy) {
-            if (s.everTouched)
+            if (s.everTouched) {
+                const SiteScope scope(*this, "lazy.dma-out");
+                if (rec)
+                    ++rec->pmapCalls;
                 lazyCacheControl(s, MemOp::DmaRead, std::nullopt,
                                  AccessType::Load, false, true);
+            }
         } else {
             classicDmaRead(s);
         }
@@ -892,6 +1015,27 @@ AbstractSimulator::step(ModelState &s, const Event &e) const
 
     normalize(s);
     return violation;
+}
+
+std::optional<AbstractViolation>
+AbstractSimulator::stepTraced(ModelState &s, const Event &e,
+                              StepTrace &out) const
+{
+    out = StepTrace{};
+    rec = &out;
+    const std::optional<AbstractViolation> v = step(s, e);
+    rec = nullptr;
+    return v;
+}
+
+std::optional<AbstractViolation>
+AbstractSimulator::stepSkipping(ModelState &s, const Event &e,
+                                std::size_t skip) const
+{
+    skipAt = static_cast<long>(skip);
+    const std::optional<AbstractViolation> v = step(s, e);
+    skipAt = -1;
+    return v;
 }
 
 } // namespace vic::verify

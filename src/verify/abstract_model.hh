@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "core/cache_page_state.hh"
 #include "core/policy_config.hh"
 #include "mmu/fault.hh"
 
@@ -146,6 +147,45 @@ struct AbstractViolation
 };
 
 // ---------------------------------------------------------------------
+// Issued-op instrumentation (cost model / necessity analysis)
+// ---------------------------------------------------------------------
+
+/**
+ * One hardware cache operation a policy issued while executing a step.
+ * @c present / @c dirty describe the abstract line at issue time, which
+ * under the single-word discipline decides the concrete machine's
+ * present/absent cost asymmetry and whether a flush pays a write-back.
+ */
+struct IssuedOp
+{
+    CacheKind cache = CacheKind::Data;
+    RequiredOp op = RequiredOp::Purge;
+    CachePageId colour = 0;
+    bool present = false;
+    bool dirty = false;
+    /** Stable label of the policy call site that issued the op (finer
+     *  than the simulator's stats `reason` strings; see
+     *  docs/VERIFICATION.md for the mapping to shipping code). */
+    const char *site = "?";
+
+    /** "flush d0 (present,dirty) @lazy.dma-out"-style display name. */
+    std::string name() const;
+};
+
+/** Everything one step cost: cache ops issued, faults taken, and pmap
+ *  consistency invocations. CostModel turns this into cycles. */
+struct StepTrace
+{
+    std::vector<IssuedOp> ops;
+    std::uint32_t traps = 0;      ///< CPU faults (kernel entry/exit)
+    std::uint32_t pmapCalls = 0;  ///< pmap consistency invocations
+    /** A store was performed into a present non-newest line. Never
+     *  happens under a sound policy; tracked because the adversarial
+     *  step semantics diverge exactly here (see stepSkipping). */
+    bool staleStore = false;
+};
+
+// ---------------------------------------------------------------------
 // Model state
 // ---------------------------------------------------------------------
 
@@ -234,13 +274,30 @@ struct ModelStateKeyHash
 /**
  * Executes abstract events against a ModelState for one PolicyConfig.
  * Deterministic and side-effect free apart from the passed state, so a
- * reachability search can use it directly.
+ * reachability search can use it directly. The traced/skipping entry
+ * points use internal scratch members, so one simulator instance must
+ * not be stepped from two threads at once.
+ *
+ * @param adversarial Harden the step semantics for necessity analysis
+ *   (the one-op-skipped mutant exploration). Two refinements model
+ *   hardware behaviour the exact single-word abstraction cannot see,
+ *   both of which only ADD failure paths:
+ *    - a store into a present non-newest line leaves the line dirty
+ *      but still non-newest (the line's other words stay stale in the
+ *      multi-word machine), instead of making it fresh;
+ *    - callers must additionally treat any state holding a dirty
+ *      non-newest data line as violating (hazard()): under cache
+ *      pressure the hardware may write such a line back at any time,
+ *      clobbering the newest memory copy.
+ *   Exact reachability (PolicyVerifier, TraceReplayer equivalence)
+ *   must use the default non-adversarial semantics.
  */
 class AbstractSimulator
 {
   public:
     explicit AbstractSimulator(const PolicyConfig &policy,
-                               SlotPlan plan = SlotPlan::standard());
+                               SlotPlan plan = SlotPlan::standard(),
+                               bool adversarial = false);
 
     const PolicyConfig &policy() const { return cfg; }
     const SlotPlan &plan() const { return slotPlan; }
@@ -262,10 +319,48 @@ class AbstractSimulator
     std::optional<AbstractViolation> step(ModelState &s,
                                           const Event &e) const;
 
+    /** step() while recording every issued cache op, fault and pmap
+     *  invocation into @p out (overwritten). */
+    std::optional<AbstractViolation> stepTraced(ModelState &s,
+                                                const Event &e,
+                                                StepTrace &out) const;
+
+    /**
+     * step() with the @p skip-th issued cache op suppressed: the
+     * policy's bookkeeping advances as if the op ran, but its hardware
+     * effect on the caches does not happen — the one-op-skipped mutant
+     * of the necessity analysis. Indices follow stepTraced() op order.
+     */
+    std::optional<AbstractViolation> stepSkipping(ModelState &s,
+                                                  const Event &e,
+                                                  std::size_t skip) const;
+
+    /**
+     * A dirty non-newest data line is present: under cache pressure
+     * the hardware may write it back at any time, destroying the
+     * newest memory copy. Adversarial (necessity) exploration treats
+     * this as a violation; sound policies never reach such a state
+     * (asserted by the analyzers).
+     */
+    static bool hazard(const ModelState &s);
+
   private:
     PolicyConfig cfg;
     SlotPlan slotPlan;
     bool lazy;
+    bool advMode;
+
+    // --- per-step instrumentation scratch (single-threaded use) ---
+    mutable StepTrace *rec = nullptr;    ///< recording target, if any
+    mutable long skipAt = -1;            ///< op index to suppress
+    mutable long opCursor = 0;           ///< ops issued so far this step
+    mutable const char *curSite = "?";   ///< active call-site label
+    struct SiteScope;
+
+    /** Record the op and decide whether its hardware effect applies
+     *  (false only for the skipAt-th op of the step). */
+    bool issueOp(CacheKind cache, RequiredOp op, CachePageId colour,
+                 bool present, bool dirty) const;
 
     CachePageId dcol(std::uint8_t slot) const
     { return slotPlan.slots[slot].dColour; }

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared breadth-first-search bookkeeping for the verify analyzers.
+ *
+ * PolicyVerifier, NecessityAnalyzer and DifferentialAnalyzer all
+ * explore the abstract state graph breadth-first and reconstruct
+ * minimal traces from parent links; this header holds the common
+ * pieces so the three agree on trace minimality.
+ */
+
+#ifndef VIC_VERIFY_BFS_UTIL_HH
+#define VIC_VERIFY_BFS_UTIL_HH
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "verify/abstract_model.hh"
+
+namespace vic::verify
+{
+
+/** BFS bookkeeping for one discovered state. */
+struct Discovery
+{
+    ModelState::Key parent{};
+    Event via;
+    std::uint32_t depth = 0;
+    bool isRoot = false;
+};
+
+using SeenMap =
+    std::unordered_map<ModelState::Key, Discovery, ModelStateKeyHash>;
+
+/** Walk parent links from @p last back to the root and return the
+ *  minimal trace ending with @p final_event. */
+inline Trace
+reconstruct(const SeenMap &seen, const ModelState::Key &last,
+            const Event &final_event)
+{
+    Trace t;
+    t.push_back(final_event);
+    ModelState::Key k = last;
+    for (;;) {
+        auto it = seen.find(k);
+        vic_assert(it != seen.end(), "broken BFS parent chain");
+        if (it->second.isRoot)
+            break;
+        t.push_back(it->second.via);
+        k = it->second.parent;
+    }
+    std::reverse(t.begin(), t.end());
+    return t;
+}
+
+} // namespace vic::verify
+
+#endif // VIC_VERIFY_BFS_UTIL_HH

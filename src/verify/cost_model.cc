@@ -1,0 +1,149 @@
+#include "verify/cost_model.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "verify/bfs_util.hh"
+
+namespace vic::verify
+{
+
+CostModel::CostModel(const MachineParams &params)
+    : mp(params),
+      dLinesPerPage(params.dcacheGeometry().linesPerPage()),
+      iLinesPerPage(params.icacheGeometry().linesPerPage())
+{
+    mp.check();
+}
+
+Cycles
+CostModel::pageOpCycles(const CacheCosts &costs,
+                        std::uint32_t lines_per_page,
+                        std::uint32_t lines_present)
+{
+    vic_assert(lines_present <= lines_per_page,
+               "more lines present than the page holds");
+    if (costs.uniformOpCost)
+        return Cycles(lines_per_page) * costs.opLinePresent;
+    return Cycles(lines_present) * costs.opLinePresent +
+        Cycles(lines_per_page - lines_present) * costs.opLineAbsent;
+}
+
+Cycles
+CostModel::dataPageOpCycles(std::uint32_t lines_present) const
+{
+    return pageOpCycles(mp.dcacheCosts, dLinesPerPage, lines_present);
+}
+
+Cycles
+CostModel::instPageOpCycles(std::uint32_t lines_present) const
+{
+    return pageOpCycles(mp.icacheCosts, iLinesPerPage, lines_present);
+}
+
+Cycles
+CostModel::opCycles(const IssuedOp &op) const
+{
+    // Single-word discipline: at most one line of the page is present.
+    const std::uint32_t present = op.present ? 1 : 0;
+    Cycles c = op.cache == CacheKind::Instruction
+        ? instPageOpCycles(present)
+        : dataPageOpCycles(present);
+    if (op.op == RequiredOp::Flush && op.dirty)
+        c += mp.dcacheCosts.writeBackPenalty;
+    return c;
+}
+
+Cycles
+CostModel::stepCycles(const StepTrace &t) const
+{
+    Cycles c = Cycles(t.traps) * mp.trapCycles +
+        Cycles(t.pmapCalls) * mp.pmapOverheadCycles;
+    for (const IssuedOp &op : t.ops)
+        c += opCycles(op);
+    return c;
+}
+
+CostCensus
+runCostCensus(const PolicyConfig &policy, const CostCensusOptions &opts)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    const AbstractSimulator sim(policy, opts.plan);
+    const std::vector<Event> alphabet = sim.alphabet();
+    const CostModel costs(opts.machine);
+
+    CostCensus res;
+    res.policyName = policy.name;
+
+    SeenMap seen;
+    std::unordered_map<ModelState::Key, Cycles, ModelStateKeyHash> cum;
+    std::deque<ModelState> frontier;
+
+    const ModelState init = sim.initial();
+    seen.emplace(init.pack(), Discovery{{}, {}, 0, true});
+    cum.emplace(init.pack(), 0);
+    frontier.push_back(init);
+    res.numStates = 1;
+
+    bool truncated = false;
+    while (!frontier.empty()) {
+        const ModelState cur = frontier.front();
+        frontier.pop_front();
+        const ModelState::Key cur_key = cur.pack();
+        const std::uint32_t cur_depth = seen.at(cur_key).depth;
+        const Cycles cur_cum = cum.at(cur_key);
+
+        for (const Event &e : alphabet) {
+            ModelState next = cur;
+            StepTrace tr;
+            // Violations are ignored: the census prices transitions
+            // even for a broken policy.
+            (void)sim.stepTraced(next, e, tr);
+            ++res.numTransitions;
+
+            res.faults += tr.traps;
+            for (const IssuedOp &op : tr.ops) {
+                if (op.cache == CacheKind::Instruction)
+                    ++res.instPurges;
+                else if (op.op == RequiredOp::Flush)
+                    ++res.dataFlushes;
+                else
+                    ++res.dataPurges;
+                (op.present ? res.presentOps : res.absentOps) += 1;
+            }
+
+            const Cycles step = costs.stepCycles(tr);
+            if (step > res.worstStepCycles) {
+                res.worstStepCycles = step;
+                res.worstStepTrace = reconstruct(seen, cur_key, e);
+            }
+
+            const ModelState::Key key = next.pack();
+            if (seen.find(key) != seen.end())
+                continue;
+            if (res.numStates >= opts.maxStates) {
+                truncated = true;
+                continue;
+            }
+            seen.emplace(key,
+                         Discovery{cur_key, e, cur_depth + 1, false});
+            cum.emplace(key, cur_cum + step);
+            res.worstPathCycles =
+                std::max(res.worstPathCycles, cur_cum + step);
+            frontier.push_back(std::move(next));
+            ++res.numStates;
+        }
+    }
+
+    res.fixedPointReached = !truncated;
+    res.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    return res;
+}
+
+} // namespace vic::verify

@@ -1,0 +1,287 @@
+#include "verify/differential.hh"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <chrono>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "verify/policy_verifier.hh"
+
+namespace vic::verify
+{
+
+DifferentialAnalyzer::DifferentialAnalyzer(DiffOptions opts)
+    : options(std::move(opts))
+{
+}
+
+namespace
+{
+
+using PairKey = std::array<std::uint64_t, 4>;
+
+struct PairKeyHash
+{
+    std::size_t operator()(const PairKey &k) const
+    {
+        std::uint64_t h = 0;
+        for (std::uint64_t v : k) {
+            h += v * 0x9e3779b97f4a7c15ull;
+            h ^= h >> 32;
+            h *= 0xbf58476d1ce4e5b9ull;
+        }
+        return static_cast<std::size_t>(h);
+    }
+};
+
+PairKey
+pairKey(const ModelState &a, const ModelState &b)
+{
+    const ModelState::Key ka = a.pack();
+    const ModelState::Key kb = b.pack();
+    return {ka[0], ka[1], kb[0], kb[1]};
+}
+
+struct PairDiscovery
+{
+    PairKey parent{};
+    Event via;
+    bool isRoot = false;
+    Cycles cumA = 0;
+    Cycles cumB = 0;
+};
+
+using PairSeen =
+    std::unordered_map<PairKey, PairDiscovery, PairKeyHash>;
+
+Trace
+reconstructPair(const PairSeen &seen, const PairKey &last,
+                const Event &final_event)
+{
+    Trace t;
+    t.push_back(final_event);
+    PairKey k = last;
+    for (;;) {
+        auto it = seen.find(k);
+        vic_assert(it != seen.end(), "broken product parent chain");
+        if (it->second.isRoot)
+            break;
+        t.push_back(it->second.via);
+        k = it->second.parent;
+    }
+    std::reverse(t.begin(), t.end());
+    return t;
+}
+
+/** Decode the lazy side's Table 3 bits into the Table 2 state letter
+ *  of the event's target cache page, with a "+disp" marker when the
+ *  access additionally displaces a dirty data cache page. */
+std::string
+classifyEvent(const Event &e, const ModelState *ls,
+              const SlotPlan &plan)
+{
+    std::string label = eventKindName(e.kind);
+    if (!ls)
+        return label;
+
+    const auto bit = [](std::uint8_t mask, CachePageId c) {
+        return (mask & (1u << c)) != 0;
+    };
+    // While the cache is dirty exactly one data colour is mapped — the
+    // dirty one (lazy invariant). Under the modified-bit optimisation
+    // the dirty bit lags the hardware: a silently-modified live slot
+    // makes its colour effectively dirty before the next pmap run
+    // syncs the bookkeeping, and the step will pay the displacement
+    // flush accordingly — so classify by the effective view.
+    int dirty_col = ls->dCacheDirty
+        ? std::countr_zero(static_cast<unsigned>(ls->dMapped))
+        : -1;
+    if (dirty_col < 0) {
+        for (std::uint8_t k = 0; k < kMaxSlots; ++k)
+            if (ls->live[k] && ls->modbit[k]) {
+                dirty_col = plan.slots[k].dColour;
+                break;
+            }
+    }
+    const bool eff_dirty = dirty_col >= 0;
+
+    switch (e.kind) {
+      case EventKind::Load:
+      case EventKind::Store: {
+        const CachePageId c = plan.slots[e.slot].dColour;
+        char letter = 'E';
+        if (bit(ls->dStale, c))
+            letter = 'S';
+        else if (eff_dirty && dirty_col == static_cast<int>(c))
+            letter = 'D';
+        else if (bit(ls->dMapped, c))
+            letter = 'P';
+        label += " tgt=";
+        label += letter;
+        if (eff_dirty && dirty_col != static_cast<int>(c))
+            label += "+disp";
+        return label;
+      }
+      case EventKind::IFetch: {
+        const CachePageId c = plan.slots[e.slot].iColour;
+        char letter = 'E';
+        if (bit(ls->iStale, c))
+            letter = 'S';
+        else if (bit(ls->iMapped, c))
+            letter = 'P';
+        label += " tgt=";
+        label += letter;
+        // Instruction fetches never align with data: any dirty data
+        // cache page is displaced.
+        if (eff_dirty)
+            label += "+disp";
+        return label;
+      }
+      case EventKind::Unmap:
+      case EventKind::UnmapMove:
+        return label;
+      case EventKind::DmaIn:
+      case EventKind::DmaOut:
+        label += eff_dirty ? " dirty" : " clean";
+        return label;
+    }
+    return label;
+}
+
+} // namespace
+
+DiffResult
+DifferentialAnalyzer::compare(const PolicyConfig &a,
+                              const PolicyConfig &b) const
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    DiffResult res;
+    res.nameA = a.name;
+    res.nameB = b.name;
+
+    // --- Soundness gate: an unsound policy has no cost story.
+    const PolicyVerifier verifier(
+        VerifyOptions{options.plan, options.maxStates});
+    for (const PolicyConfig *p : {&a, &b}) {
+        const VerifyResult vr = verifier.verify(*p);
+        if (!vr.sound) {
+            res.comparable = false;
+            res.unsoundPolicy = p->name;
+            res.unsoundTrace = vr.counterexample;
+            res.unsoundViolation = vr.violation;
+            res.seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+            return res;
+        }
+    }
+    res.comparable = true;
+
+    const AbstractSimulator simA(a, options.plan);
+    const AbstractSimulator simB(b, options.plan);
+    const CostModel costs(options.machine);
+
+    // Union alphabet: a per-VA policy adds UnmapMove, which every
+    // other policy treats exactly as Unmap.
+    std::vector<Event> alphabet = simA.alphabet();
+    for (const Event &e : simB.alphabet())
+        if (std::find(alphabet.begin(), alphabet.end(), e) ==
+            alphabet.end())
+            alphabet.push_back(e);
+
+    // Classify transitions through the lazy side's Table 3 bits
+    // (prefer B, conventionally the lazy/new policy).
+    const bool b_lazy = b.pmapKind == PmapKind::Lazy;
+    const bool a_lazy = a.pmapKind == PmapKind::Lazy;
+
+    PairSeen seen;
+    std::deque<std::pair<ModelState, ModelState>> frontier;
+
+    const std::pair<ModelState, ModelState> init{simA.initial(),
+                                                 simB.initial()};
+    seen.emplace(pairKey(init.first, init.second),
+                 PairDiscovery{{}, {}, true, 0, 0});
+    frontier.push_back(init);
+    res.productStates = 1;
+
+    std::map<std::string, DiffClassBound> classes;
+    bool truncated = false;
+
+    while (!frontier.empty()) {
+        const auto [curA, curB] = frontier.front();
+        frontier.pop_front();
+        const PairKey cur_key = pairKey(curA, curB);
+        const PairDiscovery cur_disc = seen.at(cur_key);
+
+        for (const Event &e : alphabet) {
+            const ModelState *lazy_side =
+                b_lazy ? &curB : (a_lazy ? &curA : nullptr);
+            const std::string label =
+                classifyEvent(e, lazy_side, options.plan);
+
+            ModelState nextA = curA;
+            ModelState nextB = curB;
+            StepTrace trA, trB;
+            const auto vA = simA.stepTraced(nextA, e, trA);
+            const auto vB = simB.stepTraced(nextB, e, trB);
+            vic_assert(!vA && !vB,
+                       "sound policy violated inside the product");
+            ++res.productTransitions;
+
+            const Cycles costA = costs.stepCycles(trA);
+            const Cycles costB = costs.stepCycles(trB);
+
+            DiffClassBound &cls = classes[label];
+            if (cls.label.empty())
+                cls.label = label;
+            ++cls.transitions;
+            cls.worstA = std::max(cls.worstA, costA);
+            cls.worstB = std::max(cls.worstB, costB);
+
+            res.worstStepA = std::max(res.worstStepA, costA);
+            res.worstStepB = std::max(res.worstStepB, costB);
+            if (costA > 0 && costB == 0)
+                ++res.aPaysBFree;
+            if (costB > 0 && costA == 0)
+                ++res.bPaysAFree;
+            if (costA > costB &&
+                costA - costB > res.worstStepGap) {
+                res.worstStepGap = costA - costB;
+                res.worstGapTrace =
+                    reconstructPair(seen, cur_key, e);
+            }
+
+            const PairKey key = pairKey(nextA, nextB);
+            if (seen.find(key) != seen.end())
+                continue;
+            if (res.productStates >= options.maxStates) {
+                truncated = true;
+                continue;
+            }
+            const Cycles cumA = cur_disc.cumA + costA;
+            const Cycles cumB = cur_disc.cumB + costB;
+            res.worstPathA = std::max(res.worstPathA, cumA);
+            res.worstPathB = std::max(res.worstPathB, cumB);
+            seen.emplace(key, PairDiscovery{cur_key, e, false, cumA,
+                                            cumB});
+            frontier.emplace_back(std::move(nextA), std::move(nextB));
+            ++res.productStates;
+        }
+    }
+
+    res.fixedPointReached = !truncated;
+    for (auto &kv : classes)
+        res.classes.push_back(std::move(kv.second));
+
+    res.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    return res;
+}
+
+} // namespace vic::verify

@@ -1,0 +1,261 @@
+#include "verify/necessity.hh"
+
+#include <chrono>
+#include <deque>
+#include <map>
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "verify/bfs_util.hh"
+
+namespace vic::verify
+{
+
+NecessityAnalyzer::NecessityAnalyzer(NecessityOptions opts)
+    : options(std::move(opts))
+{
+}
+
+namespace
+{
+
+using KeySet =
+    std::unordered_set<ModelState::Key, ModelStateKeyHash>;
+
+enum class Verdict : std::uint8_t
+{
+    Necessary,
+    Redundant,
+    Inconclusive,
+};
+
+/**
+ * Shared scratch of one analyze() run. memoSafe holds states proven
+ * adversarially safe (no violation reachable); memoBad holds mutant
+ * roots from which a violation was reached. Both persist across op
+ * instances, so repeated mutants resolve by lookup.
+ */
+struct MutantSearch
+{
+    const AbstractSimulator &adv;
+    const std::vector<Event> &alphabet;
+    KeySet memoSafe;
+    KeySet memoBad;
+    std::uint64_t budget;
+    bool exhausted = false;
+
+    /** Is any violation (or write-back hazard) reachable from @p m
+     *  under adversarial semantics? */
+    Verdict explore(const ModelState &m)
+    {
+        const ModelState::Key root = m.pack();
+        if (memoSafe.count(root))
+            return Verdict::Redundant;
+        if (memoBad.count(root))
+            return Verdict::Necessary;
+
+        KeySet local;
+        std::deque<ModelState> frontier;
+        local.insert(root);
+        frontier.push_back(m);
+
+        while (!frontier.empty()) {
+            const ModelState cur = frontier.front();
+            frontier.pop_front();
+            for (const Event &e : alphabet) {
+                ModelState next = cur;
+                const std::optional<AbstractViolation> v =
+                    adv.step(next, e);
+                if (v || AbstractSimulator::hazard(next)) {
+                    memoBad.insert(root);
+                    return Verdict::Necessary;
+                }
+                const ModelState::Key key = next.pack();
+                if (memoBad.count(key)) {
+                    memoBad.insert(root);
+                    return Verdict::Necessary;
+                }
+                if (memoSafe.count(key) || local.count(key))
+                    continue;
+                if (budget == 0) {
+                    exhausted = true;
+                    return Verdict::Inconclusive;
+                }
+                --budget;
+                local.insert(key);
+                frontier.push_back(std::move(next));
+            }
+        }
+        // Exhausted without a violation: everything seen is safe.
+        memoSafe.insert(local.begin(), local.end());
+        return Verdict::Redundant;
+    }
+};
+
+} // namespace
+
+NecessityResult
+NecessityAnalyzer::analyze(const PolicyConfig &policy) const
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    const AbstractSimulator sim(policy, options.plan);
+    const AbstractSimulator adv(policy, options.plan,
+                                /*adversarial=*/true);
+    const std::vector<Event> alphabet = sim.alphabet();
+    const CostModel costs(options.machine);
+
+    NecessityResult res;
+    res.policyName = policy.name;
+
+    // --- Phase 1: exact reachability (as PolicyVerifier), keeping the
+    // discovered states in BFS order for phase 2.
+    SeenMap seen;
+    std::vector<ModelState> order;
+    bool divergence = false;  // hazard or stale store seen in base set
+
+    const ModelState init = sim.initial();
+    seen.emplace(init.pack(), Discovery{{}, {}, 0, true});
+    order.push_back(init);
+
+    bool truncated = false;
+    for (std::size_t head = 0; head < order.size(); ++head) {
+        const ModelState cur = order[head];
+        const ModelState::Key cur_key = cur.pack();
+        const std::uint32_t cur_depth = seen.at(cur_key).depth;
+
+        for (const Event &e : alphabet) {
+            ModelState next = cur;
+            StepTrace tr;
+            const std::optional<AbstractViolation> v =
+                sim.stepTraced(next, e, tr);
+            if (v) {
+                res.sound = false;
+                res.fixedPointReached = true;
+                res.numStates = order.size();
+                res.counterexample = reconstruct(seen, cur_key, e);
+                res.violation = v;
+                res.seconds = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count();
+                return res;
+            }
+            divergence |= tr.staleStore ||
+                AbstractSimulator::hazard(next);
+
+            const ModelState::Key key = next.pack();
+            if (seen.find(key) != seen.end())
+                continue;
+            if (order.size() >=
+                static_cast<std::size_t>(options.maxStates)) {
+                truncated = true;
+                continue;
+            }
+            seen.emplace(key,
+                         Discovery{cur_key, e, cur_depth + 1, false});
+            order.push_back(std::move(next));
+        }
+    }
+
+    res.sound = !truncated;
+    res.fixedPointReached = !truncated;
+    res.numStates = order.size();
+    if (truncated) {
+        res.seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        return res;
+    }
+
+    // --- Phase 2: the one-op-skipped mutant of every issued op.
+    MutantSearch search{adv, alphabet, {}, {},
+                        options.maxMutantStates};
+    res.adversariallyClean = !divergence;
+    if (res.adversariallyClean) {
+        // Sound + adversarially clean: the whole base reachable set is
+        // closed under adversarial steps and violation-free, so every
+        // base state is safe. Pre-seeding makes the common mutant case
+        // (skip was a hardware no-op) a single lookup.
+        for (const auto &kv : seen)
+            search.memoSafe.insert(kv.first);
+    }
+
+    std::map<std::string, SiteReport> sites;
+
+    for (const ModelState &s : order) {
+        const ModelState::Key s_key = s.pack();
+        for (const Event &e : alphabet) {
+            ModelState normal = s;
+            StepTrace tr;
+            sim.stepTraced(normal, e, tr);
+            if (tr.ops.empty())
+                continue;
+            const ModelState::Key normal_key = normal.pack();
+
+            for (std::size_t k = 0; k < tr.ops.size(); ++k) {
+                const IssuedOp &op = tr.ops[k];
+                ModelState mutant = s;
+                const std::optional<AbstractViolation> v =
+                    adv.stepSkipping(mutant, e, k);
+
+                ++res.opsExamined;
+                SiteReport &site = sites[op.site];
+                if (site.site.empty())
+                    site.site = op.site;
+                ++site.issued;
+
+                Verdict verdict;
+                if (v || AbstractSimulator::hazard(mutant)) {
+                    verdict = Verdict::Necessary;
+                } else if (mutant.pack() == normal_key &&
+                           res.adversariallyClean) {
+                    // The op's hardware effect was a no-op; the mutant
+                    // IS the (safe) normal successor.
+                    verdict = Verdict::Redundant;
+                } else {
+                    verdict = search.explore(mutant);
+                }
+
+                switch (verdict) {
+                  case Verdict::Necessary:
+                    ++res.necessaryOps;
+                    ++site.necessary;
+                    break;
+                  case Verdict::Inconclusive:
+                    ++res.inconclusiveOps;
+                    ++site.inconclusive;
+                    break;
+                  case Verdict::Redundant: {
+                    ++res.redundantOps;
+                    ++site.redundant;
+                    const Cycles waste = costs.opCycles(op);
+                    site.worstWastedCycles =
+                        std::max(site.worstWastedCycles, waste);
+                    if (!site.exemplar) {
+                        RedundantOp r;
+                        r.prefix = reconstruct(seen, s_key, e);
+                        r.event = r.prefix.back();
+                        r.prefix.pop_back();
+                        r.opIndex = k;
+                        r.op = op;
+                        r.wastedCycles = waste;
+                        site.exemplar = std::move(r);
+                    }
+                    break;
+                  }
+                }
+            }
+        }
+    }
+
+    res.complete = !search.exhausted;
+    for (auto &kv : sites)
+        res.sites.push_back(std::move(kv.second));
+
+    res.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    return res;
+}
+
+} // namespace vic::verify

@@ -1,11 +1,10 @@
 #include "verify/policy_verifier.hh"
 
-#include <algorithm>
 #include <chrono>
 #include <deque>
-#include <unordered_map>
 
 #include "common/logging.hh"
+#include "verify/bfs_util.hh"
 
 namespace vic::verify
 {
@@ -14,42 +13,6 @@ PolicyVerifier::PolicyVerifier(VerifyOptions opts)
     : options(std::move(opts))
 {
 }
-
-namespace
-{
-
-/** BFS bookkeeping for one discovered state. */
-struct Discovery
-{
-    ModelState::Key parent{};
-    Event via;
-    std::uint32_t depth = 0;
-    bool isRoot = false;
-};
-
-using SeenMap =
-    std::unordered_map<ModelState::Key, Discovery, ModelStateKeyHash>;
-
-Trace
-reconstruct(const SeenMap &seen, const ModelState::Key &last,
-            const Event &final_event)
-{
-    Trace t;
-    t.push_back(final_event);
-    ModelState::Key k = last;
-    for (;;) {
-        auto it = seen.find(k);
-        vic_assert(it != seen.end(), "broken BFS parent chain");
-        if (it->second.isRoot)
-            break;
-        t.push_back(it->second.via);
-        k = it->second.parent;
-    }
-    std::reverse(t.begin(), t.end());
-    return t;
-}
-
-} // namespace
 
 VerifyResult
 PolicyVerifier::verify(const PolicyConfig &policy) const

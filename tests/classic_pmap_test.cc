@@ -240,7 +240,10 @@ TEST_F(TutPmapTest, AlignedButUnequalReuseStillCleans)
 
     map(vaOfColour(1, 1), 7);  // aligned, different address
     EXPECT_EQ(stat("pmap.d_flush.newmap"), 1u);
-    EXPECT_GE(stat("pmap.d_page_purges"), 1u);
+    // No purge of the new cache page: the residue was the only place
+    // the frame's lines survived, so the purge Tut historically paid
+    // here is provably redundant (necessity analyzer).
+    EXPECT_EQ(stat("pmap.d_page_purges"), 0u);
     EXPECT_EQ(cpu.load(vaOfColour(1, 1)), 5u);
 }
 
@@ -252,7 +255,9 @@ TEST_F(TutPmapTest, UnalignedReuseFlushesOldAndPurgesNew)
 
     map(vaOfColour(2), 7);
     EXPECT_EQ(stat("pmap.d_flush.newmap"), 1u);
-    EXPECT_GE(stat("pmap.d_page_purges"), 1u);
+    // The old colour is flushed; purging the new colour is provably
+    // redundant (necessity analyzer), so nothing else is paid.
+    EXPECT_EQ(stat("pmap.d_page_purges"), 0u);
     EXPECT_EQ(cpu.load(vaOfColour(2)), 5u);
 }
 

@@ -46,8 +46,8 @@ const Row table2[] = {
     // DMA-read (both columns identical: DMA bypasses the cache)
     {MemOp::DmaRead, S::Empty, {S::Empty}, {S::Empty}},
     {MemOp::DmaRead, S::Present, {S::Present}, {S::Present}},
-    {MemOp::DmaRead, S::Dirty, {S::Present, R::Flush},
-     {S::Present, R::Flush}},
+    {MemOp::DmaRead, S::Dirty, {S::Empty, R::Flush},
+     {S::Empty, R::Flush}},
     {MemOp::DmaRead, S::Stale, {S::Stale}, {S::Stale}},
     // DMA-write
     {MemOp::DmaWrite, S::Empty, {S::Empty}, {S::Empty}},
@@ -193,14 +193,16 @@ TEST(SpecExecutorTest, DmaWriteStalesEverything)
     EXPECT_EQ(spec.state(2), S::Empty);
 }
 
-TEST(SpecExecutorTest, DmaReadFlushesDirtyButKeepsItUsable)
+TEST(SpecExecutorTest, DmaReadFlushesDirtyAndEmptiesIt)
 {
     SpecExecutor spec(2);
     spec.apply(MemOp::CpuWrite, 0);
     auto ops = spec.apply(MemOp::DmaRead, std::nullopt);
     ASSERT_EQ(ops.size(), 1u);
     EXPECT_EQ(ops[0].op, R::Flush);
-    EXPECT_EQ(spec.state(0), S::Present);  // consistent after flush
+    // The flush writes back and invalidates, so the page is Empty —
+    // not Present, which would cost a redundant purge later.
+    EXPECT_EQ(spec.state(0), S::Empty);
 }
 
 TEST(SpecExecutorTest, PurgeAndFlushEmptyOnlyTheTarget)

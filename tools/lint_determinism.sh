@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Determinism lint: the simulator, benches, and analyzers must be
+# bit-reproducible — same inputs, same artifacts, across runs and
+# across --jobs settings (ci.sh gates on artifact equality). Any
+# wall-clock or entropy source in simulation code silently breaks
+# that contract, so this lint fails the build if one appears.
+#
+# Banned outside the allowlist:
+#   std::chrono::system_clock   wall-clock time
+#   time(                       C time()
+#   rand(                       C rand()/srand()
+#   random_device               nondeterministic seeding
+#
+# std::chrono::steady_clock is fine: it measures elapsed wall time
+# for progress reporting and never feeds simulated state.
+#
+# Allowlist (regex on repo-relative paths), with the reason each
+# entry is exempt:
+#   (none currently)
+#
+# Usage: tools/lint_determinism.sh   (run from anywhere in the repo)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ALLOWLIST_RE='^$'
+
+PATTERN='std::chrono::system_clock|[^a-zA-Z_]time\(|[^a-zA-Z_]rand\(|random_device'
+
+status=0
+while IFS= read -r file; do
+    if [[ "$file" =~ $ALLOWLIST_RE ]]; then
+        continue
+    fi
+    if matches=$(grep -nE "$PATTERN" "$file"); then
+        echo "determinism lint: banned source of nondeterminism in $file:"
+        echo "$matches" | sed 's/^/    /'
+        status=1
+    fi
+done < <(git ls-files 'src/*.cc' 'src/*.hh' 'tools/*.cc' \
+         'bench/*.cc' 'bench/*.hh' 'tests/*.cc' 'examples/*.cc')
+
+if [ "$status" -eq 0 ]; then
+    echo "determinism lint: clean"
+fi
+exit "$status"

@@ -8,28 +8,47 @@
  * instead yield a minimal counterexample trace that reproduces a
  * ConsistencyOracle violation when replayed on the concrete machine.
  *
- * Exit status 0 iff every expectation holds, so CI can gate on it.
+ * Beyond the safety check, the tool exposes the cost-aware optimality
+ * analyses:
  *
- * Usage:
- *   verify_policy              lint all policies (shipping + broken)
- *   verify_policy --policy N   verify only the named policy
- *   verify_policy --no-replay  skip the concrete replay step
- *   verify_policy --list       list known policy names
+ *   --cost        annotate each policy's reachable transition graph
+ *                 with the concrete machine's cycle costs (worst step,
+ *                 worst minimal-trace path, op census)
+ *   --necessity   prove every issued cache op load-bearing or exhibit
+ *                 it as provably redundant, with a minimal trace; the
+ *                 check FAILS if a shipping lazy policy issues any
+ *                 redundant op or a shipping classic policy retains a
+ *                 fully removable call site
+ *   --diff-policy A B
+ *                 product construction running two sound policies on
+ *                 the same event stream; per-Table-2-class worst-case
+ *                 cost bounds and divergence counts
+ *   --json FILE   machine-readable report of everything run
+ *
+ * Exit status 0 iff every expectation holds, so CI can gate on it.
+ * Unknown flags exit 2.
  */
 
 #include <cstdio>
-#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "common/json_writer.hh"
 #include "core/policy_config.hh"
+#include "verify/cost_model.hh"
+#include "verify/differential.hh"
+#include "verify/necessity.hh"
 #include "verify/policy_verifier.hh"
 #include "verify/trace_replay.hh"
 
 namespace
 {
 
+using vic::Cycles;
+using vic::JsonValue;
 using vic::PolicyConfig;
+using vic::PmapKind;
 namespace verify = vic::verify;
 
 std::vector<PolicyConfig>
@@ -42,15 +61,38 @@ allPolicies()
     return all;
 }
 
+const PolicyConfig *
+findPolicy(const std::vector<PolicyConfig> &all, const std::string &name)
+{
+    for (const PolicyConfig &p : all)
+        if (p.name == name)
+            return &p;
+    return nullptr;
+}
+
 bool
 expectedSound(const PolicyConfig &p)
 {
     return !p.brokenNoConsistency;
 }
 
+JsonValue
+traceJson(const verify::Trace &t)
+{
+    JsonValue a = JsonValue::array();
+    for (const verify::Event &e : t)
+        a.push(JsonValue::str(verify::eventName(e)));
+    return a;
+}
+
+// ---------------------------------------------------------------------
+// Soundness
+// ---------------------------------------------------------------------
+
 /** @return true iff the policy met its expectation. */
 bool
-checkPolicy(const PolicyConfig &policy, bool do_replay)
+checkSoundness(const PolicyConfig &policy, bool do_replay,
+               JsonValue &out)
 {
     const verify::PolicyVerifier verifier;
     const verify::VerifyResult r = verifier.verify(policy);
@@ -61,6 +103,16 @@ checkPolicy(const PolicyConfig &policy, bool do_replay)
                 static_cast<unsigned long long>(r.numStates),
                 static_cast<unsigned long long>(r.numTransitions),
                 r.diameter, r.seconds * 1e3);
+
+    out.set("sound", JsonValue::boolean(r.sound));
+    out.set("expectedSound",
+            JsonValue::boolean(expectedSound(policy)));
+    out.set("fixedPointReached",
+            JsonValue::boolean(r.fixedPointReached));
+    out.set("states", JsonValue::number(r.numStates));
+    out.set("transitions", JsonValue::number(r.numTransitions));
+    out.set("diameter",
+            JsonValue::number(std::uint64_t(r.diameter)));
 
     if (!r.fixedPointReached) {
         std::printf("  ERROR: state space truncated before fixed "
@@ -83,6 +135,10 @@ checkPolicy(const PolicyConfig &policy, bool do_replay)
                 verify::traceName(r.counterexample).c_str(),
                 verify::violationKindName(r.violation->kind),
                 r.violation->detail.c_str());
+    out.set("counterexample", traceJson(r.counterexample));
+    out.set("violation",
+            JsonValue::str(
+                verify::violationKindName(r.violation->kind)));
 
     // Replay every counterexample on the concrete machine: for the
     // broken policy it proves the verifier finds real bugs; for a
@@ -92,6 +148,7 @@ checkPolicy(const PolicyConfig &policy, bool do_replay)
         const verify::TraceReplayer replayer(policy);
         const verify::ReplayResult rr =
             replayer.replay(r.counterexample);
+        out.set("replayConfirmed", JsonValue::boolean(rr.violated));
         if (rr.violated)
             std::printf("  replayed on the concrete machine: %llu "
                         "oracle violation(s), first at event %d (%s) "
@@ -112,45 +169,370 @@ checkPolicy(const PolicyConfig &policy, bool do_replay)
     return false;
 }
 
+// ---------------------------------------------------------------------
+// Cost census
+// ---------------------------------------------------------------------
+
+bool
+checkCost(const PolicyConfig &policy, JsonValue &out)
+{
+    const verify::CostCensus c = verify::runCostCensus(policy);
+
+    std::printf("  cost: worst step %llu cyc (%s), worst minimal-path "
+                "%llu cyc\n"
+                "        ops flush/d-purge/i-purge %llu/%llu/%llu  "
+                "present/absent %llu/%llu  faults %llu\n",
+                static_cast<unsigned long long>(c.worstStepCycles),
+                verify::traceName(c.worstStepTrace).c_str(),
+                static_cast<unsigned long long>(c.worstPathCycles),
+                static_cast<unsigned long long>(c.dataFlushes),
+                static_cast<unsigned long long>(c.dataPurges),
+                static_cast<unsigned long long>(c.instPurges),
+                static_cast<unsigned long long>(c.presentOps),
+                static_cast<unsigned long long>(c.absentOps),
+                static_cast<unsigned long long>(c.faults));
+
+    out.set("fixedPointReached",
+            JsonValue::boolean(c.fixedPointReached));
+    out.set("worstStepCycles", JsonValue::number(c.worstStepCycles));
+    out.set("worstStepTrace", traceJson(c.worstStepTrace));
+    out.set("worstPathCycles", JsonValue::number(c.worstPathCycles));
+    out.set("dataFlushes", JsonValue::number(c.dataFlushes));
+    out.set("dataPurges", JsonValue::number(c.dataPurges));
+    out.set("instPurges", JsonValue::number(c.instPurges));
+    out.set("presentOps", JsonValue::number(c.presentOps));
+    out.set("absentOps", JsonValue::number(c.absentOps));
+    out.set("faults", JsonValue::number(c.faults));
+
+    if (!c.fixedPointReached) {
+        std::printf("  ERROR: cost census truncated before fixed "
+                    "point\n");
+        return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Necessity
+// ---------------------------------------------------------------------
+
+bool
+checkNecessity(const PolicyConfig &policy, JsonValue &out)
+{
+    const verify::NecessityAnalyzer analyzer;
+    const verify::NecessityResult r = analyzer.analyze(policy);
+
+    out.set("sound", JsonValue::boolean(r.sound));
+    out.set("complete", JsonValue::boolean(r.complete));
+    out.set("adversariallyClean",
+            JsonValue::boolean(r.adversariallyClean));
+    out.set("opsExamined", JsonValue::number(r.opsExamined));
+    out.set("redundantOps", JsonValue::number(r.redundantOps));
+    out.set("necessaryOps", JsonValue::number(r.necessaryOps));
+    out.set("inconclusiveOps", JsonValue::number(r.inconclusiveOps));
+
+    if (!r.sound) {
+        // Necessity of ops in an unsound policy is meaningless; only
+        // the deliberately broken policy is allowed here.
+        std::printf("  necessity: skipped (policy unsound: %s)\n",
+                    verify::traceName(r.counterexample).c_str());
+        return !expectedSound(policy);
+    }
+
+    std::printf("  necessity: %llu ops examined — %llu necessary, "
+                "%llu redundant, %llu inconclusive%s\n",
+                static_cast<unsigned long long>(r.opsExamined),
+                static_cast<unsigned long long>(r.necessaryOps),
+                static_cast<unsigned long long>(r.redundantOps),
+                static_cast<unsigned long long>(r.inconclusiveOps),
+                r.complete ? "" : " (budget exhausted)");
+
+    JsonValue sites = JsonValue::array();
+    for (const verify::SiteReport &s : r.sites) {
+        JsonValue js = JsonValue::object();
+        js.set("site", JsonValue::str(s.site));
+        js.set("issued", JsonValue::number(s.issued));
+        js.set("redundant", JsonValue::number(s.redundant));
+        js.set("necessary", JsonValue::number(s.necessary));
+        js.set("inconclusive", JsonValue::number(s.inconclusive));
+        js.set("removable", JsonValue::boolean(s.removable()));
+        js.set("worstWastedCycles",
+               JsonValue::number(s.worstWastedCycles));
+        if (s.exemplar) {
+            JsonValue ex = JsonValue::object();
+            ex.set("prefix", traceJson(s.exemplar->prefix));
+            ex.set("event",
+                   JsonValue::str(verify::eventName(
+                       s.exemplar->event)));
+            ex.set("opIndex",
+                   JsonValue::number(
+                       std::uint64_t(s.exemplar->opIndex)));
+            ex.set("op", JsonValue::str(s.exemplar->op.name()));
+            ex.set("wastedCycles",
+                   JsonValue::number(s.exemplar->wastedCycles));
+            js.set("exemplar", std::move(ex));
+        }
+        sites.push(std::move(js));
+
+        if (s.redundant == 0)
+            continue;
+        std::printf("    site %-28s issued %6llu  redundant %6llu%s\n",
+                    s.site.c_str(),
+                    static_cast<unsigned long long>(s.issued),
+                    static_cast<unsigned long long>(s.redundant),
+                    s.removable() ? "  [site removable]" : "");
+        if (s.exemplar) {
+            verify::Trace full = s.exemplar->prefix;
+            full.push_back(s.exemplar->event);
+            std::printf("      e.g. %s issues %s — %llu cycles "
+                        "wasted\n",
+                        verify::traceName(full).c_str(),
+                        s.exemplar->op.name().c_str(),
+                        static_cast<unsigned long long>(
+                            s.exemplar->wastedCycles));
+        }
+    }
+    out.set("sites", std::move(sites));
+
+    bool ok = true;
+    if (!r.complete) {
+        std::printf("  ERROR: mutant exploration budget exhausted — "
+                    "verdicts below are not all proofs\n");
+        ok = false;
+    }
+    // Gate: a shipping lazy policy must issue no redundant op at all;
+    // a shipping classic policy is *expected* to waste per-instance
+    // ops (that is the paper's point), but must not retain a call
+    // site whose every instance is redundant — such a site is dead
+    // code the analyzer proved removable.
+    if (policy.pmapKind == PmapKind::Lazy) {
+        if (r.redundantOps != 0) {
+            std::printf("  ERROR: lazy policy issues %llu provably "
+                        "redundant op(s)\n",
+                        static_cast<unsigned long long>(
+                            r.redundantOps));
+            ok = false;
+        }
+    } else if (r.anyRemovableSite()) {
+        std::printf("  ERROR: classic policy has a fully removable "
+                    "call site\n");
+        ok = false;
+    }
+    out.set("gatePassed", JsonValue::boolean(ok));
+    return ok;
+}
+
+// ---------------------------------------------------------------------
+// Differential
+// ---------------------------------------------------------------------
+
+bool
+checkDifferential(const PolicyConfig &a, const PolicyConfig &b,
+                  JsonValue &out)
+{
+    const verify::DifferentialAnalyzer analyzer;
+    const verify::DiffResult r = analyzer.compare(a, b);
+
+    out.set("a", JsonValue::str(r.nameA));
+    out.set("b", JsonValue::str(r.nameB));
+    out.set("comparable", JsonValue::boolean(r.comparable));
+
+    std::printf("\ndifferential %s vs %s:\n", r.nameA.c_str(),
+                r.nameB.c_str());
+    if (!r.comparable) {
+        std::printf("  not comparable: %s is unsound (%s)\n",
+                    r.unsoundPolicy.c_str(),
+                    verify::traceName(r.unsoundTrace).c_str());
+        out.set("unsoundPolicy", JsonValue::str(r.unsoundPolicy));
+        out.set("unsoundTrace", traceJson(r.unsoundTrace));
+        // Comparing against a broken policy is expected to be
+        // rejected; that rejection is the correct behaviour.
+        return !expectedSound(a) || !expectedSound(b);
+    }
+
+    std::printf("  product: %llu states, %llu transitions%s\n"
+                "  %s pays while %s free: %llu transitions; converse: "
+                "%llu\n"
+                "  worst step %llu vs %llu cyc; worst gap %llu cyc "
+                "(%s)\n"
+                "  worst minimal-path %llu vs %llu cyc\n",
+                static_cast<unsigned long long>(r.productStates),
+                static_cast<unsigned long long>(r.productTransitions),
+                r.fixedPointReached ? "" : " (TRUNCATED)",
+                r.nameA.c_str(), r.nameB.c_str(),
+                static_cast<unsigned long long>(r.aPaysBFree),
+                static_cast<unsigned long long>(r.bPaysAFree),
+                static_cast<unsigned long long>(r.worstStepA),
+                static_cast<unsigned long long>(r.worstStepB),
+                static_cast<unsigned long long>(r.worstStepGap),
+                verify::traceName(r.worstGapTrace).c_str(),
+                static_cast<unsigned long long>(r.worstPathA),
+                static_cast<unsigned long long>(r.worstPathB));
+
+    std::printf("  per-transition worst-case bounds (cycles):\n"
+                "    %-22s %12s %10s %10s\n", "class", "transitions",
+                r.nameA.c_str(), r.nameB.c_str());
+    JsonValue classes = JsonValue::array();
+    for (const verify::DiffClassBound &c : r.classes) {
+        std::printf("    %-22s %12llu %10llu %10llu\n",
+                    c.label.c_str(),
+                    static_cast<unsigned long long>(c.transitions),
+                    static_cast<unsigned long long>(c.worstA),
+                    static_cast<unsigned long long>(c.worstB));
+        JsonValue jc = JsonValue::object();
+        jc.set("class", JsonValue::str(c.label));
+        jc.set("transitions", JsonValue::number(c.transitions));
+        jc.set("worstA", JsonValue::number(c.worstA));
+        jc.set("worstB", JsonValue::number(c.worstB));
+        classes.push(std::move(jc));
+    }
+    out.set("productStates", JsonValue::number(r.productStates));
+    out.set("productTransitions",
+            JsonValue::number(r.productTransitions));
+    out.set("aPaysBFree", JsonValue::number(r.aPaysBFree));
+    out.set("bPaysAFree", JsonValue::number(r.bPaysAFree));
+    out.set("worstStepA", JsonValue::number(r.worstStepA));
+    out.set("worstStepB", JsonValue::number(r.worstStepB));
+    out.set("worstStepGap", JsonValue::number(r.worstStepGap));
+    out.set("worstGapTrace", traceJson(r.worstGapTrace));
+    out.set("worstPathA", JsonValue::number(r.worstPathA));
+    out.set("worstPathB", JsonValue::number(r.worstPathB));
+    out.set("classes", std::move(classes));
+
+    if (!r.fixedPointReached) {
+        std::printf("  ERROR: product state space truncated before "
+                    "fixed point\n");
+        return false;
+    }
+    return true;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--policy NAME] [--cost] [--necessity]\n"
+                 "       [--diff-policy A B] [--json FILE] "
+                 "[--no-replay] [--list]\n",
+                 argv0);
+    return 2;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     bool do_replay = true;
+    bool do_cost = false;
+    bool do_necessity = false;
     std::string only;
+    std::string json_path;
+    std::string diff_a, diff_b;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--no-replay") {
             do_replay = false;
-        } else if (arg == "--policy" && i + 1 < argc) {
+        } else if (arg == "--cost") {
+            do_cost = true;
+        } else if (arg == "--necessity") {
+            do_necessity = true;
+        } else if (arg == "--policy") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--policy requires a name\n");
+                return usage(argv[0]);
+            }
             only = argv[++i];
+        } else if (arg == "--json") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--json requires a file path\n");
+                return usage(argv[0]);
+            }
+            json_path = argv[++i];
+        } else if (arg == "--diff-policy") {
+            if (i + 2 >= argc) {
+                std::fprintf(stderr,
+                             "--diff-policy requires two policy "
+                             "names\n");
+                return usage(argv[0]);
+            }
+            diff_a = argv[++i];
+            diff_b = argv[++i];
         } else if (arg == "--list") {
             for (const PolicyConfig &p : allPolicies())
                 std::printf("%s\n", p.name.c_str());
             return 0;
         } else {
+            std::fprintf(stderr, "unknown argument '%s'\n",
+                         arg.c_str());
+            return usage(argv[0]);
+        }
+    }
+
+    const std::vector<PolicyConfig> all = allPolicies();
+    if (!only.empty() && findPolicy(all, only) == nullptr) {
+        std::fprintf(stderr, "unknown policy '%s' (try --list)\n",
+                     only.c_str());
+        return 2;
+    }
+    const PolicyConfig *pa = nullptr;
+    const PolicyConfig *pb = nullptr;
+    if (!diff_a.empty()) {
+        pa = findPolicy(all, diff_a);
+        pb = findPolicy(all, diff_b);
+        if (pa == nullptr || pb == nullptr) {
             std::fprintf(stderr,
-                         "usage: %s [--policy NAME] [--no-replay] "
-                         "[--list]\n",
-                         argv[0]);
+                         "unknown policy '%s' (try --list)\n",
+                         (pa == nullptr ? diff_a : diff_b).c_str());
             return 2;
         }
     }
 
+    JsonValue report = JsonValue::object();
+    report.set("schema", JsonValue::str("vic-verify-report-v1"));
+    report.set("machine", JsonValue::str("hp720"));
+    JsonValue policies = JsonValue::array();
+
     bool all_ok = true;
-    bool matched = false;
-    for (const PolicyConfig &p : allPolicies()) {
+    for (const PolicyConfig &p : all) {
         if (!only.empty() && p.name != only)
             continue;
-        matched = true;
-        all_ok &= checkPolicy(p, do_replay);
+        JsonValue jp = JsonValue::object();
+        jp.set("name", JsonValue::str(p.name));
+        bool ok = checkSoundness(p, do_replay, jp);
+        if (do_cost) {
+            JsonValue jc = JsonValue::object();
+            ok &= checkCost(p, jc);
+            jp.set("cost", std::move(jc));
+        }
+        if (do_necessity) {
+            JsonValue jn = JsonValue::object();
+            ok &= checkNecessity(p, jn);
+            jp.set("necessity", std::move(jn));
+        }
+        jp.set("ok", JsonValue::boolean(ok));
+        policies.push(std::move(jp));
+        all_ok &= ok;
     }
-    if (!matched) {
-        std::fprintf(stderr, "unknown policy '%s' (try --list)\n",
-                     only.c_str());
-        return 2;
+    report.set("policies", std::move(policies));
+
+    if (pa != nullptr) {
+        JsonValue jd = JsonValue::object();
+        all_ok &= checkDifferential(*pa, *pb, jd);
+        report.set("differential", std::move(jd));
+    }
+
+    report.set("ok", JsonValue::boolean(all_ok));
+    if (!json_path.empty()) {
+        std::ofstream f(json_path);
+        if (!f) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         json_path.c_str());
+            return 2;
+        }
+        f << report.dump(2) << '\n';
+        std::printf("\nreport written to %s\n", json_path.c_str());
     }
 
     std::printf("\nverify_policy: %s\n",
