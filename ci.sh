@@ -11,17 +11,27 @@
 #      cache op the shipping lazy policies issue load-bearing and
 #      that no classic policy retains a fully-removable call site,
 #      archiving the machine-readable verdicts (VERIFY_report.json);
-#   4. bench smoke: vic_bench sweeps every suite at smoke scale
+#   4. interleaving exploration: verify_policy --interleave runs the
+#      DPOR schedule explorer (src/mc) per shipping policy at a CI
+#      budget — the guarded kernel orderings must be race- and
+#      violation-free under every policy, the broken-ordering
+#      exemplars must produce an oracle-confirmed race with a
+#      replayable minimal schedule, and the machine-readable v2
+#      report is archived (VERIFY_interleave.json);
+#   5. bench smoke: vic_bench sweeps every suite at smoke scale
 #      through the experiment engine, gated on zero oracle
 #      violations, and archives the JSON artifact (BENCH_smoke.json);
 #      the same sweep rerun serially must produce an artifact
 #      equivalent to the parallel one modulo wall-clock — the
 #      engine's determinism contract;
-#   5. thread sanitizer: the experiment engine's fan-out (engine
-#      tests + the smoke sweep) rebuilt and rerun under TSan;
-#   6. determinism lint: no wall-clock or entropy source may appear
-#      in simulation code (tools/lint_determinism.sh) — gating;
-#   7. style lint: clang-format / clang-tidy, gating when installed
+#   6. thread sanitizer: the threaded fan-outs (experiment engine
+#      tests + the smoke sweep + the model checker's exploreMany)
+#      rebuilt and rerun under TSan;
+#   7. determinism lint: no wall-clock or entropy source may appear
+#      in simulation code, and the model checker (src/mc) may not
+#      iterate unordered containers (tools/lint_determinism.sh) —
+#      gating;
+#   8. style lint: clang-format / clang-tidy, gating when installed
 #      and skipped with a notice otherwise (they are configs-first:
 #      the repo must stay clean under gcc -Werror regardless).
 #
@@ -53,6 +63,11 @@ step "protocol lint (verify_policy --necessity)"
 ./build/tools/verify_policy --necessity --json VERIFY_report.json
 echo "artifact archived: VERIFY_report.json"
 
+step "interleaving exploration (verify_policy --interleave)"
+./build/tools/verify_policy --interleave --budget 5000 --jobs 2 \
+    --json VERIFY_interleave.json
+echo "artifact archived: VERIFY_interleave.json"
+
 step "bench smoke sweep (vic_bench, --jobs 2)"
 ./build/tools/vic_bench --smoke --jobs 2 --json BENCH_smoke.json
 echo "artifact archived: BENCH_smoke.json"
@@ -63,15 +78,16 @@ step "bench determinism (--jobs 1 vs --jobs 2 artifacts)"
 ./build/tools/vic_bench --diff BENCH_smoke_j1.json BENCH_smoke.json
 rm -f BENCH_smoke_j1.json
 
-step "thread sanitizer build (experiment engine)"
+step "thread sanitizer build (experiment engine + model checker)"
 cmake -B build-tsan -S . -DVIC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
-    --target experiment_engine_test vic_bench
+    --target experiment_engine_test vic_bench mc_test
 
-step "thread sanitizer: engine tests + smoke sweep"
+step "thread sanitizer: engine tests + smoke sweep + explorer"
 ./build-tsan/tests/experiment_engine_test
 ./build-tsan/tools/vic_bench --smoke --jobs 4 --json /dev/null \
     >/dev/null
+./build-tsan/tests/mc_test >/dev/null
 echo "TSan: clean"
 
 step "determinism lint"

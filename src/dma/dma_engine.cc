@@ -1,5 +1,7 @@
 #include "dma/dma_engine.hh"
 
+#include <utility>
+
 #include "common/logging.hh"
 
 namespace vic
@@ -22,31 +24,193 @@ DmaEngine::attachSnoopedCache(Cache *cache)
 }
 
 void
-DmaEngine::deviceWrite(PhysAddr pa, const std::uint32_t *words,
-                       std::uint32_t nwords)
+DmaEngine::setBeatBytes(std::uint32_t bytes)
 {
-    vic_assert(pa.value % 4 == 0, "unaligned DMA write");
-    ++statWrites;
+    vic_assert(bytes >= 4 && bytes % 4 == 0,
+               "beat size %u not a word multiple", bytes);
+    beatSize = bytes;
+}
+
+DmaTransferId
+DmaEngine::start(bool device_writes, PhysAddr pa,
+                 const std::uint32_t *words, std::uint32_t *out,
+                 std::uint32_t nwords,
+                 std::function<void()> on_complete)
+{
+    vic_assert(pa.value % 4 == 0, "unaligned DMA transfer");
+
+    // Per-transfer accounting happens at command time, exactly where
+    // the historic atomic implementation charged it, so the
+    // synchronous path's cycle totals and statistics are unchanged.
+    if (device_writes)
+        ++statWrites;
+    else
+        ++statReads;
     statWordsMoved += nwords;
-    clk.advance(costs.setup + costs.perWord * nwords);
+    clk.advance(costs.setup);
     if (evlog) {
         VIC_EVLOG(*evlog,
-                  format("dma-wr pa=%llx words=%u%s",
+                  format("dma-%s pa=%llx words=%u%s",
+                         device_writes ? "wr" : "rd",
                          (unsigned long long)pa.value, nwords,
                          snooped.empty() ? "" : " (snooped)"));
     }
 
-    for (std::uint32_t i = 0; i < nwords; ++i) {
-        PhysAddr addr = pa.plus(std::uint64_t(i) * 4);
-        if (!snooped.empty()) {
-            // Coherent DMA: kill any cached copies so later CPU reads
-            // miss and fetch the new data.
-            for (Cache *c : snooped)
-                c->snoopInvalidateLine(addr);
+    const DmaTransferId id = nextId++;
+    if (nwords == 0) {
+        // Degenerate command: completes at setup time, nothing queued.
+        if (on_complete)
+            on_complete();
+        return id;
+    }
+
+    Transfer t;
+    t.id = id;
+    t.deviceWrites = device_writes;
+    t.pa = pa;
+    t.nwords = nwords;
+    t.onComplete = std::move(on_complete);
+    if (device_writes)
+        t.buf.assign(words, words + nwords);
+    else
+        t.out = out;
+    queue.push_back(std::move(t));
+    return id;
+}
+
+DmaTransferId
+DmaEngine::startWrite(PhysAddr pa, const std::uint32_t *words,
+                      std::uint32_t nwords,
+                      std::function<void()> on_complete)
+{
+    return start(true, pa, words, nullptr, nwords,
+                 std::move(on_complete));
+}
+
+DmaTransferId
+DmaEngine::startRead(PhysAddr pa, std::uint32_t *out,
+                     std::uint32_t nwords,
+                     std::function<void()> on_complete)
+{
+    return start(false, pa, nullptr, out, nwords,
+                 std::move(on_complete));
+}
+
+bool
+DmaEngine::transferPending(DmaTransferId id) const
+{
+    for (const Transfer &t : queue)
+        if (t.id == id)
+            return true;
+    return false;
+}
+
+std::uint32_t
+DmaEngine::beatWords(const Transfer &t) const
+{
+    const std::uint64_t next_word_addr =
+        t.pa.value + std::uint64_t(t.done) * 4;
+    const std::uint64_t line_end =
+        (next_word_addr / beatSize + 1) * beatSize;
+    const std::uint32_t to_boundary =
+        static_cast<std::uint32_t>((line_end - next_word_addr) / 4);
+    const std::uint32_t remaining = t.nwords - t.done;
+    return remaining < to_boundary ? remaining : to_boundary;
+}
+
+std::optional<DmaEngine::BeatInfo>
+DmaEngine::nextBeat(std::size_t queue_index) const
+{
+    if (queue_index >= queue.size())
+        return std::nullopt;
+    const Transfer &t = queue[queue_index];
+    BeatInfo b;
+    b.id = t.id;
+    b.pa = t.pa.plus(std::uint64_t(t.done) * 4);
+    b.nwords = beatWords(t);
+    b.deviceWrites = t.deviceWrites;
+    return b;
+}
+
+void
+DmaEngine::executeBeat(std::size_t index)
+{
+    Transfer &t = queue[index];
+    const std::uint32_t words = beatWords(t);
+    clk.advance(costs.perWord * words);
+
+    for (std::uint32_t i = 0; i < words; ++i) {
+        const PhysAddr addr =
+            t.pa.plus(std::uint64_t(t.done + i) * 4);
+        if (t.deviceWrites) {
+            if (!snooped.empty()) {
+                // Coherent DMA: kill any cached copies so later CPU
+                // reads miss and fetch the new data.
+                for (Cache *c : snooped)
+                    c->snoopInvalidateLine(addr);
+            }
+            mem.writeWord(addr, t.buf[t.done + i]);
+            if (observer)
+                observer->dmaWrite(addr, t.buf[t.done + i]);
+        } else {
+            if (!snooped.empty()) {
+                // Coherent DMA: pull dirty data out of the caches
+                // first.
+                for (Cache *c : snooped)
+                    c->snoopWriteBackLine(addr);
+            }
+            t.out[t.done + i] = mem.readWord(addr);
+            if (observer)
+                observer->dmaRead(addr, t.out[t.done + i]);
         }
-        mem.writeWord(addr, words[i]);
-        if (observer)
-            observer->dmaWrite(addr, words[i]);
+    }
+    t.done += words;
+
+    if (t.done == t.nwords) {
+        // Retire before the callback so completion handlers observe a
+        // consistent queue (and may start fresh transfers).
+        std::function<void()> done = std::move(t.onComplete);
+        queue.erase(queue.begin() +
+                    static_cast<std::ptrdiff_t>(index));
+        if (done)
+            done();
+    }
+}
+
+bool
+DmaEngine::stepBeat()
+{
+    if (queue.empty())
+        return false;
+    executeBeat(0);
+    return true;
+}
+
+bool
+DmaEngine::stepTransfer(DmaTransferId id)
+{
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        if (queue[i].id == id) {
+            executeBeat(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+DmaEngine::drainAll()
+{
+    while (stepBeat()) {
+    }
+}
+
+void
+DmaEngine::deviceWrite(PhysAddr pa, const std::uint32_t *words,
+                       std::uint32_t nwords)
+{
+    const DmaTransferId id = startWrite(pa, words, nwords);
+    while (stepTransfer(id)) {
     }
 }
 
@@ -54,27 +218,8 @@ void
 DmaEngine::deviceRead(PhysAddr pa, std::uint32_t *out,
                       std::uint32_t nwords)
 {
-    vic_assert(pa.value % 4 == 0, "unaligned DMA read");
-    ++statReads;
-    statWordsMoved += nwords;
-    clk.advance(costs.setup + costs.perWord * nwords);
-    if (evlog) {
-        VIC_EVLOG(*evlog,
-                  format("dma-rd pa=%llx words=%u%s",
-                         (unsigned long long)pa.value, nwords,
-                         snooped.empty() ? "" : " (snooped)"));
-    }
-
-    for (std::uint32_t i = 0; i < nwords; ++i) {
-        PhysAddr addr = pa.plus(std::uint64_t(i) * 4);
-        if (!snooped.empty()) {
-            // Coherent DMA: pull dirty data out of the caches first.
-            for (Cache *c : snooped)
-                c->snoopWriteBackLine(addr);
-        }
-        out[i] = mem.readWord(addr);
-        if (observer)
-            observer->dmaRead(addr, out[i]);
+    const DmaTransferId id = startRead(pa, out, nwords);
+    while (stepTransfer(id)) {
     }
 }
 

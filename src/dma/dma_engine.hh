@@ -10,12 +10,26 @@
  * variant in which DMA can access the cache, letting tests and the
  * architecture ablation show that the OS-level operations become
  * unnecessary there.
+ *
+ * Transfers are asynchronous at line granularity: startWrite/startRead
+ * enqueue a pending transfer whose beats (one cache line of words
+ * each) are executed one at a time by stepBeat()/stepTransfer(). This
+ * is what lets the interleaving model checker (src/mc) overlap DMA
+ * with CPU execution and expose mid-transfer consistency windows. The
+ * classic deviceWrite/deviceRead entry points remain as the
+ * synchronous compatibility path — start followed by an immediate
+ * drain — with cycle charges and statistics identical to the historic
+ * atomic implementation, so existing call sites and calibrated benches
+ * are unaffected.
  */
 
 #ifndef VIC_DMA_DMA_ENGINE_HH
 #define VIC_DMA_DMA_ENGINE_HH
 
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
 #include <vector>
 
 #include "cache/cache.hh"
@@ -36,6 +50,9 @@ struct DmaCosts
     Cycles perWord = 1;  ///< bus cycles per 32-bit word moved
 };
 
+/** Handle identifying one in-flight transfer. Never reused. */
+using DmaTransferId = std::uint64_t;
+
 class DmaEngine
 {
   public:
@@ -55,6 +72,71 @@ class DmaEngine
      *  is enabled (one guarded branch per transfer, not per word). */
     void setEventLog(EventLog *log) { evlog = log; }
 
+    /** Beat granularity in bytes (the machine sets this to its cache
+     *  line size). Must be a multiple of 4. */
+    void setBeatBytes(std::uint32_t bytes);
+    std::uint32_t beatBytes() const { return beatSize; }
+
+    // ------------------------------------------------------------------
+    // Asynchronous line-granular transfers
+    // ------------------------------------------------------------------
+
+    /**
+     * Begin a DMA-write: the device will deposit @p nwords words into
+     * memory starting at @p pa, one line-sized beat per step. The data
+     * is copied out of @p words immediately (the device latches its
+     * buffer at command time), so the caller's storage may be reused.
+     * The per-transfer setup cost is charged now; each beat charges
+     * its word-move cost when stepped. @p on_complete (optional) runs
+     * after the final beat.
+     */
+    DmaTransferId startWrite(PhysAddr pa, const std::uint32_t *words,
+                             std::uint32_t nwords,
+                             std::function<void()> on_complete = {});
+
+    /**
+     * Begin a DMA-read: the device will read @p nwords words from the
+     * memory system starting at @p pa into @p out, one beat per step.
+     * @p out must stay valid until the transfer completes.
+     */
+    DmaTransferId startRead(PhysAddr pa, std::uint32_t *out,
+                            std::uint32_t nwords,
+                            std::function<void()> on_complete = {});
+
+    /** Number of transfers with beats still pending. */
+    std::size_t pendingTransfers() const { return queue.size(); }
+
+    /** @return true iff @p id has beats still pending. */
+    bool transferPending(DmaTransferId id) const;
+
+    /** The next beat a transfer would execute (for schedulers). */
+    struct BeatInfo
+    {
+        DmaTransferId id = 0;
+        PhysAddr pa;               ///< first word of the beat
+        std::uint32_t nwords = 0;  ///< words the beat moves
+        bool deviceWrites = false; ///< true: device->memory (DMA-write)
+    };
+
+    /** Peek the next beat of the @p queue_index-th pending transfer
+     *  (0 = oldest); nullopt if out of range. */
+    std::optional<BeatInfo> nextBeat(std::size_t queue_index = 0) const;
+
+    /** Execute one beat of the oldest pending transfer.
+     *  @return false iff nothing was pending. */
+    bool stepBeat();
+
+    /** Execute one beat of transfer @p id.
+     *  @return false iff @p id has no pending beats. */
+    bool stepTransfer(DmaTransferId id);
+
+    /** Run every pending transfer to completion, oldest first. */
+    void drainAll();
+
+    // ------------------------------------------------------------------
+    // Synchronous compatibility path (start + immediate drain)
+    // ------------------------------------------------------------------
+
     /**
      * DMA-write: the device deposits @p nwords words into memory
      * starting at @p pa (e.g. a disk read completing). In snooping mode
@@ -73,16 +155,44 @@ class DmaEngine
                     std::uint32_t nwords);
 
   private:
+    struct Transfer
+    {
+        DmaTransferId id = 0;
+        bool deviceWrites = false;
+        PhysAddr pa;
+        std::vector<std::uint32_t> buf; ///< device data (writes only)
+        std::uint32_t *out = nullptr;   ///< destination (reads only)
+        std::uint32_t done = 0;         ///< words already moved
+        std::uint32_t nwords = 0;
+        std::function<void()> onComplete;
+    };
+
     DmaCosts costs;
     PhysicalMemory &mem;
     CycleClock &clk;
     std::vector<Cache *> snooped;
     MemoryObserver *observer = nullptr;
     EventLog *evlog = nullptr;
+    std::uint32_t beatSize = 32;
+
+    std::deque<Transfer> queue; ///< FIFO of incomplete transfers
+    DmaTransferId nextId = 1;
 
     Counter &statWrites;
     Counter &statReads;
     Counter &statWordsMoved;
+
+    DmaTransferId start(bool device_writes, PhysAddr pa,
+                        const std::uint32_t *words, std::uint32_t *out,
+                        std::uint32_t nwords,
+                        std::function<void()> on_complete);
+
+    /** Words the next beat of @p t moves (up to its line boundary). */
+    std::uint32_t beatWords(const Transfer &t) const;
+
+    /** Execute one beat of queue entry @p index, retiring the transfer
+     *  (and running its completion callback) after the final beat. */
+    void executeBeat(std::size_t index);
 };
 
 } // namespace vic

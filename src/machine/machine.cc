@@ -31,6 +31,7 @@ Machine::Machine(const MachineParams &machine_params)
     dmaEngine = std::make_unique<DmaEngine>(mparams.dmaCosts, *physMem,
                                             cycleClock, statSet);
     dmaEngine->setEventLog(&eventLog);
+    dmaEngine->setBeatBytes(mparams.dcacheLineBytes);
     diskDev = std::make_unique<Disk>(mparams.pageBytes,
                                      mparams.diskAccessCycles, *dmaEngine,
                                      cycleClock, statSet);

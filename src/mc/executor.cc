@@ -1,0 +1,618 @@
+#include "mc/executor.hh"
+
+#include "common/logging.hh"
+
+namespace vic::mc
+{
+
+/** MemoryObserver sandwich: records the physical lines the current
+ *  step touches, then forwards every transfer to the oracle. */
+class Executor::Recorder : public MemoryObserver
+{
+  public:
+    Recorder(ConsistencyOracle &golden, std::uint32_t line_bytes,
+             std::uint32_t page_bytes)
+        : oracle(golden), lineBytes(line_bytes), pageBytes(page_bytes)
+    {
+    }
+
+    void begin(StepRecord *step) { cur = step; }
+    void end() { cur = nullptr; }
+    StepRecord *currentStep() { return cur; }
+
+    void
+    cpuLoad(PhysAddr pa, std::uint32_t observed) override
+    {
+        noteRead(pa);
+        oracle.cpuLoad(pa, observed);
+    }
+
+    void
+    cpuIFetch(PhysAddr pa, std::uint32_t observed) override
+    {
+        noteRead(pa);
+        oracle.cpuIFetch(pa, observed);
+    }
+
+    void
+    cpuStore(PhysAddr pa, std::uint32_t value) override
+    {
+        noteWrite(pa);
+        oracle.cpuStore(pa, value);
+    }
+
+    void
+    dmaWrite(PhysAddr pa, std::uint32_t value) override
+    {
+        noteWrite(pa);
+        oracle.dmaWrite(pa, value);
+    }
+
+    void
+    dmaRead(PhysAddr pa, std::uint32_t observed) override
+    {
+        noteRead(pa);
+        oracle.dmaRead(pa, observed);
+    }
+
+  private:
+    ConsistencyOracle &oracle;
+    std::uint32_t lineBytes;
+    std::uint32_t pageBytes;
+    StepRecord *cur = nullptr;
+
+    void
+    noteRead(PhysAddr pa)
+    {
+        if (cur == nullptr)
+            return;
+        Footprint::addLine(cur->fp.readLines, pa.value / lineBytes);
+        Footprint::addFrame(cur->fp.frames, pa.value / pageBytes);
+    }
+
+    void
+    noteWrite(PhysAddr pa)
+    {
+        if (cur == nullptr)
+            return;
+        Footprint::addLine(cur->fp.writeLines, pa.value / lineBytes);
+        Footprint::addFrame(cur->fp.frames, pa.value / pageBytes);
+    }
+};
+
+namespace
+{
+
+/** Frames the catalog plays with: 7 is the page under test, 9 the
+ *  bystander every scenario's second frame maps to. */
+constexpr FrameId kFrameUnderTest = 7;
+constexpr FrameId kBystanderFrame = 9;
+
+bool
+isCpuOp(OpKind k)
+{
+    return k == OpKind::CpuLoad || k == OpKind::CpuStore ||
+           k == OpKind::CpuIFetch;
+}
+
+} // namespace
+
+Executor::Executor(const Scenario &scenario)
+    : scn(scenario), machine(scenario.mparams),
+      oracle(scenario.mparams.numFrames * scenario.mparams.pageBytes)
+{
+    pmap = Pmap::create(machine, scn.policy);
+    colours = machine.dcache().geometry().numColours();
+    lineBytes = scn.mparams.dcacheLineBytes;
+    lineWords = lineBytes / 4;
+
+    recorder = std::make_unique<Recorder>(oracle, lineBytes,
+                                          scn.mparams.pageBytes);
+    machine.setObserver(recorder.get());
+    oracle.setViolationHook([this](const ConsistencyOracle::Violation &) {
+        if (StepRecord *cur = recorder->currentStep())
+            ++cur->violations;
+        if (firstViolation < 0)
+            firstViolation = static_cast<int>(hist.size());
+    });
+
+    for (std::uint32_t i = 0; i < machine.numCpus(); ++i) {
+        cpus.push_back(std::make_unique<Cpu>(machine, i));
+        cpus.back()->setSpace(1);
+        cpus.back()->setFaultHandler([this](const Fault &f) {
+            if (pmap->resolveConsistencyFault(f.address, f.access))
+                return true;
+            auto it = known.find(f.address);
+            if (f.type == FaultType::Unmapped && it != known.end()) {
+                pmap->enter(f.address, it->second, Protection::all(),
+                            f.access, {});
+                return true;
+            }
+            return false;
+        });
+    }
+
+    for (std::size_t i = 0; i < scn.threads.size(); ++i) {
+        ThreadState t;
+        t.name = scn.threads[i].name;
+        t.scenarioIndex = static_cast<int>(i);
+        threads.push_back(std::move(t));
+        const Thread &st = scn.threads[i];
+        vic_assert(st.cpu < machine.numCpus(),
+                   "scenario thread on missing cpu %u", st.cpu);
+    }
+}
+
+Executor::~Executor()
+{
+    machine.setObserver(nullptr);
+    oracle.setViolationHook(nullptr);
+}
+
+FrameId
+Executor::frameOf(std::uint8_t frame_sel) const
+{
+    return frame_sel == 0 ? kFrameUnderTest : kBystanderFrame;
+}
+
+VirtAddr
+Executor::slotVa(std::uint8_t slot, std::uint8_t frame_sel) const
+{
+    const Slot &s = scn.slots[slot];
+    // Fold colour, alias replica and frame choice into distinct
+    // virtual pages; +1 keeps page zero unused, and the bystander
+    // offset of 2*colours pages preserves the slot's cache colour.
+    const std::uint64_t page =
+        std::uint64_t(s.replica) * colours + 1 + s.colour +
+        (frame_sel != 0 ? 2ull * colours : 0ull);
+    return VirtAddr(page * scn.mparams.pageBytes);
+}
+
+bool
+Executor::transfersComplete(const ThreadState &t)
+{
+    for (DmaTransferId id : t.started)
+        if (machine.dma().transferPending(id))
+            return false;
+    return true;
+}
+
+bool
+Executor::opEnabled(const ThreadState &t)
+{
+    const Thread &st = scn.threads[static_cast<std::size_t>(
+        t.scenarioIndex)];
+    const Op &op = st.ops[t.pc];
+    if (isCpuOp(op.kind))
+        return busyFrames.count(frameOf(op.frameSel)) == 0;
+    if (op.kind == OpKind::DmaWait)
+        return transfersComplete(t);
+    if (op.kind == OpKind::BusyAcquire)
+        return busyFrames.count(frameOf(op.frameSel)) == 0;
+    return true;
+}
+
+std::vector<int>
+Executor::enabled()
+{
+    std::vector<int> out;
+    for (std::size_t i = 0; i < threads.size(); ++i) {
+        const ThreadState &t = threads[i];
+        if (t.isBeat) {
+            if (machine.dma().transferPending(t.transfer))
+                out.push_back(static_cast<int>(i));
+            continue;
+        }
+        const Thread &st = scn.threads[static_cast<std::size_t>(
+            t.scenarioIndex)];
+        if (t.pc < st.ops.size() && opEnabled(t))
+            out.push_back(static_cast<int>(i));
+    }
+    return out;
+}
+
+bool
+Executor::allFinished()
+{
+    for (const ThreadState &t : threads) {
+        if (t.isBeat) {
+            if (machine.dma().transferPending(t.transfer))
+                return false;
+            continue;
+        }
+        const Thread &st = scn.threads[static_cast<std::size_t>(
+            t.scenarioIndex)];
+        if (t.pc < st.ops.size())
+            return false;
+    }
+    return true;
+}
+
+void
+Executor::predictOp(const Op &op, std::uint32_t cpu, Footprint &fp)
+{
+    const FrameId frame = frameOf(op.frameSel);
+    const std::uint64_t frame_line =
+        frame * (scn.mparams.pageBytes / lineBytes);
+    const std::uint32_t page_lines = scn.mparams.pageBytes / lineBytes;
+
+    switch (op.kind) {
+      case OpKind::CpuLoad:
+      case OpKind::CpuStore:
+      case OpKind::CpuIFetch: {
+        fp.cpuData = true;
+        fp.cpu = cpu;
+        fp.inst = op.kind == OpKind::CpuIFetch;
+        const VirtAddr va = slotVa(op.slot, op.frameSel);
+        fp.colour = fp.inst ? machine.icache().geometry().colourOf(va)
+                            : machine.dcache().geometry().colourOf(va);
+        Footprint::addFrame(fp.frames, frame);
+        if (op.kind == OpKind::CpuStore)
+            Footprint::addLine(fp.writeLines, frame_line);
+        else
+            Footprint::addLine(fp.readLines, frame_line);
+        break;
+      }
+      case OpKind::PmapDmaRead:
+      case OpKind::PmapDmaWrite:
+      case OpKind::PmapUnmap:
+        fp.pmapOp = true;
+        Footprint::addFrame(fp.frames, frame);
+        for (std::uint32_t i = 0; i < page_lines; ++i)
+            Footprint::addLine(fp.writeLines, frame_line + i);
+        break;
+      case OpKind::BusyAcquire:
+        fp.busyAcquire = true;
+        Footprint::addFrame(fp.frames, frame);
+        break;
+      case OpKind::BusyRelease:
+        fp.busyRelease = true;
+        Footprint::addFrame(fp.frames, frame);
+        break;
+      case OpKind::DmaStartRead:
+      case OpKind::DmaStartWrite:
+        // The command itself latches device state without touching
+        // memory; the beats carry the transfer's data footprint.
+        Footprint::addFrame(fp.frames, frame);
+        break;
+      case OpKind::DmaWait:
+      case OpKind::DmaBeat:
+        break;
+    }
+}
+
+Footprint
+Executor::peek(int t)
+{
+    const ThreadState &ts = threads[static_cast<std::size_t>(t)];
+    Footprint fp;
+    if (ts.isBeat) {
+        DmaEngine &dma = machine.dma();
+        for (std::size_t i = 0; i < dma.pendingTransfers(); ++i) {
+            auto beat = dma.nextBeat(i);
+            if (!beat || beat->id != ts.transfer)
+                continue;
+            fp.dmaAccess = true;
+            Footprint::addFrame(fp.frames,
+                                beat->pa.value / scn.mparams.pageBytes);
+            for (std::uint32_t w = 0; w < beat->nwords; ++w) {
+                const std::uint64_t line =
+                    (beat->pa.value + std::uint64_t(w) * 4) / lineBytes;
+                if (beat->deviceWrites)
+                    Footprint::addLine(fp.writeLines, line);
+                else
+                    Footprint::addLine(fp.readLines, line);
+            }
+            break;
+        }
+        return fp;
+    }
+    const Thread &st = scn.threads[static_cast<std::size_t>(
+        ts.scenarioIndex)];
+    if (ts.pc < st.ops.size())
+        predictOp(st.ops[ts.pc], st.cpu, fp);
+    return fp;
+}
+
+Footprint
+Executor::remainingFootprint(int t)
+{
+    const ThreadState &ts = threads[static_cast<std::size_t>(t)];
+    Footprint fp;
+    const std::uint32_t page_lines = scn.mparams.pageBytes / lineBytes;
+
+    if (ts.isBeat) {
+        // Conservative: the rest of the transfer may touch any line
+        // of its frame.
+        DmaEngine &dma = machine.dma();
+        if (!dma.transferPending(ts.transfer))
+            return fp;
+        Footprint beat = peek(t);
+        fp = beat;
+        if (!fp.frames.empty()) {
+            const std::uint64_t frame_line = fp.frames[0] * page_lines;
+            for (std::uint32_t i = 0; i < page_lines; ++i) {
+                Footprint::addLine(fp.readLines, frame_line + i);
+                Footprint::addLine(fp.writeLines, frame_line + i);
+            }
+        }
+        return fp;
+    }
+
+    const Thread &st = scn.threads[static_cast<std::size_t>(
+        ts.scenarioIndex)];
+    for (std::size_t pc = ts.pc; pc < st.ops.size(); ++pc) {
+        const Op &op = st.ops[pc];
+        Footprint one;
+        predictOp(op, st.cpu, one);
+        if (op.kind == OpKind::DmaStartRead ||
+            op.kind == OpKind::DmaStartWrite) {
+            // Account for the beats the start will spawn.
+            one.dmaAccess = true;
+            const std::uint64_t frame_line =
+                frameOf(op.frameSel) * page_lines;
+            for (std::uint32_t i = 0; i < op.lines; ++i) {
+                if (op.kind == OpKind::DmaStartWrite)
+                    Footprint::addLine(one.writeLines, frame_line + i);
+                else
+                    Footprint::addLine(one.readLines, frame_line + i);
+            }
+        }
+        for (std::uint64_t l : one.readLines)
+            Footprint::addLine(fp.readLines, l);
+        for (std::uint64_t l : one.writeLines)
+            Footprint::addLine(fp.writeLines, l);
+        for (std::uint64_t f : one.frames)
+            Footprint::addFrame(fp.frames, f);
+        fp.cpuData |= one.cpuData;
+        fp.cpu = one.cpuData ? one.cpu : fp.cpu;
+        fp.inst |= one.inst;
+        fp.colour = one.cpuData ? one.colour : fp.colour;
+        fp.dmaAccess |= one.dmaAccess;
+        fp.pmapOp |= one.pmapOp;
+        fp.busyAcquire |= one.busyAcquire;
+        fp.busyRelease |= one.busyRelease;
+    }
+    return fp;
+}
+
+void
+Executor::execute(int t, StepRecord &cur)
+{
+    ThreadState &ts = threads[static_cast<std::size_t>(t)];
+
+    if (ts.isBeat) {
+        cur.kind = OpKind::DmaBeat;
+        cur.fp.dmaAccess = true;
+        const bool stepped = machine.dma().stepTransfer(ts.transfer);
+        vic_assert(stepped, "beat thread stepped without pending beat");
+        ++ts.pc;
+        return;
+    }
+
+    const Thread &st = scn.threads[static_cast<std::size_t>(
+        ts.scenarioIndex)];
+    const Op &op = st.ops[ts.pc];
+    cur.kind = op.kind;
+    const FrameId frame = frameOf(op.frameSel);
+    const std::uint32_t page_lines = scn.mparams.pageBytes / lineBytes;
+    const std::uint64_t frame_line = frame * page_lines;
+
+    switch (op.kind) {
+      case OpKind::CpuLoad:
+      case OpKind::CpuStore:
+      case OpKind::CpuIFetch: {
+        const VirtAddr va = slotVa(op.slot, op.frameSel);
+        const SpaceVa sva(1, va);
+        known[sva] = frame;
+        Cpu &cpu = *cpus[st.cpu];
+        const std::uint64_t faults_before = cpu.faultCount();
+        if (op.kind == OpKind::CpuLoad)
+            cpu.load(va);
+        else if (op.kind == OpKind::CpuStore)
+            cpu.store(va, stamp++);
+        else
+            cpu.ifetch(va);
+        cur.faulted = cpu.faultCount() != faults_before;
+        cur.fp.cpuData = true;
+        cur.fp.cpu = st.cpu;
+        cur.fp.inst = op.kind == OpKind::CpuIFetch;
+        cur.fp.colour = cur.fp.inst
+                            ? machine.icache().geometry().colourOf(va)
+                            : machine.dcache().geometry().colourOf(va);
+        Footprint::addFrame(cur.fp.frames, frame);
+        break;
+      }
+
+      case OpKind::PmapDmaRead:
+        pmap->dmaRead(frame, /*need_data=*/true);
+        cur.fp.pmapOp = true;
+        Footprint::addFrame(cur.fp.frames, frame);
+        for (std::uint32_t i = 0; i < page_lines; ++i)
+            Footprint::addLine(cur.fp.writeLines, frame_line + i);
+        break;
+
+      case OpKind::PmapDmaWrite:
+        pmap->dmaWrite(frame);
+        cur.fp.pmapOp = true;
+        Footprint::addFrame(cur.fp.frames, frame);
+        for (std::uint32_t i = 0; i < page_lines; ++i)
+            Footprint::addLine(cur.fp.writeLines, frame_line + i);
+        break;
+
+      case OpKind::PmapUnmap: {
+        const SpaceVa sva(1, slotVa(op.slot, op.frameSel));
+        known.erase(sva);
+        pmap->remove(sva);
+        cur.fp.pmapOp = true;
+        Footprint::addFrame(cur.fp.frames, frame);
+        for (std::uint32_t i = 0; i < page_lines; ++i)
+            Footprint::addLine(cur.fp.writeLines, frame_line + i);
+        break;
+      }
+
+      case OpKind::BusyAcquire:
+        vic_assert(busyFrames.count(frame) == 0,
+                   "busy frame acquired twice");
+        busyFrames.insert(frame);
+        cur.fp.busyAcquire = true;
+        Footprint::addFrame(cur.fp.frames, frame);
+        break;
+
+      case OpKind::BusyRelease:
+        vic_assert(busyFrames.count(frame) == 1,
+                   "release of non-busy frame");
+        busyFrames.erase(frame);
+        cur.fp.busyRelease = true;
+        Footprint::addFrame(cur.fp.frames, frame);
+        break;
+
+      case OpKind::DmaStartRead:
+      case OpKind::DmaStartWrite: {
+        const std::uint32_t nwords = op.lines * lineWords;
+        DmaTransferId id = 0;
+        if (op.kind == OpKind::DmaStartRead) {
+            readBufs.emplace_back(nwords, 0u);
+            id = machine.dma().startRead(machine.frameAddr(frame),
+                                         readBufs.back().data(),
+                                         nwords);
+        } else {
+            std::vector<std::uint32_t> words(nwords);
+            for (std::uint32_t i = 0; i < nwords; ++i)
+                words[i] = 0x80000000u +
+                           (std::uint32_t(stamp) << 8) + i;
+            ++stamp;
+            id = machine.dma().startWrite(machine.frameAddr(frame),
+                                          words.data(), nwords);
+        }
+        ts.started.push_back(id);
+
+        ThreadState beat;
+        beat.name = ts.name + ".dma" +
+                    std::to_string(ts.started.size());
+        beat.isBeat = true;
+        beat.transfer = id;
+        beat.starter = t;
+        cur.startedBeat = static_cast<int>(threads.size());
+        ts.startedBeatThreads.push_back(cur.startedBeat);
+        threads.push_back(std::move(beat));
+        Footprint::addFrame(cur.fp.frames, frame);
+        break;
+      }
+
+      case OpKind::DmaWait:
+        vic_assert(transfersComplete(ts), "wait on pending transfer");
+        cur.joins = ts.startedBeatThreads;
+        break;
+
+      case OpKind::DmaBeat:
+        vic_assert(false, "DmaBeat in a scenario thread");
+        break;
+    }
+    ++threads[static_cast<std::size_t>(t)].pc;
+}
+
+const StepRecord &
+Executor::step(int t)
+{
+    ThreadState &ts = threads[static_cast<std::size_t>(t)];
+
+    StepRecord cur;
+    cur.thread = t;
+    cur.pc = ts.pc;
+    if (ts.isBeat) {
+        cur.label = ts.name + ":beat#" + std::to_string(ts.pc);
+    } else {
+        const Thread &st = scn.threads[static_cast<std::size_t>(
+            ts.scenarioIndex)];
+        const Op &op = st.ops[ts.pc];
+        cur.label = ts.name + ":" + opKindName(op.kind);
+        if (isCpuOp(op.kind) || op.kind == OpKind::PmapUnmap) {
+            cur.label += ' ';
+            cur.label += static_cast<char>('A' + op.slot);
+            if (op.frameSel != 0)
+                cur.label += '*';
+        }
+    }
+
+    recorder->begin(&cur);
+    execute(t, cur);
+    recorder->end();
+
+    hist.push_back(std::move(cur));
+    return hist.back();
+}
+
+std::uint64_t
+Executor::stateHash()
+{
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+
+    const std::uint32_t page_words = scn.mparams.pageBytes / 4;
+    for (FrameId frame : {kFrameUnderTest, kBystanderFrame}) {
+        const PhysAddr base = machine.frameAddr(frame);
+        for (std::uint32_t w = 0; w < page_words; ++w)
+            mix(machine.memory().readWord(
+                base.plus(std::uint64_t(w) * 4)));
+    }
+
+    for (std::uint32_t c = 0; c < machine.numCpus(); ++c) {
+        for (std::size_t s = 0; s < scn.slots.size(); ++s) {
+            for (std::uint8_t sel = 0; sel < 2; ++sel) {
+                const VirtAddr va =
+                    slotVa(static_cast<std::uint8_t>(s), sel);
+                const PhysAddr pa = machine.frameAddr(frameOf(sel));
+                const Cache::Probe d = machine.dcache(c).probe(va, pa);
+                mix((d.present ? 1u : 0u) | (d.dirty ? 2u : 0u));
+                mix(d.word);
+                const Cache::Probe i = machine.icache(c).probe(va, pa);
+                mix((i.present ? 1u : 0u) | (i.dirty ? 2u : 0u));
+                mix(i.word);
+            }
+        }
+    }
+
+    for (std::size_t s = 0; s < scn.slots.size(); ++s) {
+        for (std::uint8_t sel = 0; sel < 2; ++sel) {
+            const SpaceVa sva(
+                1, slotVa(static_cast<std::uint8_t>(s), sel));
+            const PageTableEntry *pte =
+                machine.pageTable().lookup(sva);
+            if (pte == nullptr) {
+                mix(~std::uint64_t(0));
+                continue;
+            }
+            mix(pte->frame);
+            mix((pte->prot.read ? 1u : 0u) |
+                (pte->prot.write ? 2u : 0u) |
+                (pte->prot.execute ? 4u : 0u) |
+                (pte->modified ? 8u : 0u));
+        }
+    }
+
+    for (FrameId f : busyFrames)
+        mix(f);
+    for (const ThreadState &t : threads) {
+        mix(t.pc);
+        mix(t.started.size());
+    }
+    DmaEngine &dma = machine.dma();
+    for (std::size_t i = 0; i < dma.pendingTransfers(); ++i) {
+        auto beat = dma.nextBeat(i);
+        if (!beat)
+            continue;
+        mix(beat->pa.value);
+        mix(beat->nwords);
+        mix(beat->deviceWrites ? 1u : 0u);
+    }
+    mix(stamp);
+    return h;
+}
+
+} // namespace vic::mc

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Schedule-controlled executor: drives one concrete Machine + Pmap
+ * one atomic operation at a time.
+ *
+ * The executor instantiates a fresh scaled-down machine for a
+ * scenario, creates one dynamic thread per scenario thread plus one
+ * per started DMA transfer (whose steps are the transfer's
+ * line-granular beats), and exposes exactly the interface a stateless
+ * explorer needs: which threads are enabled, what the next step of
+ * each would touch (predicted footprints), and step(t) to execute one
+ * operation — including any consistency faults it takes, which are
+ * resolved inside the step exactly as the kernel's trap-and-retry
+ * path would. A ConsistencyOracle shadows every transfer, so a
+ * schedule that loses a write-back or reads stale data is flagged at
+ * the step where the stale value crosses the memory system.
+ *
+ * Schedules are replayable: thread indices are assigned
+ * deterministically (scenario threads first, then beat threads in
+ * transfer start order), so the same schedule on a fresh executor
+ * reproduces the same run bit for bit.
+ */
+
+#ifndef VIC_MC_EXECUTOR_HH
+#define VIC_MC_EXECUTOR_HH
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/pmap.hh"
+#include "machine/cpu.hh"
+#include "machine/machine.hh"
+#include "mc/scenario.hh"
+#include "oracle/consistency_oracle.hh"
+
+namespace vic::mc
+{
+
+class Executor
+{
+  public:
+    explicit Executor(const Scenario &scenario);
+    ~Executor();
+
+    Executor(const Executor &) = delete;
+    Executor &operator=(const Executor &) = delete;
+
+    /** Dynamic threads so far (scenario threads + beat threads). */
+    int numThreads() const { return static_cast<int>(threads.size()); }
+
+    /** Thread indices that can step now, ascending. */
+    std::vector<int> enabled();
+
+    /** @return true iff every thread has run to completion. */
+    bool allFinished();
+
+    /** @return true iff nothing is enabled but work remains. */
+    bool deadlocked() { return !allFinished() && enabled().empty(); }
+
+    /** Predicted footprint of thread @p t's next step (no effects). */
+    Footprint peek(int t);
+
+    /** Union footprint of everything thread @p t may still do,
+     *  including the beats of transfers it has yet to start. */
+    Footprint remainingFootprint(int t);
+
+    /** Execute one step of thread @p t (must be enabled). */
+    const StepRecord &step(int t);
+
+    const std::vector<StepRecord> &history() const { return hist; }
+
+    /** Display name of thread @p t. */
+    const std::string &threadName(int t) const
+    { return threads[static_cast<std::size_t>(t)].name; }
+
+    std::uint64_t violationCount() const
+    { return oracle.violationCount(); }
+
+    /** History index of the first violating step, or -1. */
+    int firstViolationStep() const { return firstViolation; }
+
+    /**
+     * Order-insensitive hash of the observable machine state: memory
+     * and cache contents of the scenario frames, page-table state of
+     * the scenario slots, busy bits, thread progress and pending
+     * transfer residues. Used for end-state censuses and (optionally)
+     * pruning; the simulated clock is deliberately excluded.
+     */
+    std::uint64_t stateHash();
+
+  private:
+    struct ThreadState
+    {
+        std::string name;
+        bool isBeat = false;
+        std::size_t pc = 0;       ///< next op (beats: beats done)
+        int scenarioIndex = -1;   ///< static threads: index in scenario
+        DmaTransferId transfer = 0;
+        int starter = -1;         ///< beat threads: starting thread
+        std::vector<DmaTransferId> started;
+        std::vector<int> startedBeatThreads;
+    };
+
+    const Scenario &scn;
+    Machine machine;
+    std::unique_ptr<Pmap> pmap;
+    std::vector<std::unique_ptr<Cpu>> cpus;
+    ConsistencyOracle oracle;
+
+    /** Forwards transfers to the oracle while recording the lines the
+     *  current step touches. */
+    class Recorder;
+    std::unique_ptr<Recorder> recorder;
+
+    std::vector<ThreadState> threads;
+    std::set<FrameId> busyFrames;
+    std::deque<std::vector<std::uint32_t>> readBufs;
+    std::map<SpaceVa, FrameId> known; ///< demand-mappable slots
+    std::vector<StepRecord> hist;
+    std::uint32_t stamp = 1;
+    int firstViolation = -1;
+
+    std::uint32_t colours = 0;
+    std::uint32_t lineBytes = 0;
+    std::uint32_t lineWords = 0;
+
+    FrameId frameOf(std::uint8_t frame_sel) const;
+    VirtAddr slotVa(std::uint8_t slot, std::uint8_t frame_sel) const;
+
+    bool opEnabled(const ThreadState &t);
+    bool transfersComplete(const ThreadState &t);
+    void predictOp(const Op &op, std::uint32_t cpu, Footprint &fp);
+    void execute(int t, StepRecord &cur);
+};
+
+} // namespace vic::mc
+
+#endif // VIC_MC_EXECUTOR_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Stateless DPOR explorer over scenario schedules.
+ *
+ * Depth-first enumeration of maximal schedules with partial-order
+ * reduction: sleep sets prune re-exploration of commuting branches,
+ * and a persistent-set heuristic (a thread whose next step is
+ * independent, line-for-line, of everything every other thread may
+ * still do forms a singleton persistent set) collapses interleavings
+ * that cannot be distinguished by any conflict. Every completed
+ * schedule is canonicalised to its Mazurkiewicz trace (dependence-
+ * preserving normal form), so the explorer can both count the
+ * inequivalent interleavings exactly and assert that the reduction
+ * explored each exactly once. The state space is re-executed from
+ * scratch on every branch — executions are a few dozen steps on a
+ * scaled-down machine, so statelessness buys determinism and
+ * replayability for free.
+ *
+ * Races come from the happens-before detector over each completed
+ * run; a race is *confirmed* when some schedule of the same scenario
+ * also fails the ConsistencyOracle, and the shortest violating prefix
+ * is kept as the minimal counterexample and re-executed to prove the
+ * schedule deterministically reproduces the violation.
+ */
+
+#ifndef VIC_MC_EXPLORER_HH
+#define VIC_MC_EXPLORER_HH
+
+#include <string>
+#include <vector>
+
+#include "mc/race.hh"
+#include "mc/scenario.hh"
+
+namespace vic::mc
+{
+
+struct ExploreOptions
+{
+    /** Maximum complete schedules to execute before giving up. */
+    std::uint64_t budget = 20000;
+    bool sleepSets = true;
+    bool persistentSets = true;
+    /** Prune subtrees whose observable state hash was already seen.
+     *  Off by default: hashing is collision-checked nowhere, so
+     *  exhaustive counts only hold without it. */
+    bool hashPrune = false;
+    /** Hard bound on schedule length (safety net). */
+    std::size_t maxSteps = 64;
+};
+
+struct ScenarioResult
+{
+    std::string scenario;
+    std::string policy;
+
+    bool exhausted = true; ///< full space explored within budget
+    bool deadlock = false; ///< some schedule blocked before finishing
+    std::uint64_t executions = 0;      ///< complete maximal schedules
+    std::uint64_t canonicalTraces = 0; ///< inequivalent interleavings
+    std::uint64_t distinctEndStates = 0;
+    std::uint64_t steps = 0; ///< machine steps incl. re-execution
+    std::uint64_t sleepPruned = 0;
+    std::uint64_t persistentPruned = 0;
+    std::uint64_t maxDepth = 0; ///< longest schedule seen
+
+    std::vector<RaceReport> races; ///< deduplicated across schedules
+    std::uint64_t benignRaces = 0;
+    /** Non-benign race pairs in a scenario where at least one
+     *  schedule failed the oracle: the race demonstrably loses data. */
+    std::uint64_t confirmedRaces = 0;
+
+    std::uint64_t violatingRuns = 0;
+    std::uint64_t totalViolations = 0;
+    Schedule minimalCounterexample; ///< shortest violating prefix
+    std::vector<std::string> minimalCounterexampleLabels;
+    bool replayConfirmed = false; ///< replaying it violates again
+
+    /** Non-benign reported races. */
+    std::uint64_t reportedRaces() const
+    { return races.size() - benignRaces; }
+
+    /** Did the scenario meet its expectations? */
+    bool passed(const Expectation &expect) const;
+};
+
+/** Exhaustively explore one scenario. */
+ScenarioResult explore(const Scenario &scenario,
+                       const ExploreOptions &options);
+
+/** Explore many scenarios on @p jobs worker threads. Results are
+ *  returned in input order and are independent of @p jobs. */
+std::vector<ScenarioResult>
+exploreMany(const std::vector<Scenario> &scenarios,
+            const ExploreOptions &options, unsigned jobs);
+
+} // namespace vic::mc
+
+#endif // VIC_MC_EXPLORER_HH

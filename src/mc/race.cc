@@ -1,0 +1,134 @@
+#include "mc/race.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace vic::mc
+{
+
+namespace
+{
+
+using Clock = std::vector<std::uint64_t>;
+
+void
+join(Clock &into, const Clock &from)
+{
+    for (std::size_t i = 0; i < into.size(); ++i)
+        into[i] = std::max(into[i], from[i]);
+}
+
+/** i happened-before j iff j's clock has caught up with i's own tick. */
+bool
+happensBefore(const Clock &vci, int ti, const Clock &vcj)
+{
+    return vcj[static_cast<std::size_t>(ti)] >=
+           vci[static_cast<std::size_t>(ti)];
+}
+
+} // namespace
+
+std::string
+RaceReport::key() const
+{
+    return labelA + "|" + labelB + "|" + std::to_string(line);
+}
+
+std::vector<RaceReport>
+detectRaces(const std::vector<StepRecord> &hist, int num_threads,
+            bool snooping)
+{
+    const std::size_t n = static_cast<std::size_t>(num_threads);
+    std::vector<Clock> clock(n, Clock(n, 0));
+    std::vector<Clock> vc(hist.size());
+
+    std::map<std::uint64_t, Clock> accessClock;  ///< per frame
+    std::map<std::uint64_t, Clock> releaseClock; ///< per frame
+    Clock pmapClock(n, 0);
+    std::map<int, Clock> forkClock; ///< beat thread -> start clock
+
+    for (std::size_t i = 0; i < hist.size(); ++i) {
+        const StepRecord &s = hist[i];
+        const std::size_t t = static_cast<std::size_t>(s.thread);
+        vic_assert(t < n, "step of unknown thread");
+        Clock &c = clock[t];
+
+        if (s.kind == OpKind::DmaBeat && s.pc == 0) {
+            auto it = forkClock.find(s.thread);
+            vic_assert(it != forkClock.end(),
+                       "beat before its transfer started");
+            join(c, it->second);
+        }
+        for (int j : s.joins)
+            join(c, clock[static_cast<std::size_t>(j)]);
+        if (s.fp.busyAcquire) {
+            for (std::uint64_t f : s.fp.frames) {
+                auto it = accessClock.find(f);
+                if (it != accessClock.end())
+                    join(c, it->second);
+            }
+        }
+        if (s.fp.cpuData) {
+            for (std::uint64_t f : s.fp.frames) {
+                auto it = releaseClock.find(f);
+                if (it != releaseClock.end())
+                    join(c, it->second);
+            }
+        }
+        if (s.fp.pmapOp || s.faulted)
+            join(c, pmapClock);
+
+        ++c[t];
+        vc[i] = c;
+
+        if (s.startedBeat >= 0)
+            forkClock[s.startedBeat] = c;
+        if (s.fp.busyRelease) {
+            for (std::uint64_t f : s.fp.frames)
+                releaseClock[f] = c;
+        }
+        if (s.fp.pmapOp || s.faulted)
+            join(pmapClock, c);
+        if (s.fp.cpuData || s.fp.dmaAccess) {
+            for (std::uint64_t f : s.fp.frames) {
+                auto [it, fresh] = accessClock.try_emplace(f, n, 0);
+                (void)fresh;
+                join(it->second, c);
+            }
+        }
+    }
+
+    std::vector<RaceReport> out;
+    for (std::size_t i = 0; i < hist.size(); ++i) {
+        const StepRecord &a = hist[i];
+        if (!a.fp.cpuData && !a.fp.dmaAccess)
+            continue;
+        for (std::size_t j = i + 1; j < hist.size(); ++j) {
+            const StepRecord &b = hist[j];
+            if (a.thread == b.thread)
+                continue;
+            if (!b.fp.cpuData && !b.fp.dmaAccess)
+                continue;
+            if (!a.fp.dmaAccess && !b.fp.dmaAccess)
+                continue; // CPU/CPU: hardware-coherent across caches
+            const std::uint64_t line = conflictingLine(a.fp, b.fp);
+            if (line == ~std::uint64_t(0))
+                continue;
+            if (happensBefore(vc[i], a.thread, vc[j]))
+                continue;
+            RaceReport r;
+            r.stepA = static_cast<int>(i);
+            r.stepB = static_cast<int>(j);
+            r.labelA = a.label;
+            r.labelB = b.label;
+            r.line = line;
+            r.benign = snooping && (a.fp.dmaAccess != b.fp.dmaAccess);
+            out.push_back(std::move(r));
+        }
+    }
+    return out;
+}
+
+} // namespace vic::mc

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Vector-clock happens-before race detector.
+ *
+ * Runs over one completed schedule's step history and flags pairs of
+ * conflicting physical-memory accesses that no synchronisation
+ * orders. Conflicts are the data races the paper's consistency
+ * hazards grow from: a CPU store against a DMA beat (lost write-back
+ * or shadowed device data) and two DMA beats against each other
+ * (torn transfer). Happens-before edges:
+ *
+ *  - program order within each dynamic thread;
+ *  - DMA fork/join: a transfer's start precedes its beats (the device
+ *    cannot move data before it is commanded), and a DmaWait follows
+ *    the final beat of every transfer it waits on;
+ *  - busy-bit synchronisation: acquiring a frame's busy bit follows
+ *    every earlier access to that frame (the acquirer evicts the
+ *    translations and completes a TLB shootdown, which drains
+ *    in-flight accesses), and every CPU access after a release
+ *    follows that release (the access refaults and re-enters through
+ *    the now-unblocked mapping);
+ *  - the pmap lock: explicit pmap operations, and the pmap work done
+ *    inside a faulting CPU access, serialise in schedule order.
+ *
+ * An unordered CPU/DMA conflict on a snooping machine is reported as
+ * benign: the hardware keeps the cache and the transfer coherent, so
+ * the pair is racy in time but not in value. Everything else is a
+ * candidate consistency race; the explorer confirms candidates by
+ * exhibiting a schedule the ConsistencyOracle rejects.
+ */
+
+#ifndef VIC_MC_RACE_HH
+#define VIC_MC_RACE_HH
+
+#include <string>
+#include <vector>
+
+#include "mc/event.hh"
+
+namespace vic::mc
+{
+
+/** One unordered conflicting pair, anchored at its schedule steps. */
+struct RaceReport
+{
+    int stepA = -1;
+    int stepB = -1;
+    std::string labelA;
+    std::string labelB;
+    std::uint64_t line = 0; ///< a conflicting physical line
+    bool benign = false;    ///< snooping-mode CPU/DMA pair
+
+    /** Stable identity of the pair across schedules, for dedup. */
+    std::string key() const;
+};
+
+/** Detect races over @p hist; @p snooping marks CPU/DMA pairs benign. */
+std::vector<RaceReport> detectRaces(const std::vector<StepRecord> &hist,
+                                    int num_threads, bool snooping);
+
+} // namespace vic::mc
+
+#endif // VIC_MC_RACE_HH

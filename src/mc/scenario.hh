@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Scenario catalog for the interleaving model checker.
+ *
+ * Each scenario is a tiny concurrent program over the consistency
+ * alphabet: one or two CPUs issuing accesses, an operating-system
+ * thread performing the pmap/DMA/busy-bit choreography of a kernel
+ * I/O or pageout path, and the line-granular beats of any transfer
+ * it starts. The guarded scenarios mirror the orderings the kernel
+ * actually ships (src/os/pageout.cc, kernel.cc, buffer_cache.cc) and
+ * must be race- and violation-free under every sound policy; the
+ * broken-ordering exemplars invert one edge of that choreography and
+ * must lose a write-back that the explorer catches with a short
+ * replayable schedule.
+ */
+
+#ifndef VIC_MC_SCENARIO_HH
+#define VIC_MC_SCENARIO_HH
+
+#include <string>
+#include <vector>
+
+#include "core/policy_config.hh"
+#include "machine/machine_params.hh"
+#include "mc/event.hh"
+
+namespace vic::mc
+{
+
+/** A virtual page the scenario's CPU accesses go through. Slots of
+ *  equal colour on the same frame are aligned aliases. */
+struct Slot
+{
+    std::uint8_t colour = 0;
+    std::uint8_t replica = 0; ///< distinguishes same-colour aliases
+};
+
+/** What the explorer must find for the scenario to pass. */
+struct Expectation
+{
+    /** No non-benign race may be reported. */
+    bool raceFree = true;
+    /** No schedule may produce a consistency-oracle violation. */
+    bool violationFree = true;
+    /** At least one race must be confirmed by an oracle violation. */
+    bool wantConfirmedRace = false;
+    /** Upper bound on the minimal counterexample length (0 = none). */
+    std::size_t maxCounterexample = 0;
+};
+
+struct Scenario
+{
+    std::string name;
+    PolicyConfig policy;
+    MachineParams mparams;
+    std::vector<Slot> slots;
+    std::vector<Thread> threads;
+    Expectation expect;
+};
+
+/** Scaled-down machine for exploration: 32 frames, 16 KB caches
+ *  (4 colours), line-granular non-snooping DMA by default. */
+MachineParams mcMachineParams(std::uint32_t num_cpus = 1,
+                              bool dma_snoops = false);
+
+// --- catalog -----------------------------------------------------------
+
+/** Pageout/IO paths with the shipping ordering (flush/purge and busy
+ *  guard before the transfer): expected race- and violation-free. */
+std::vector<Scenario> guardedScenarios(const PolicyConfig &policy);
+
+/** Adversarial kernel-path variant that starts the device transfer
+ *  BEFORE the DMA-read flush and takes no busy guard: must lose a
+ *  write-back, caught with a schedule of at most 6 events. */
+Scenario flushAfterStartExemplar(const PolicyConfig &policy);
+
+/** Correct flush ordering but no busy guard: a store interleaved
+ *  between the flush and the transfer's beat is lost. */
+Scenario lostWriteBackRace(const PolicyConfig &policy);
+
+/** Same alphabet as lostWriteBackRace on a snooping machine: the
+ *  CPU/DMA pairs become benign and no violation is possible. */
+Scenario snoopingVariant(const PolicyConfig &policy);
+
+/** Two device writes into the same frame with no ordering: an
+ *  unordered (DMA, DMA) conflict (tests only). */
+Scenario dmaDmaOverlap(const PolicyConfig &policy);
+
+/** Two CPU stores on different processors, frames and colours: a
+ *  2-event independent pair (exactly one inequivalent interleaving). */
+Scenario independentPair(const PolicyConfig &policy);
+
+/** Two CPU stores to the same line from different processors: a
+ *  2-event conflict (exactly two inequivalent interleavings). */
+Scenario dependentPair(const PolicyConfig &policy);
+
+/** The scenarios verify_policy --interleave gates on: the guarded set
+ *  plus the broken-ordering exemplar and the snooping variant. */
+std::vector<Scenario> standardCatalog(const PolicyConfig &policy);
+
+} // namespace vic::mc
+
+#endif // VIC_MC_SCENARIO_HH

@@ -78,6 +78,7 @@ PageoutDaemon::pageOut(const Candidate &c)
     // Evict every translation so no access can race the transfer.
     for (const SpaceVa &va : pmap.mappingsOf(c.frame))
         pmap.remove(va);
+    m.yieldPoint("pageout.unmapped");
 
     if (obj->backing() == VmObject::Backing::File) {
         // Text and mapped-file pages are clean copies of file data:
@@ -85,10 +86,17 @@ PageoutDaemon::pageOut(const Candidate &c)
         ++statTextDrops;
     } else {
         // Anonymous page: write to swap. The DMA-read consistency
-        // step flushes whatever dirty cache data the page still has.
+        // step flushes whatever dirty cache data the page still has —
+        // strictly BEFORE the first beat of the transfer can run (the
+        // interleaving checker, src/mc, explores exactly this window).
+        // The frame is wired while beats are pending so nothing
+        // recycles it mid-transfer.
         const std::uint64_t block = allocSwapBlock();
         pmap.dmaRead(c.frame, true);
-        m.disk().writeBlock(block, m.frameAddr(c.frame));
+        wire(c.frame);
+        m.disk().writeBlockAsync(block, m.frameAddr(c.frame));
+        m.drainDma("pageout.swap-out");
+        unwire(c.frame);
         obj->setSwapBlock(c.page, block);
         ++statSwapWrites;
     }

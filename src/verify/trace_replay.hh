@@ -13,6 +13,14 @@
  * trace through a sound policy must replay clean. This closes the
  * abstraction-soundness loop: the verifier's counterexamples are real
  * bugs, not artifacts of the abstraction.
+ *
+ * Events here are sequential and each DMA transfer completes
+ * atomically inline. The schedule-aware counterpart is
+ * mc::Executor (src/mc/executor.hh): it replays *interleaved*
+ * schedules — CPU accesses, pmap ops, busy-bit transitions and
+ * individual DMA beats as separate atomic steps — under the same
+ * oracle, which is how the model checker's minimal counterexample
+ * schedules are validated.
  */
 
 #ifndef VIC_VERIFY_TRACE_REPLAY_HH

@@ -136,5 +136,137 @@ TEST_F(DmaTest, DiskChargesAccessCycles)
     EXPECT_GE(clk.now() - before, 1000u);
 }
 
+// --- line-granular asynchronous stepping ------------------------------
+
+TEST_F(DmaTest, StartWriteIsInvisibleUntilStepped)
+{
+    std::uint32_t data[16];
+    for (int i = 0; i < 16; ++i)
+        data[i] = 100u + std::uint32_t(i);
+
+    const DmaTransferId id = dma.startWrite(PhysAddr(0x2000), data, 16);
+    EXPECT_TRUE(dma.transferPending(id));
+    EXPECT_EQ(dma.pendingTransfers(), 1u);
+    // The command is latched but no beat has run: memory untouched.
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(mem.readWord(PhysAddr(0x2000 + 4 * i)), 0u);
+
+    // One beat moves exactly one 32-byte line (8 words).
+    EXPECT_TRUE(dma.stepBeat());
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(mem.readWord(PhysAddr(0x2000 + 4 * i)), 100u + i);
+    for (int i = 8; i < 16; ++i)
+        EXPECT_EQ(mem.readWord(PhysAddr(0x2000 + 4 * i)), 0u);
+    EXPECT_TRUE(dma.transferPending(id));
+
+    EXPECT_TRUE(dma.stepBeat());
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(mem.readWord(PhysAddr(0x2000 + 4 * i)), 100u + i);
+    EXPECT_FALSE(dma.transferPending(id));
+    EXPECT_EQ(dma.pendingTransfers(), 0u);
+    EXPECT_FALSE(dma.stepBeat());
+}
+
+TEST_F(DmaTest, BeatsStopAtLineBoundaries)
+{
+    // A transfer starting mid-line first fills to the line boundary:
+    // 0x2010 is word 4 of its 32-byte line, so the beats are 4+8+4.
+    std::uint32_t data[16] = {};
+    dma.startWrite(PhysAddr(0x2010), data, 16);
+
+    auto beat = dma.nextBeat();
+    ASSERT_TRUE(beat.has_value());
+    EXPECT_EQ(beat->pa.value, 0x2010u);
+    EXPECT_EQ(beat->nwords, 4u);
+    EXPECT_TRUE(beat->deviceWrites);
+
+    EXPECT_TRUE(dma.stepBeat());
+    beat = dma.nextBeat();
+    ASSERT_TRUE(beat.has_value());
+    EXPECT_EQ(beat->pa.value, 0x2020u);
+    EXPECT_EQ(beat->nwords, 8u);
+
+    EXPECT_TRUE(dma.stepBeat());
+    beat = dma.nextBeat();
+    ASSERT_TRUE(beat.has_value());
+    EXPECT_EQ(beat->pa.value, 0x2040u);
+    EXPECT_EQ(beat->nwords, 4u);
+
+    EXPECT_TRUE(dma.stepBeat());
+    EXPECT_FALSE(dma.nextBeat().has_value());
+}
+
+TEST_F(DmaTest, StepTransferTargetsOneTransfer)
+{
+    std::uint32_t a[8], b[8];
+    for (int i = 0; i < 8; ++i) {
+        a[i] = 1;
+        b[i] = 2;
+    }
+    const DmaTransferId ta = dma.startWrite(PhysAddr(0x1000), a, 8);
+    const DmaTransferId tb = dma.startWrite(PhysAddr(0x3000), b, 8);
+    EXPECT_EQ(dma.pendingTransfers(), 2u);
+
+    // Step the *younger* transfer: the older one stays untouched.
+    EXPECT_TRUE(dma.stepTransfer(tb));
+    EXPECT_EQ(mem.readWord(PhysAddr(0x3000)), 2u);
+    EXPECT_EQ(mem.readWord(PhysAddr(0x1000)), 0u);
+    EXPECT_TRUE(dma.transferPending(ta));
+    EXPECT_FALSE(dma.transferPending(tb));
+    EXPECT_FALSE(dma.stepTransfer(tb));
+
+    dma.drainAll();
+    EXPECT_EQ(mem.readWord(PhysAddr(0x1000)), 1u);
+    EXPECT_EQ(dma.pendingTransfers(), 0u);
+}
+
+TEST_F(DmaTest, AsyncReadObservesMemoryAtBeatTime)
+{
+    // The consistency window the model checker explores: data written
+    // to memory between command and beat IS seen; data written after
+    // the beat is NOT.
+    std::uint32_t out[16] = {};
+    dma.startRead(PhysAddr(0x4000), out, 16);
+
+    mem.writeWord(PhysAddr(0x4000), 7u);  // before beat 0: visible
+    EXPECT_TRUE(dma.stepBeat());
+    mem.writeWord(PhysAddr(0x4004), 9u);  // after beat 0: lost
+    mem.writeWord(PhysAddr(0x4020), 11u); // before beat 1: visible
+    EXPECT_TRUE(dma.stepBeat());
+
+    EXPECT_EQ(out[0], 7u);
+    EXPECT_EQ(out[1], 0u);
+    EXPECT_EQ(out[8], 11u);
+}
+
+TEST_F(DmaTest, AsyncCompletionCallbackRunsAfterFinalBeat)
+{
+    std::uint32_t data[8] = {};
+    int fired = 0;
+    dma.startWrite(PhysAddr(0), data, 8, [&fired]() { ++fired; });
+    EXPECT_EQ(fired, 0);
+    EXPECT_TRUE(dma.stepBeat());
+    EXPECT_EQ(fired, 1);
+}
+
+TEST_F(DmaTest, SyncPathEqualsStartPlusDrain)
+{
+    // The compat entry points must charge and count exactly what the
+    // async path does, so calibrated benches are unaffected.
+    std::uint32_t data[12] = {};
+    const Cycles before = clk.now();
+    dma.deviceWrite(PhysAddr(0x1000), data, 12);
+    const Cycles syncCost = clk.now() - before;
+
+    const Cycles asyncStart = clk.now();
+    dma.startWrite(PhysAddr(0x1000), data, 12);
+    dma.drainAll();
+    EXPECT_EQ(clk.now() - asyncStart, syncCost);
+    EXPECT_EQ(syncCost, DmaCosts{}.setup + 12 * DmaCosts{}.perWord);
+
+    EXPECT_EQ(stats.value("dma.device_writes"), 2u);
+    EXPECT_EQ(stats.value("dma.words_moved"), 24u);
+}
+
 } // anonymous namespace
 } // namespace vic

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Tests for the interleaving model checker: DPOR exploration counts
+ * (every inequivalent interleaving exactly once), replayable and
+ * job-count-independent race reports, oracle-confirmed minimal
+ * counterexamples for broken kernel orderings, and the snooping-mode
+ * ablation in which the same alphabet produces no genuine race.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/policy_config.hh"
+#include "mc/executor.hh"
+#include "mc/explorer.hh"
+#include "mc/race.hh"
+#include "mc/scenario.hh"
+
+namespace vic::mc
+{
+namespace
+{
+
+ExploreOptions
+defaults()
+{
+    return {};
+}
+
+// --- DPOR counting ----------------------------------------------------
+
+TEST(McExplorer, IndependentPairExploredOnce)
+{
+    const ScenarioResult r =
+        explore(independentPair(PolicyConfig::cmu()), defaults());
+    EXPECT_TRUE(r.exhausted);
+    EXPECT_FALSE(r.deadlock);
+    // Two commuting stores have one Mazurkiewicz trace; the reduction
+    // must execute it exactly once.
+    EXPECT_EQ(r.executions, 1u);
+    EXPECT_EQ(r.canonicalTraces, 1u);
+    EXPECT_EQ(r.distinctEndStates, 1u);
+    EXPECT_TRUE(r.races.empty());
+}
+
+TEST(McExplorer, IndependentPairSleepSetsAlone)
+{
+    ExploreOptions opt;
+    opt.persistentSets = false; // isolate the sleep-set mechanism
+    const ScenarioResult r =
+        explore(independentPair(PolicyConfig::cmu()), opt);
+    EXPECT_TRUE(r.exhausted);
+    EXPECT_EQ(r.executions, 1u);
+    EXPECT_EQ(r.canonicalTraces, 1u);
+    EXPECT_GE(r.sleepPruned, 1u);
+}
+
+TEST(McExplorer, DependentPairExploredTwice)
+{
+    const ScenarioResult r =
+        explore(dependentPair(PolicyConfig::cmu()), defaults());
+    EXPECT_TRUE(r.exhausted);
+    // A 2-event conflict has exactly two inequivalent interleavings;
+    // each must be executed exactly once.
+    EXPECT_EQ(r.executions, 2u);
+    EXPECT_EQ(r.canonicalTraces, 2u);
+    // CPU/CPU conflicts are hardware-coherent, not races.
+    EXPECT_TRUE(r.races.empty());
+    EXPECT_EQ(r.violatingRuns, 0u);
+}
+
+TEST(McExplorer, ExplorationIsExactlyOncePerTrace)
+{
+    // Across the whole catalog the invariant "executions ==
+    // inequivalent interleavings" must hold: no trace unexplored, no
+    // trace explored twice.
+    for (const Scenario &s : standardCatalog(PolicyConfig::cmu())) {
+        const ScenarioResult r = explore(s, defaults());
+        EXPECT_TRUE(r.exhausted) << s.name;
+        EXPECT_EQ(r.executions, r.canonicalTraces) << s.name;
+    }
+}
+
+TEST(McExplorer, BudgetExhaustionIsReported)
+{
+    ExploreOptions opt;
+    opt.budget = 1;
+    const ScenarioResult r =
+        explore(dependentPair(PolicyConfig::cmu()), opt);
+    EXPECT_FALSE(r.exhausted);
+    EXPECT_EQ(r.executions, 1u);
+}
+
+// --- guarded kernel orderings ----------------------------------------
+
+TEST(McExplorer, GuardedScenariosCleanUnderShippingPolicies)
+{
+    for (const PolicyConfig &p : PolicyConfig::table5Systems()) {
+        for (const Scenario &s : guardedScenarios(p)) {
+            const ScenarioResult r = explore(s, defaults());
+            EXPECT_TRUE(r.exhausted) << p.name << "/" << s.name;
+            EXPECT_FALSE(r.deadlock) << p.name << "/" << s.name;
+            EXPECT_EQ(r.reportedRaces(), 0u)
+                << p.name << "/" << s.name;
+            EXPECT_EQ(r.violatingRuns, 0u)
+                << p.name << "/" << s.name;
+            EXPECT_TRUE(r.passed(s.expect))
+                << p.name << "/" << s.name;
+        }
+    }
+}
+
+TEST(McExplorer, PageoutScenarioReachesAcceptanceDepth)
+{
+    std::vector<Scenario> g = guardedScenarios(PolicyConfig::cmu());
+    const Scenario *pageout = nullptr;
+    for (const Scenario &s : g)
+        if (s.name == "pageout-guarded")
+            pageout = &s;
+    ASSERT_NE(pageout, nullptr);
+    EXPECT_EQ(pageout->mparams.numCpus, 2u);
+
+    const ScenarioResult r = explore(*pageout, defaults());
+    EXPECT_TRUE(r.exhausted);
+    // The 2-CPU + async-DMA alphabet is explored well past depth 5.
+    EXPECT_GE(r.maxDepth, 5u);
+    EXPECT_GT(r.executions, 1u);
+    EXPECT_EQ(r.reportedRaces(), 0u);
+}
+
+// --- broken orderings -------------------------------------------------
+
+TEST(McExplorer, FlushAfterStartLosesAWriteBack)
+{
+    const ScenarioResult r =
+        explore(flushAfterStartExemplar(PolicyConfig::cmu()),
+                defaults());
+    EXPECT_TRUE(r.exhausted);
+    EXPECT_GE(r.reportedRaces(), 1u);
+    EXPECT_GE(r.confirmedRaces, 1u);
+    EXPECT_GT(r.violatingRuns, 0u);
+    ASSERT_FALSE(r.minimalCounterexample.empty());
+    EXPECT_LE(r.minimalCounterexample.size(), 6u);
+    EXPECT_TRUE(r.replayConfirmed);
+}
+
+TEST(McExplorer, UnguardedFlushThenStoreLosesAWriteBack)
+{
+    const Scenario s = lostWriteBackRace(PolicyConfig::cmu());
+    const ScenarioResult r = explore(s, defaults());
+    EXPECT_TRUE(r.exhausted);
+    EXPECT_GE(r.confirmedRaces, 1u);
+    ASSERT_FALSE(r.minimalCounterexample.empty());
+    EXPECT_LE(r.minimalCounterexample.size(),
+              s.expect.maxCounterexample);
+    EXPECT_TRUE(r.replayConfirmed);
+}
+
+TEST(McExplorer, MinimalCounterexampleReplaysDeterministically)
+{
+    const Scenario s = lostWriteBackRace(PolicyConfig::cmu());
+    const ScenarioResult r = explore(s, defaults());
+    ASSERT_FALSE(r.minimalCounterexample.empty());
+
+    // Replaying the schedule on fresh executors is deterministic:
+    // same violating step, same labels, same end state.
+    std::uint64_t hash0 = 0;
+    for (int round = 0; round < 2; ++round) {
+        Executor ex(s);
+        for (int t : r.minimalCounterexample)
+            ex.step(t);
+        EXPECT_GT(ex.violationCount(), 0u);
+        EXPECT_EQ(ex.firstViolationStep(),
+                  static_cast<int>(r.minimalCounterexample.size()) -
+                      1);
+        ASSERT_EQ(ex.history().size(),
+                  r.minimalCounterexampleLabels.size());
+        for (std::size_t i = 0; i < ex.history().size(); ++i)
+            EXPECT_EQ(ex.history()[i].label,
+                      r.minimalCounterexampleLabels[i]);
+        if (round == 0)
+            hash0 = ex.stateHash();
+        else
+            EXPECT_EQ(ex.stateHash(), hash0);
+    }
+}
+
+TEST(McExplorer, DmaDmaOverlapIsAnUnorderedConflict)
+{
+    const ScenarioResult r =
+        explore(dmaDmaOverlap(PolicyConfig::cmu()), defaults());
+    EXPECT_TRUE(r.exhausted);
+    // Two unordered device writes into the same line: a (DMA, DMA)
+    // race, though no read ever observes a stale value.
+    EXPECT_GE(r.reportedRaces(), 1u);
+    EXPECT_EQ(r.violatingRuns, 0u);
+    bool dma_dma = false;
+    for (const RaceReport &race : r.races)
+        if (race.labelA.find("beat") != std::string::npos &&
+            race.labelB.find("beat") != std::string::npos)
+            dma_dma = true;
+    EXPECT_TRUE(dma_dma);
+}
+
+// --- snooping ablation ------------------------------------------------
+
+TEST(McExplorer, SnoopingModeHasNoGenuineRaceOnSameAlphabet)
+{
+    const ScenarioResult r =
+        explore(snoopingVariant(PolicyConfig::cmu()), defaults());
+    EXPECT_TRUE(r.exhausted);
+    // The same schedules exist, but every CPU/DMA pair is kept
+    // coherent by hardware: benign, and the oracle agrees.
+    EXPECT_EQ(r.reportedRaces(), 0u);
+    EXPECT_GE(r.benignRaces, 1u);
+    EXPECT_EQ(r.violatingRuns, 0u);
+    EXPECT_EQ(r.confirmedRaces, 0u);
+}
+
+// --- determinism across jobs ------------------------------------------
+
+TEST(McExplorer, ResultsIndependentOfJobCount)
+{
+    const std::vector<Scenario> cat =
+        standardCatalog(PolicyConfig::cmu());
+    const std::vector<ScenarioResult> serial =
+        exploreMany(cat, defaults(), 1);
+    const std::vector<ScenarioResult> parallel =
+        exploreMany(cat, defaults(), 4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        const ScenarioResult &a = serial[i];
+        const ScenarioResult &b = parallel[i];
+        EXPECT_EQ(a.scenario, b.scenario);
+        EXPECT_EQ(a.executions, b.executions);
+        EXPECT_EQ(a.canonicalTraces, b.canonicalTraces);
+        EXPECT_EQ(a.distinctEndStates, b.distinctEndStates);
+        EXPECT_EQ(a.violatingRuns, b.violatingRuns);
+        EXPECT_EQ(a.minimalCounterexampleLabels,
+                  b.minimalCounterexampleLabels);
+        ASSERT_EQ(a.races.size(), b.races.size());
+        for (std::size_t j = 0; j < a.races.size(); ++j)
+            EXPECT_EQ(a.races[j].key(), b.races[j].key());
+    }
+}
+
+// --- executor basics --------------------------------------------------
+
+TEST(McExecutor, BusyBitBlocksCpuAccesses)
+{
+    std::vector<Scenario> g = guardedScenarios(PolicyConfig::cmu());
+    Executor ex(g[0]); // dma-out-guarded: user0 + pager
+    // Initially both threads can run.
+    EXPECT_EQ(ex.enabled(), (std::vector<int>{0, 1}));
+    ex.step(1); // pager: busy-acquire
+    // The user thread's store targets the busy frame: blocked.
+    EXPECT_EQ(ex.enabled(), (std::vector<int>{1}));
+}
+
+TEST(McExecutor, DmaStartSpawnsBeatThreadAndWaitBlocks)
+{
+    std::vector<Scenario> g = guardedScenarios(PolicyConfig::cmu());
+    Executor ex(g[0]);
+    ex.step(1); // busy-acquire
+    ex.step(1); // pmap-dma-read
+    EXPECT_EQ(ex.numThreads(), 2);
+    ex.step(1); // dma-start-read: spawns the beat thread
+    EXPECT_EQ(ex.numThreads(), 3);
+    // The pager's next op is dma-wait: blocked until beats finish, so
+    // only the beat thread can run.
+    EXPECT_EQ(ex.enabled(), (std::vector<int>{2}));
+    ex.step(2);
+    EXPECT_EQ(ex.enabled(), (std::vector<int>{2}));
+    ex.step(2); // second (final) beat
+    // Transfer complete: the wait unblocks.
+    EXPECT_EQ(ex.enabled(), (std::vector<int>{1}));
+}
+
+TEST(McRace, VectorClocksOrderForkJoinAndBusy)
+{
+    std::vector<Scenario> g = guardedScenarios(PolicyConfig::cmu());
+    Executor ex(g[0]);
+    // user store, then the full guarded pager sequence.
+    ex.step(0);
+    while (!ex.allFinished()) {
+        const std::vector<int> en = ex.enabled();
+        ASSERT_FALSE(en.empty());
+        ex.step(en.back());
+    }
+    const std::vector<RaceReport> races =
+        detectRaces(ex.history(), ex.numThreads(), false);
+    EXPECT_TRUE(races.empty());
+    EXPECT_EQ(ex.violationCount(), 0u);
+}
+
+} // namespace
+} // namespace vic::mc

@@ -40,6 +40,19 @@ while IFS= read -r file; do
 done < <(git ls-files 'src/*.cc' 'src/*.hh' 'tools/*.cc' \
          'bench/*.cc' 'bench/*.hh' 'tests/*.cc' 'examples/*.cc')
 
+# The model checker carries a stricter contract: exploration results
+# must be identical across runs, machines, and --jobs settings, and
+# unordered-container iteration order is hash-seed and address-space
+# dependent. src/mc therefore may not use unordered containers at
+# all — std::set/std::map give the canonical order for free.
+while IFS= read -r file; do
+    if matches=$(grep -nE 'std::unordered_' "$file"); then
+        echo "determinism lint: unordered container in model checker $file:"
+        echo "$matches" | sed 's/^/    /'
+        status=1
+    fi
+done < <(git ls-files 'src/mc/*.cc' 'src/mc/*.hh')
+
 if [ "$status" -eq 0 ]; then
     echo "determinism lint: clean"
 fi

@@ -23,6 +23,15 @@
  *                 product construction running two sound policies on
  *                 the same event stream; per-Table-2-class worst-case
  *                 cost bounds and divergence counts
+ *   --interleave  DPOR exploration of concurrent CPU/DMA/pageout
+ *                 schedules (src/mc) per policy: the guarded kernel
+ *                 orderings must be race- and violation-free, while
+ *                 the broken-ordering exemplars must yield an
+ *                 oracle-confirmed race with a minimal replayable
+ *                 schedule
+ *   --budget N    complete-schedule budget per scenario (interleave)
+ *   --jobs N      worker threads for --interleave (results identical
+ *                 for any N)
  *   --json FILE   machine-readable report of everything run
  *
  * Exit status 0 iff every expectation holds, so CI can gate on it.
@@ -30,12 +39,15 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "common/json_writer.hh"
 #include "core/policy_config.hh"
+#include "mc/explorer.hh"
+#include "mc/scenario.hh"
 #include "verify/cost_model.hh"
 #include "verify/differential.hh"
 #include "verify/necessity.hh"
@@ -323,6 +335,125 @@ checkNecessity(const PolicyConfig &policy, JsonValue &out)
 }
 
 // ---------------------------------------------------------------------
+// Interleaving exploration
+// ---------------------------------------------------------------------
+
+JsonValue
+raceJson(const vic::mc::RaceReport &r)
+{
+    JsonValue j = JsonValue::object();
+    j.set("a", JsonValue::str(r.labelA));
+    j.set("b", JsonValue::str(r.labelB));
+    j.set("line", JsonValue::number(r.line));
+    j.set("benign", JsonValue::boolean(r.benign));
+    return j;
+}
+
+bool
+checkInterleave(const PolicyConfig &policy, std::uint64_t budget,
+                unsigned jobs, JsonValue &out)
+{
+    namespace mc = vic::mc;
+
+    if (!expectedSound(policy)) {
+        // A policy that deliberately skips consistency maintenance
+        // races everywhere; the abstract verifier already owns that
+        // counterexample, so the schedule explorer gates only the
+        // shipping orderings.
+        std::printf("  interleave: skipped (policy is deliberately "
+                    "broken)\n");
+        out.set("skipped", JsonValue::boolean(true));
+        return true;
+    }
+
+    mc::ExploreOptions opt;
+    opt.budget = budget;
+    const std::vector<mc::Scenario> catalog =
+        mc::standardCatalog(policy);
+    const std::vector<mc::ScenarioResult> results =
+        mc::exploreMany(catalog, opt, jobs);
+
+    bool ok = true;
+    JsonValue scenarios = JsonValue::array();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const mc::ScenarioResult &r = results[i];
+        const mc::Expectation &expect = catalog[i].expect;
+        const bool pass = r.passed(expect);
+        ok &= pass;
+
+        std::printf("  interleave %-22s %5llu runs = %llu traces  "
+                    "depth %2llu  races %llu(+%llu benign)  "
+                    "violations %llu  %s\n",
+                    r.scenario.c_str(),
+                    static_cast<unsigned long long>(r.executions),
+                    static_cast<unsigned long long>(r.canonicalTraces),
+                    static_cast<unsigned long long>(r.maxDepth),
+                    static_cast<unsigned long long>(r.reportedRaces()),
+                    static_cast<unsigned long long>(r.benignRaces),
+                    static_cast<unsigned long long>(r.violatingRuns),
+                    pass ? "ok" : "FAIL");
+        if (!pass)
+            std::printf("    ERROR: %s\n",
+                        !r.exhausted
+                            ? "budget exhausted before the schedule "
+                              "space was covered"
+                        : r.deadlock ? "a schedule deadlocked"
+                        : expect.wantConfirmedRace
+                            ? "expected an oracle-confirmed race with "
+                              "a short replayable schedule"
+                            : "unexpected race or oracle violation");
+        if (expect.wantConfirmedRace &&
+            !r.minimalCounterexampleLabels.empty()) {
+            std::printf("    minimal schedule (%zu events, replay "
+                        "%s):\n",
+                        r.minimalCounterexampleLabels.size(),
+                        r.replayConfirmed ? "confirmed"
+                                          : "NOT confirmed");
+            for (const std::string &l :
+                 r.minimalCounterexampleLabels)
+                std::printf("      %s\n", l.c_str());
+        }
+
+        JsonValue js = JsonValue::object();
+        js.set("scenario", JsonValue::str(r.scenario));
+        js.set("exhausted", JsonValue::boolean(r.exhausted));
+        js.set("deadlock", JsonValue::boolean(r.deadlock));
+        js.set("executions", JsonValue::number(r.executions));
+        js.set("canonicalTraces",
+               JsonValue::number(r.canonicalTraces));
+        js.set("distinctEndStates",
+               JsonValue::number(r.distinctEndStates));
+        js.set("maxDepth", JsonValue::number(r.maxDepth));
+        js.set("steps", JsonValue::number(r.steps));
+        js.set("sleepPruned", JsonValue::number(r.sleepPruned));
+        js.set("persistentPruned",
+               JsonValue::number(r.persistentPruned));
+        JsonValue races = JsonValue::array();
+        for (const mc::RaceReport &race : r.races)
+            races.push(raceJson(race));
+        js.set("races", std::move(races));
+        js.set("benignRaces", JsonValue::number(r.benignRaces));
+        js.set("confirmedRaces", JsonValue::number(r.confirmedRaces));
+        js.set("violatingRuns", JsonValue::number(r.violatingRuns));
+        if (!r.minimalCounterexampleLabels.empty()) {
+            JsonValue sched = JsonValue::array();
+            for (const std::string &l :
+                 r.minimalCounterexampleLabels)
+                sched.push(JsonValue::str(l));
+            js.set("minimalCounterexample", std::move(sched));
+            js.set("replayConfirmed",
+                   JsonValue::boolean(r.replayConfirmed));
+        }
+        js.set("passed", JsonValue::boolean(pass));
+        scenarios.push(std::move(js));
+    }
+    out.set("budget", JsonValue::number(budget));
+    out.set("scenarios", std::move(scenarios));
+    out.set("gatePassed", JsonValue::boolean(ok));
+    return ok;
+}
+
+// ---------------------------------------------------------------------
 // Differential
 // ---------------------------------------------------------------------
 
@@ -412,6 +543,7 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--policy NAME] [--cost] [--necessity]\n"
+                 "       [--interleave] [--budget N] [--jobs N]\n"
                  "       [--diff-policy A B] [--json FILE] "
                  "[--no-replay] [--list]\n",
                  argv0);
@@ -426,6 +558,9 @@ main(int argc, char **argv)
     bool do_replay = true;
     bool do_cost = false;
     bool do_necessity = false;
+    bool do_interleave = false;
+    std::uint64_t budget = 20000;
+    unsigned jobs = 1;
     std::string only;
     std::string json_path;
     std::string diff_a, diff_b;
@@ -438,6 +573,29 @@ main(int argc, char **argv)
             do_cost = true;
         } else if (arg == "--necessity") {
             do_necessity = true;
+        } else if (arg == "--interleave") {
+            do_interleave = true;
+        } else if (arg == "--budget") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--budget requires a count\n");
+                return usage(argv[0]);
+            }
+            budget = std::strtoull(argv[++i], nullptr, 10);
+            if (budget == 0) {
+                std::fprintf(stderr, "--budget must be positive\n");
+                return usage(argv[0]);
+            }
+        } else if (arg == "--jobs") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--jobs requires a count\n");
+                return usage(argv[0]);
+            }
+            jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+            if (jobs == 0) {
+                std::fprintf(stderr, "--jobs must be positive\n");
+                return usage(argv[0]);
+            }
         } else if (arg == "--policy") {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "--policy requires a name\n");
@@ -490,7 +648,7 @@ main(int argc, char **argv)
     }
 
     JsonValue report = JsonValue::object();
-    report.set("schema", JsonValue::str("vic-verify-report-v1"));
+    report.set("schema", JsonValue::str("vic-verify-report-v2"));
     report.set("machine", JsonValue::str("hp720"));
     JsonValue policies = JsonValue::array();
 
@@ -510,6 +668,11 @@ main(int argc, char **argv)
             JsonValue jn = JsonValue::object();
             ok &= checkNecessity(p, jn);
             jp.set("necessity", std::move(jn));
+        }
+        if (do_interleave) {
+            JsonValue ji = JsonValue::object();
+            ok &= checkInterleave(p, budget, jobs, ji);
+            jp.set("interleave", std::move(ji));
         }
         jp.set("ok", JsonValue::boolean(ok));
         policies.push(std::move(jp));
