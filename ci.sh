@@ -24,14 +24,21 @@
 #      the same sweep rerun serially must produce an artifact
 #      equivalent to the parallel one modulo wall-clock — the
 #      engine's determinism contract;
-#   6. thread sanitizer: the threaded fan-outs (experiment engine
+#   6. perf smoke: vic_bench --smoke rebuilt at Release (-O2), its
+#      artifact asserted equivalent to the default build's (the
+#      pipeline's functional behaviour must not depend on the
+#      optimisation level), and the throughput numbers archived
+#      (BENCH_throughput.json) as the perf baseline for later
+#      commits to regress against;
+#   7. thread sanitizer: the threaded fan-outs (experiment engine
 #      tests + the smoke sweep + the model checker's exploreMany)
 #      rebuilt and rerun under TSan;
-#   7. determinism lint: no wall-clock or entropy source may appear
-#      in simulation code, and the model checker (src/mc) may not
-#      iterate unordered containers (tools/lint_determinism.sh) —
+#   8. determinism lint: no wall-clock or entropy source may appear
+#      in simulation code, the model checker (src/mc) may not
+#      iterate unordered containers, and src/common sim-visible
+#      headers may not declare them (tools/lint_determinism.sh) —
 #      gating;
-#   8. style lint: clang-format / clang-tidy, gating when installed
+#   9. style lint: clang-format / clang-tidy, gating when installed
 #      and skipped with a notice otherwise (they are configs-first:
 #      the repo must stay clean under gcc -Werror regardless).
 #
@@ -77,6 +84,17 @@ step "bench determinism (--jobs 1 vs --jobs 2 artifacts)"
     >/dev/null
 ./build/tools/vic_bench --diff BENCH_smoke_j1.json BENCH_smoke.json
 rm -f BENCH_smoke_j1.json
+
+step "perf smoke (Release -O2, artifact equivalence + throughput)"
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-release -j "$JOBS" --target vic_bench
+./build-release/tools/vic_bench --smoke --jobs 2 \
+    --json BENCH_smoke_release.json \
+    --throughput BENCH_throughput.json >/dev/null
+./build/tools/vic_bench --diff BENCH_smoke.json BENCH_smoke_release.json
+rm -f BENCH_smoke_release.json
+./build-release/tools/vic_bench --list --throughput BENCH_throughput.json
+echo "artifact archived: BENCH_throughput.json"
 
 step "thread sanitizer build (experiment engine + model checker)"
 cmake -B build-tsan -S . -DVIC_SANITIZE=thread >/dev/null

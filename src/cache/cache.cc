@@ -27,24 +27,6 @@ Cache::Cache(std::string cache_name, const CacheGeometry &geom,
 {
 }
 
-std::uint64_t
-Cache::indexBits(VirtAddr va, PhysAddr pa) const
-{
-    return geo.indexing() == Indexing::Virtual ? va.value : pa.value;
-}
-
-int
-Cache::findWay(std::uint32_t set, PhysAddr pa) const
-{
-    const std::uint64_t tag = pa.value / geo.lineBytes();
-    for (std::uint32_t w = 0; w < geo.associativity(); ++w) {
-        const Line &l = lines[lineId(set, w)];
-        if (l.valid && l.tag == tag)
-            return static_cast<int>(w);
-    }
-    return -1;
-}
-
 std::uint32_t
 Cache::victimWay(std::uint32_t set) const
 {

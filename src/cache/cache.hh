@@ -90,6 +90,60 @@ class Cache
     void write(VirtAddr va, PhysAddr pa, std::uint32_t value);
 
     /**
+     * Access-pipeline fast path: if the line holding (@p va -> @p pa)
+     * is present, complete the load of the aligned word — identical
+     * counters, LRU update and single cycle charge as read() — storing
+     * it in @p value and returning true. On a miss, no state or
+     * accounting is touched and the caller completes the access
+     * through read(), which performs the full miss handling.
+     */
+    bool
+    tryReadHit(VirtAddr va, PhysAddr pa, std::uint32_t &value)
+    {
+        const std::uint32_t set = geo.setIndex(indexBits(va, pa));
+        const int way = findWay(set, pa);
+        if (way < 0)
+            return false;
+        ++statReads;
+        ++statHits;
+        clk.advance(costs.hit);
+        const std::uint32_t id =
+            lineId(set, static_cast<std::uint32_t>(way));
+        lines[id].lastUse = ++useTick;
+        value = lineData(id)[
+            static_cast<std::uint32_t>((pa.value / 4) %
+                                       geo.wordsPerLine())];
+        return true;
+    }
+
+    /**
+     * Access-pipeline fast path for stores: the write-back, line-hit
+     * analogue of tryReadHit(). Returns false — with no accounting —
+     * on a line miss or for a write-through cache (whose stores always
+     * touch memory); the caller falls back to write().
+     */
+    bool
+    tryWriteHit(VirtAddr va, PhysAddr pa, std::uint32_t value)
+    {
+        if (policy != WritePolicy::WriteBack)
+            return false;
+        const std::uint32_t set = geo.setIndex(indexBits(va, pa));
+        const int way = findWay(set, pa);
+        if (way < 0)
+            return false;
+        ++statWrites;
+        ++statHits;
+        clk.advance(costs.hit);
+        const std::uint32_t id =
+            lineId(set, static_cast<std::uint32_t>(way));
+        lines[id].lastUse = ++useTick;
+        lines[id].dirty = true;
+        lineData(id)[static_cast<std::uint32_t>(
+            (pa.value / 4) % geo.wordsPerLine())] = value;
+        return true;
+    }
+
+    /**
      * Hardware "flush virtual address": remove the line containing
      * @p va from the cache, writing it back first if dirty. The line is
      * located by indexing with @p va and comparing the physical tag
@@ -172,7 +226,11 @@ class Cache
     Counter &statFlushCycles; ///< cycles spent in flush operations
     Counter &statPurgeCycles; ///< cycles spent in purge operations
 
-    std::uint64_t indexBits(VirtAddr va, PhysAddr pa) const;
+    std::uint64_t
+    indexBits(VirtAddr va, PhysAddr pa) const
+    {
+        return geo.indexing() == Indexing::Virtual ? va.value : pa.value;
+    }
     std::uint32_t lineId(std::uint32_t set, std::uint32_t way) const
     { return set * geo.associativity() + way; }
     std::uint32_t *lineData(std::uint32_t line_id)
@@ -182,7 +240,17 @@ class Cache
 
     /** Find a valid way in @p set whose tag covers @p pa.
      *  @return way index or -1. */
-    int findWay(std::uint32_t set, PhysAddr pa) const;
+    int
+    findWay(std::uint32_t set, PhysAddr pa) const
+    {
+        const std::uint64_t tag = pa.value / geo.lineBytes();
+        for (std::uint32_t w = 0; w < geo.associativity(); ++w) {
+            const Line &l = lines[lineId(set, w)];
+            if (l.valid && l.tag == tag)
+                return static_cast<int>(w);
+        }
+        return -1;
+    }
 
     /** Choose a victim way in @p set (invalid first, else LRU). */
     std::uint32_t victimWay(std::uint32_t set) const;

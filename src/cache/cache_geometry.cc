@@ -37,26 +37,4 @@ CacheGeometry::CacheGeometry(std::uint64_t cache_bytes,
         colours = 1;
 }
 
-std::uint32_t
-CacheGeometry::setIndex(std::uint64_t addr_bits) const
-{
-    return static_cast<std::uint32_t>((addr_bits / line) & (sets - 1));
-}
-
-CachePageId
-CacheGeometry::colourOf(VirtAddr va) const
-{
-    if (index == Indexing::Physical || colours == 1)
-        return 0;
-    return static_cast<CachePageId>((va.value / page) & (colours - 1));
-}
-
-CachePageId
-CacheGeometry::colourOfPhys(PhysAddr pa) const
-{
-    if (colours == 1)
-        return 0;
-    return static_cast<CachePageId>((pa.value / page) & (colours - 1));
-}
-
 } // namespace vic

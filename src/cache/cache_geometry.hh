@@ -77,17 +77,37 @@ class CacheGeometry
 
     /** Cache set selected by address bits @p addr_bits (virtual or
      *  physical value depending on indexing; the caller passes the
-     *  right one via Cache). */
-    std::uint32_t setIndex(std::uint64_t addr_bits) const;
+     *  right one via Cache). Inline: this runs once per simulated
+     *  access on the pipeline fast path. */
+    std::uint32_t
+    setIndex(std::uint64_t addr_bits) const
+    {
+        return static_cast<std::uint32_t>((addr_bits / line) &
+                                          (sets - 1));
+    }
 
     /** Cache page (colour) of the virtual page containing @p va. For a
      *  physically indexed cache this is always 0: all virtual pages
      *  align. */
-    CachePageId colourOf(VirtAddr va) const;
+    CachePageId
+    colourOf(VirtAddr va) const
+    {
+        if (index == Indexing::Physical || colours == 1)
+            return 0;
+        return static_cast<CachePageId>((va.value / page) &
+                                        (colours - 1));
+    }
 
     /** Colour of a physical page under physical indexing (used for DMA
      *  and flush iteration). */
-    CachePageId colourOfPhys(PhysAddr pa) const;
+    CachePageId
+    colourOfPhys(PhysAddr pa) const
+    {
+        if (colours == 1)
+            return 0;
+        return static_cast<CachePageId>((pa.value / page) &
+                                        (colours - 1));
+    }
 
     /** @return true iff @p a and @p b align in the cache. */
     bool aligned(VirtAddr a, VirtAddr b) const

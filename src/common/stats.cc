@@ -43,10 +43,10 @@ StatSet::all() const
     return out;
 }
 
-std::unordered_map<std::string, std::uint64_t>
+std::map<std::string, std::uint64_t>
 StatSet::snapshot() const
 {
-    std::unordered_map<std::string, std::uint64_t> out;
+    std::map<std::string, std::uint64_t> out;
     for (const auto &c : storage)
         out.emplace(c.name(), c.value());
     return out;

@@ -13,8 +13,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace vic
@@ -64,8 +64,11 @@ class StatSet
     /** All counters in creation order. */
     std::vector<const Counter *> all() const;
 
-    /** Capture a snapshot of all current values. */
-    std::unordered_map<std::string, std::uint64_t> snapshot() const;
+    /** Capture a snapshot of all current values, ordered by name.
+     *  Snapshots feed the JSON artifacts, so the container must have a
+     *  deterministic iteration order (tools/lint_determinism.sh bans
+     *  unordered containers in src/common sim-visible APIs). */
+    std::map<std::string, std::uint64_t> snapshot() const;
 
     /** Render all counters whose names start with @p prefix, sorted by
      *  name, one per line ("name value\n"). Zero-valued counters are
@@ -75,7 +78,8 @@ class StatSet
 
   private:
     std::deque<Counter> storage;
-    std::unordered_map<std::string, Counter *> index;
+    std::map<std::string, Counter *> index; ///< cold path: lookups
+                                            ///< happen at construction
 };
 
 } // namespace vic

@@ -13,20 +13,13 @@ namespace
  *  than this means the OS layer is livelocked. */
 constexpr int maxFaultRetries = 8;
 
-bool
-permits(Protection prot, AccessType type)
-{
-    switch (type) {
-      case AccessType::Load: return prot.read;
-      case AccessType::Store: return prot.write;
-      case AccessType::IFetch: return prot.execute;
-    }
-    return false;
-}
-
 } // anonymous namespace
 
-Cpu::Cpu(Machine &m, std::uint32_t cpu_id) : mach(m), cpuId(cpu_id)
+Cpu::Cpu(Machine &m, std::uint32_t cpu_id)
+    : mach(m), cpuId(cpu_id), tlbRef(m.tlb(cpu_id)),
+      dcacheRef(m.dcache(cpu_id)), icacheRef(m.icache(cpu_id)),
+      pageOffsetMask(m.pageBytes() - 1), pageBytesC(m.pageBytes()),
+      multiCpu(m.numCpus() > 1)
 {
     vic_assert(cpu_id < m.numCpus(), "cpu id %u out of range", cpu_id);
 }
@@ -45,60 +38,74 @@ Cpu::deliver(const Fault &fault)
 }
 
 std::uint32_t
-Cpu::access(AccessType type, VirtAddr va, std::uint32_t store_value)
+Cpu::accessMapped(AccessType type, VirtAddr va, std::uint32_t store_value,
+                  PageTableEntry *pte)
 {
-    vic_assert(va.value % 4 == 0, "unaligned CPU access va=%llx",
-               (unsigned long long)va.value);
+    // Account stage, translation side: referenced/modified through the
+    // TLB's mutable handle — no page-table walk.
+    pte->referenced = true;
+    const PhysAddr pa(pte->frame * pageBytesC +
+                      (va.value & pageOffsetMask));
+    MemoryObserver *obs = mach.observer();
+
+    switch (type) {
+      case AccessType::Load: {
+          if (multiCpu)
+              mach.coherencePrepare(cpuId, CacheKind::Data, pa, false);
+          std::uint32_t v;
+          if (!dcacheRef.tryReadHit(va, pa, v))
+              v = dcacheRef.read(va, pa);
+          if (obs && observerDue())
+              obs->cpuLoad(pa, v);
+          return v;
+      }
+      case AccessType::IFetch: {
+          // Instruction caches are outside the coherence domain
+          // (coherencePrepare is a no-op for them), so skip the call.
+          std::uint32_t v;
+          if (!icacheRef.tryReadHit(va, pa, v))
+              v = icacheRef.read(va, pa);
+          if (obs && observerDue())
+              obs->cpuIFetch(pa, v);
+          return v;
+      }
+      case AccessType::Store: {
+          pte->modified = true;
+          if (multiCpu)
+              mach.coherencePrepare(cpuId, CacheKind::Data, pa, true);
+          // Observer sees the store before the cache commits it (the
+          // oracle's shadow memory must be current when the written
+          // line later leaves the cache).
+          if (obs && observerDue())
+              obs->cpuStore(pa, store_value);
+          if (!dcacheRef.tryWriteHit(va, pa, store_value))
+              dcacheRef.write(va, pa, store_value);
+          return 0;
+      }
+    }
+    vic_panic("unreachable access type");
+}
+
+std::uint32_t
+Cpu::accessSlow(AccessType type, VirtAddr va, std::uint32_t store_value,
+                PageTableEntry *pte)
+{
     const SpaceVa key(currentSpace, va);
 
     for (int attempt = 0; attempt < maxFaultRetries; ++attempt) {
-        const PageTableEntry *pte = mach.tlb(cpuId).translate(key);
+        // Attempt 0 reuses the translation the fast path already did —
+        // exactly one TLB lookup per attempt, as before the split.
+        if (attempt > 0)
+            pte = tlbRef.translate(key);
+
+        if (pte != nullptr && protPermits(pte->prot, type))
+            return accessMapped(type, va, store_value, pte);
+
         Fault fault;
         fault.address = key;
         fault.access = type;
-
-        if (!pte) {
-            fault.type = FaultType::Unmapped;
-        } else if (!permits(pte->prot, type)) {
-            fault.type = FaultType::Protection;
-        } else {
-            PageTableEntry *mut = mach.pageTable().lookupMutable(key);
-            mut->referenced = true;
-            if (isWrite(type))
-                mut->modified = true;
-
-            const std::uint64_t offset =
-                va.value & (mach.pageBytes() - 1);
-            const PhysAddr pa =
-                mach.frameAddr(pte->frame, offset);
-            const CacheKind kind = cacheKindOf(type);
-            mach.coherencePrepare(cpuId, kind, pa, isWrite(type));
-            Cache &cache = mach.cacheFor(kind, cpuId);
-            MemoryObserver *obs = mach.observer();
-
-            switch (type) {
-              case AccessType::Load: {
-                  std::uint32_t v = cache.read(va, pa);
-                  if (obs)
-                      obs->cpuLoad(pa, v);
-                  return v;
-              }
-              case AccessType::IFetch: {
-                  std::uint32_t v = cache.read(va, pa);
-                  if (obs)
-                      obs->cpuIFetch(pa, v);
-                  return v;
-              }
-              case AccessType::Store: {
-                  if (obs)
-                      obs->cpuStore(pa, store_value);
-                  cache.write(va, pa, store_value);
-                  return 0;
-              }
-            }
-            vic_panic("unreachable access type");
-        }
-
+        fault.type = pte == nullptr ? FaultType::Unmapped
+                                    : FaultType::Protection;
         if (!deliver(fault)) {
             vic_panic("unrecoverable %s fault at space=%u va=%llx",
                       accessTypeName(type), key.space,
@@ -107,6 +114,19 @@ Cpu::access(AccessType type, VirtAddr va, std::uint32_t store_value)
     }
     vic_panic("access livelock: %d faults at space=%u va=%llx",
               maxFaultRetries, key.space, (unsigned long long)va.value);
+}
+
+std::uint32_t
+Cpu::access(AccessType type, VirtAddr va, std::uint32_t store_value)
+{
+    vic_assert(va.value % 4 == 0, "unaligned CPU access va=%llx",
+               (unsigned long long)va.value);
+    // Translate + protect stages; the overwhelmingly common outcome
+    // (mapped, permitted) continues straight-line into accessMapped.
+    PageTableEntry *pte = tlbRef.translate(SpaceVa(currentSpace, va));
+    if (pte != nullptr && protPermits(pte->prot, type)) [[likely]]
+        return accessMapped(type, va, store_value, pte);
+    return accessSlow(type, va, store_value, pte);
 }
 
 std::uint32_t
@@ -125,6 +145,42 @@ std::uint32_t
 Cpu::ifetch(VirtAddr va)
 {
     return access(AccessType::IFetch, va, 0);
+}
+
+void
+Cpu::run(const Op *ops, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        access(ops[i].type, ops[i].va, ops[i].value);
+}
+
+void
+Cpu::loadRange(VirtAddr base, std::uint32_t count,
+               std::uint32_t stride_bytes)
+{
+    for (std::uint32_t i = 0; i < count; ++i)
+        access(AccessType::Load,
+               base.plus(std::uint64_t(i) * stride_bytes), 0);
+}
+
+void
+Cpu::storeRange(VirtAddr base, std::uint32_t count,
+                std::uint32_t stride_bytes, std::uint32_t seed,
+                std::uint32_t seed_step)
+{
+    for (std::uint32_t i = 0; i < count; ++i)
+        access(AccessType::Store,
+               base.plus(std::uint64_t(i) * stride_bytes),
+               seed + i * seed_step);
+}
+
+void
+Cpu::ifetchRange(VirtAddr base, std::uint32_t count,
+                 std::uint32_t stride_bytes)
+{
+    for (std::uint32_t i = 0; i < count; ++i)
+        access(AccessType::IFetch,
+               base.plus(std::uint64_t(i) * stride_bytes), 0);
 }
 
 } // namespace vic

@@ -407,12 +407,19 @@ Executor::execute(int t, StepRecord &cur)
         known[sva] = frame;
         Cpu &cpu = *cpus[st.cpu];
         const std::uint64_t faults_before = cpu.faultCount();
-        if (op.kind == OpKind::CpuLoad)
-            cpu.load(va);
-        else if (op.kind == OpKind::CpuStore)
-            cpu.store(va, stamp++);
-        else
-            cpu.ifetch(va);
+        // One scenario op is one decoded operation of the CPU's
+        // batched access API.
+        Cpu::Op access;
+        access.va = va;
+        if (op.kind == OpKind::CpuLoad) {
+            access.type = AccessType::Load;
+        } else if (op.kind == OpKind::CpuStore) {
+            access.type = AccessType::Store;
+            access.value = stamp++;
+        } else {
+            access.type = AccessType::IFetch;
+        }
+        cpu.run(&access, 1);
         cur.faulted = cpu.faultCount() != faults_before;
         cur.fp.cpuData = true;
         cur.fp.cpu = st.cpu;

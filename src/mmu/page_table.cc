@@ -43,6 +43,7 @@ PageTable::setProtection(SpaceVa key, Protection prot)
 const PageTableEntry *
 PageTable::lookup(SpaceVa key) const
 {
+    ++walks;
     auto it = entries.find(canonical(key));
     return it == entries.end() ? nullptr : &it->second;
 }
@@ -50,6 +51,7 @@ PageTable::lookup(SpaceVa key) const
 PageTableEntry *
 PageTable::lookupMutable(SpaceVa key)
 {
+    ++walks;
     auto it = entries.find(canonical(key));
     return it == entries.end() ? nullptr : &it->second;
 }

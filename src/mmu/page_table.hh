@@ -71,9 +71,21 @@ class PageTable
     /** Number of live entries (for tests). */
     std::size_t size() const { return entries.size(); }
 
+    /**
+     * Total page-table walks served (lookup + lookupMutable calls) —
+     * hardware refill walks on TLB miss plus the OS's software walks.
+     * Tests use the delta across an access to prove the pipeline does
+     * at most one walk per access (and zero on a TLB hit). Deliberately
+     * a plain member rather than a StatSet counter: StatSet snapshots
+     * reach the JSON artifacts, and the artifact byte-equivalence
+     * contract predates this counter.
+     */
+    std::uint64_t walkCount() const { return walks; }
+
   private:
     std::uint32_t pageSize;
     std::unordered_map<SpaceVa, PageTableEntry> entries;
+    mutable std::uint64_t walks = 0;
 
     SpaceVa canonical(SpaceVa key) const
     { return SpaceVa(key.space, pageBase(key.va)); }

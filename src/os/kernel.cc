@@ -329,12 +329,11 @@ Kernel::userTouchPage(TaskId task, VirtAddr page_va, bool write,
     Cpu &c = taskCpu(task);
     SpaceGuard guard(c, getTask(task).space);
     const std::uint32_t line = mach.dcache().geometry().lineBytes();
-    for (std::uint32_t off = 0; off < mach.pageBytes(); off += line) {
-        if (write)
-            c.store(page_va.plus(off), value_seed + off);
-        else
-            c.load(page_va.plus(off));
-    }
+    const std::uint32_t n = mach.pageBytes() / line;
+    if (write)
+        c.storeRange(page_va, n, line, value_seed, line);
+    else
+        c.loadRange(page_va, n, line);
 }
 
 void
@@ -348,8 +347,7 @@ Kernel::spaceStoreWords(Cpu &c, SpaceId space, VirtAddr va,
                         std::uint32_t n, std::uint32_t seed)
 {
     SpaceGuard guard(c, space);
-    for (std::uint32_t i = 0; i < n; ++i)
-        c.store(va.plus(std::uint64_t(i) * 4), seed + i);
+    c.storeRange(va, n, 4, seed, 1);
 }
 
 void
@@ -357,8 +355,7 @@ Kernel::spaceLoadWords(Cpu &c, SpaceId space, VirtAddr va,
                        std::uint32_t n)
 {
     SpaceGuard guard(c, space);
-    for (std::uint32_t i = 0; i < n; ++i)
-        c.load(va.plus(std::uint64_t(i) * 4));
+    c.loadRange(va, n, 4);
 }
 
 // ----------------------------------------------------------------------
@@ -569,8 +566,7 @@ Kernel::execText(TaskId task, std::uint32_t first_page,
     for (std::uint32_t p = first_page; p < first_page + pages; ++p) {
         const VirtAddr base(osParams.taskTextBase +
                             std::uint64_t(p) * page_bytes);
-        for (std::uint32_t off = 0; off < page_bytes; off += line)
-            c.ifetch(base.plus(off));
+        c.ifetchRange(base, page_bytes / line, line);
     }
 }
 

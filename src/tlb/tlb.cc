@@ -13,25 +13,22 @@ Tlb::Tlb(std::uint32_t num_entries, Cycles miss_penalty, PageTable &table,
       statMisses(stat_set.counter("tlb.misses"))
 {
     vic_assert(num_entries > 0, "TLB needs at least one entry");
+    slotIndex.reserve(num_entries * 2);
 }
 
-const PageTableEntry *
-Tlb::translate(SpaceVa key)
+PageTableEntry *
+Tlb::translateFull(SpaceVa page)
 {
-    const SpaceVa page(key.space, pageTable.pageBase(key.va));
-
-    for (auto &e : entries) {
-        if (e.valid && e.page == page) {
-            e.lastUse = ++useTick;
-            ++statHits;
-            // The TLB caches only presence; protection and frame are
-            // read through to the page table so that pmap updates are
-            // never seen stale (pmap also shoots down on changes).
-            return pageTable.lookup(page);
-        }
+    auto it = slotIndex.find(page);
+    if (it != slotIndex.end()) {
+        Entry &e = entries[it->second];
+        e.lastUse = ++useTick;
+        ++statHits;
+        mru = &e;
+        return e.pte;
     }
 
-    const PageTableEntry *pte = pageTable.lookup(page);
+    PageTableEntry *pte = pageTable.lookupMutable(page);
     if (!pte)
         return nullptr;
 
@@ -50,20 +47,35 @@ Tlb::translate(SpaceVa key)
             victim = &e;
         }
     }
+    if (victim->valid)
+        slotIndex.erase(victim->page);
     victim->valid = true;
     victim->page = page;
     victim->lastUse = ++useTick;
+    victim->pte = pte;
+    slotIndex.emplace(
+        page, static_cast<std::uint32_t>(victim - entries.data()));
+    mru = victim;
     return pte;
+}
+
+void
+Tlb::invalidateSlot(Entry &e)
+{
+    e.valid = false;
+    e.pte = nullptr;
+    slotIndex.erase(e.page);
+    if (mru == &e)
+        mru = nullptr;
 }
 
 void
 Tlb::invalidatePage(SpaceVa key)
 {
     const SpaceVa page(key.space, pageTable.pageBase(key.va));
-    for (auto &e : entries) {
-        if (e.valid && e.page == page)
-            e.valid = false;
-    }
+    auto it = slotIndex.find(page);
+    if (it != slotIndex.end())
+        invalidateSlot(entries[it->second]);
 }
 
 void
@@ -71,15 +83,19 @@ Tlb::invalidateSpace(SpaceId space)
 {
     for (auto &e : entries) {
         if (e.valid && e.page.space == space)
-            e.valid = false;
+            invalidateSlot(e);
     }
 }
 
 void
 Tlb::invalidateAll()
 {
-    for (auto &e : entries)
+    for (auto &e : entries) {
         e.valid = false;
+        e.pte = nullptr;
+    }
+    slotIndex.clear();
+    mru = nullptr;
 }
 
 std::uint32_t

@@ -11,12 +11,31 @@
  * "other structures, however, such as TLB and page table entries, must
  * be invalidated to deny access to the data in the memory system"
  * (Section 2.3).
+ *
+ * This is stage 1 of the access pipeline (DESIGN.md "Access
+ * pipeline"): translate() hands back a *mutable* page-table-entry
+ * handle so the CPU can set referenced/modified bits directly,
+ * without a second page-table walk per access. Each TLB entry caches
+ * that handle. The handle stays valid because (a) the page table is a
+ * node-based map — entries never move on insert, and enter() on a
+ * mapped page assigns in place — and (b) every path that erases an
+ * entry (Pmap::dropTranslation) shoots the TLB down first, so a
+ * cached handle can never outlive its entry. Protection changes
+ * mutate the entry in place and are therefore seen through the handle
+ * immediately, preserving the historic read-through behaviour.
+ *
+ * The hot-path structure is a 1-entry MRU micro-cache (consecutive
+ * accesses to one page resolve with a single compare — no hashing, no
+ * scan) backed by a page -> slot hash index; the full-associativity
+ * LRU semantics (victim = first invalid slot, else least recent) are
+ * unchanged and pinned by tests/tlb_test.cc.
  */
 
 #ifndef VIC_TLB_TLB_HH
 #define VIC_TLB_TLB_HH
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/cycle_clock.hh"
@@ -42,10 +61,23 @@ class Tlb
 
     /**
      * Translate the page containing @p key.va, refilling from the page
-     * table on a miss. @return the current page-table entry, or nullptr
-     * if the page is unmapped (the caller raises a fault).
+     * table on a miss. @return a mutable handle to the current
+     * page-table entry (the access pipeline sets referenced/modified
+     * through it), or nullptr if the page is unmapped (the caller
+     * raises a fault).
      */
-    const PageTableEntry *translate(SpaceVa key);
+    PageTableEntry *
+    translate(SpaceVa key)
+    {
+        const SpaceVa page(key.space, pageTable.pageBase(key.va));
+        Entry *e = mru;
+        if (e != nullptr && e->valid && e->page == page) {
+            e->lastUse = ++useTick;
+            ++statHits;
+            return e->pte;
+        }
+        return translateFull(page);
+    }
 
     /** Drop the cached entry for one page, if any. */
     void invalidatePage(SpaceVa key);
@@ -65,6 +97,7 @@ class Tlb
         bool valid = false;
         SpaceVa page;
         std::uint64_t lastUse = 0;
+        PageTableEntry *pte = nullptr; ///< cached handle (see file doc)
     };
 
     std::uint32_t capacity;
@@ -75,8 +108,21 @@ class Tlb
     std::vector<Entry> entries;
     std::uint64_t useTick = 0;
 
+    /** Most recently used entry; entries never reallocates, so the
+     *  pointer is stable. Cleared by every invalidation. */
+    Entry *mru = nullptr;
+
+    /** page -> slot in entries, maintained alongside entry validity.
+     *  Lookup-only (never iterated), so determinism is unaffected. */
+    std::unordered_map<SpaceVa, std::uint32_t> slotIndex;
+
     Counter &statHits;
     Counter &statMisses;
+
+    /** Hit-via-index and miss/refill paths (out of line). */
+    PageTableEntry *translateFull(SpaceVa page);
+
+    void invalidateSlot(Entry &e);
 };
 
 } // namespace vic

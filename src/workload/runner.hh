@@ -9,8 +9,8 @@
 #define VIC_WORKLOAD_RUNNER_HH
 
 #include <cstdint>
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/policy_config.hh"
@@ -35,8 +35,9 @@ struct RunResult
     std::uint64_t oracleViolations = 0;
     std::uint64_t oracleChecked = 0;
 
-    /** Full statistics snapshot (counter name -> value). */
-    std::unordered_map<std::string, std::uint64_t> stats;
+    /** Full statistics snapshot (counter name -> value), ordered by
+     *  name so everything downstream iterates deterministically. */
+    std::map<std::string, std::uint64_t> stats;
 
     /** Tail of the machine's event log (empty unless tracing was
      *  requested). */

@@ -53,6 +53,20 @@ while IFS= read -r file; do
     fi
 done < <(git ls-files 'src/mc/*.cc' 'src/mc/*.hh')
 
+# src/common headers are the sim-visible APIs every layer shares
+# (stats snapshots, observers, types). An unordered container
+# declared there leaks hash-iteration order into whatever consumes
+# it — StatSet::snapshot() once returned an unordered_map straight
+# into the JSON artifacts. Implementation .cc files may use one when
+# iteration order never escapes, but the shared interfaces must not.
+while IFS= read -r file; do
+    if matches=$(grep -nE 'std::unordered_' "$file"); then
+        echo "determinism lint: unordered container in sim-visible common API $file:"
+        echo "$matches" | sed 's/^/    /'
+        status=1
+    fi
+done < <(git ls-files 'src/common/*.hh')
+
 if [ "$status" -eq 0 ]; then
     echo "determinism lint: clean"
 fi

@@ -13,7 +13,8 @@
  *
  * Usage:
  *   vic_bench [--list] [--filter s1,s2] [--jobs N] [--smoke]
- *             [--json PATH] [--trace N] [--progress]
+ *             [--json PATH] [--throughput PATH] [--trace N]
+ *             [--progress]
  *   vic_bench --diff A.json B.json
  *
  * --filter takes comma-separated substrings matched against suite
@@ -21,6 +22,11 @@
  * by run when individual ids match). Exit status: 0 when every
  * selected run completed without oracle violations and every
  * non-advisory shape check passed.
+ *
+ * --throughput writes the vic-bench-throughput companion artifact
+ * (per-run host_seconds / sim_cycles / cycles_per_host_second) after
+ * a sweep; --list reads the same file (default BENCH_throughput.json)
+ * to fill its throughput column from the last archived sweep.
  */
 
 #include <chrono>
@@ -28,11 +34,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/suites.hh"
+#include "common/logging.hh"
 
 namespace
 {
@@ -40,14 +49,61 @@ namespace
 using namespace vic;
 using namespace vic::bench;
 
-int
-listSuites()
+/** Per-suite throughput from an archived vic-bench-throughput
+ *  artifact: suite name -> (sim cycles, host seconds), summed over
+ *  the suite's runs. Empty when the file is absent or unreadable. */
+std::map<std::string, std::pair<double, double>>
+loadThroughput(const std::string &path)
 {
-    std::printf("%-14s %-5s %s\n", "suite", "runs", "title");
+    std::map<std::string, std::pair<double, double>> by_suite;
+    std::ifstream in(path);
+    if (!in)
+        return by_suite;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    try {
+        const JsonValue v = JsonValue::parse(ss.str());
+        const JsonValue *runs = v.find("runs");
+        if (!runs)
+            return by_suite;
+        for (const JsonValue &run : runs->items()) {
+            const JsonValue *suite = run.find("suite");
+            const JsonValue *cycles = run.find("sim_cycles");
+            const JsonValue *host = run.find("host_seconds");
+            if (!suite || !cycles || !host)
+                continue;
+            auto &[c, s] = by_suite[suite->asString()];
+            c += cycles->asDouble();
+            s += host->asDouble();
+        }
+    } catch (const std::exception &) {
+        by_suite.clear();
+    }
+    return by_suite;
+}
+
+int
+listSuites(const std::string &throughput_path)
+{
+    const auto throughput = loadThroughput(throughput_path);
+    std::printf("%-14s %-5s %-14s %s\n", "suite", "runs",
+                "cycles/host-s", "title");
     SuiteOptions opts;
     for (const Suite *s : allSuites()) {
-        std::printf("%-14s %-5zu %s\n", s->name.c_str(),
-                    s->specs(opts).size(), s->title.c_str());
+        std::string tput = "-";
+        auto it = throughput.find(s->name);
+        if (it != throughput.end() && it->second.second > 0) {
+            tput = format("%.3g",
+                          it->second.first / it->second.second);
+        }
+        std::printf("%-14s %-5zu %-14s %s\n", s->name.c_str(),
+                    s->specs(opts).size(), tput.c_str(),
+                    s->title.c_str());
+    }
+    if (throughput.empty()) {
+        std::printf("\n(no throughput data at %s — run a sweep with "
+                    "--throughput %s first)\n",
+                    throughput_path.c_str(), throughput_path.c_str());
     }
     return 0;
 }
@@ -88,8 +144,10 @@ main(int argc, char **argv)
     ExperimentEngine::Options engine_opts;
     SuiteOptions suite_opts;
     std::string json_path;
+    std::string throughput_path;
     std::string filter;
     std::size_t trace_events = 0;
+    bool do_list = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -101,7 +159,9 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--list") {
-            return listSuites();
+            // Deferred until all flags are parsed, so a later
+            // --throughput PATH can point the column at an archive.
+            do_list = true;
         } else if (arg == "--diff") {
             if (i + 2 >= argc) {
                 std::fprintf(stderr, "--diff needs two paths\n");
@@ -117,6 +177,8 @@ main(int argc, char **argv)
             suite_opts.smoke = true;
         } else if (arg == "--json") {
             json_path = next();
+        } else if (arg == "--throughput") {
+            throughput_path = next();
         } else if (arg == "--trace") {
             trace_events = std::strtoul(next(), nullptr, 10);
         } else if (arg == "--progress") {
@@ -124,7 +186,8 @@ main(int argc, char **argv)
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "usage: %s [--list] [--filter s1,s2] [--jobs N] "
-                "[--smoke] [--json PATH] [--trace N] [--progress]\n"
+                "[--smoke] [--json PATH] [--throughput PATH] "
+                "[--trace N] [--progress]\n"
                 "       %s --diff A.json B.json\n",
                 argv[0], argv[0]);
             return 0;
@@ -133,6 +196,12 @@ main(int argc, char **argv)
                          arg.c_str());
             return 2;
         }
+    }
+
+    if (do_list) {
+        return listSuites(throughput_path.empty()
+                              ? "BENCH_throughput.json"
+                              : throughput_path);
     }
 
     // Gather the selected runs of every suite into one batch; remember
@@ -223,6 +292,19 @@ main(int argc, char **argv)
             return 2;
         }
         std::printf("wrote artifact: %s\n", json_path.c_str());
+    }
+    if (!throughput_path.empty()) {
+        ArtifactMeta meta;
+        meta.jobs = engine_opts.jobs;
+        meta.smoke = suite_opts.smoke;
+        meta.filter = filter;
+        meta.wallSeconds = wall;
+        if (!writeThroughputFile(throughput_path, meta, outcomes)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         throughput_path.c_str());
+            return 2;
+        }
+        std::printf("wrote throughput: %s\n", throughput_path.c_str());
     }
     return ok ? 0 : 1;
 }
