@@ -2,10 +2,10 @@
  * @file
  * Schedule-space census of the interleaving model checker.
  *
- * For every scenario in the standard catalog, explores the space of
- * concurrent CPU/DMA/pageout schedules twice — once by brute
- * enumeration and once with the DPOR reduction (sleep sets +
- * persistent-set pruning) — and prints executed schedules,
+ * For every scenario in the standard catalog and the weak-store-order
+ * catalog, explores the space of concurrent CPU/DMA/pageout schedules
+ * twice — once by brute enumeration and once with the DPOR reduction
+ * (sleep sets + persistent-set pruning) — and prints executed schedules,
  * inequivalent Mazurkiewicz traces, distinct end states, machine
  * steps including re-execution, and wall time. The interesting
  * comparison is the reduction factor: DPOR must execute exactly one
@@ -101,8 +101,12 @@ main(int argc, char **argv)
     }
 
     const PolicyConfig policy = PolicyConfig::cmu();
-    const std::vector<mc::Scenario> catalog =
-        mc::standardCatalog(policy);
+    std::vector<mc::Scenario> catalog = mc::standardCatalog(policy);
+    // The weak-order rows stress the drain-conflict edges: the DPOR
+    // exactly-once and brute-coverage invariants must survive the
+    // enlarged alphabet.
+    for (mc::Scenario &s : mc::weakCatalog(policy))
+        catalog.push_back(std::move(s));
 
     mc::ExploreOptions bruteOpt;
     bruteOpt.sleepSets = false;
@@ -115,8 +119,8 @@ main(int argc, char **argv)
                 "(budget %llu per cell)\n\n",
                 policy.name.c_str(),
                 static_cast<unsigned long long>(budget));
-    std::printf("%-22s %5s | %9s %9s | %9s %9s %7s | %8s %6s\n",
-                "scenario", "depth", "schedules", "traces",
+    std::printf("%-24s %-4s %5s | %9s %9s | %9s %9s %7s | %8s %6s\n",
+                "scenario", "ord", "depth", "schedules", "traces",
                 "dpor-runs", "steps", "races", "reduction", "ms");
 
     std::vector<CensusRow> rows;
@@ -129,9 +133,10 @@ main(int argc, char **argv)
                 ? double(row.brute.executions) /
                       double(row.dpor.executions)
                 : 0.0;
-        std::printf("%-22s %5llu | %8llu%s %9llu | %9llu %9llu "
+        std::printf("%-24s %-4s %5llu | %8llu%s %9llu | %9llu %9llu "
                     "%4zu+%-2llu | %7.1fx %6.1f\n",
                     s.name.c_str(),
+                    mc::memoryOrderName(s.memoryOrder),
                     static_cast<unsigned long long>(
                         row.dpor.maxDepth),
                     static_cast<unsigned long long>(
@@ -194,6 +199,9 @@ main(int argc, char **argv)
         for (std::size_t i = 0; i < rows.size(); ++i) {
             JsonValue js = JsonValue::object();
             js.set("scenario", JsonValue::str(catalog[i].name));
+            js.set("memoryOrder",
+                   JsonValue::str(mc::memoryOrderName(
+                       catalog[i].memoryOrder)));
             js.set("brute",
                    resultJson(rows[i].brute, rows[i].bruteMs));
             js.set("dpor",

@@ -16,29 +16,38 @@
 #      budget — the guarded kernel orderings must be race- and
 #      violation-free under every policy, the broken-ordering
 #      exemplars must produce an oracle-confirmed race with a
-#      replayable minimal schedule, and the machine-readable v2
+#      replayable minimal schedule, and the machine-readable v3
 #      report is archived (VERIFY_interleave.json);
-#   5. bench smoke: vic_bench sweeps every suite at smoke scale
+#   5. weak-order exploration + fuzz smoke: the same explorer rerun
+#      with --memory-order weak (per-CPU store buffers, drain events
+#      in the schedule alphabet) at a CI budget, plus a seeded
+#      schedule-fuzzing pass — the guarded choreographies must stay
+#      clean under relaxation, the missing-fence exemplar must
+#      produce an oracle-confirmed weak-order window, the fuzzer
+#      must discover no trace DPOR missed, and the v3 report is
+#      archived (VERIFY_weak.json);
+#   6. bench smoke: vic_bench sweeps every suite at smoke scale
 #      through the experiment engine, gated on zero oracle
 #      violations, and archives the JSON artifact (BENCH_smoke.json);
 #      the same sweep rerun serially must produce an artifact
 #      equivalent to the parallel one modulo wall-clock — the
 #      engine's determinism contract;
-#   6. perf smoke: vic_bench --smoke rebuilt at Release (-O2), its
+#   7. perf smoke: vic_bench --smoke rebuilt at Release (-O2), its
 #      artifact asserted equivalent to the default build's (the
 #      pipeline's functional behaviour must not depend on the
 #      optimisation level), and the throughput numbers archived
 #      (BENCH_throughput.json) as the perf baseline for later
 #      commits to regress against;
-#   7. thread sanitizer: the threaded fan-outs (experiment engine
+#   8. thread sanitizer: the threaded fan-outs (experiment engine
 #      tests + the smoke sweep + the model checker's exploreMany)
 #      rebuilt and rerun under TSan;
-#   8. determinism lint: no wall-clock or entropy source may appear
-#      in simulation code, the model checker (src/mc) may not
-#      iterate unordered containers, and src/common sim-visible
-#      headers may not declare them (tools/lint_determinism.sh) —
-#      gating;
-#   9. style lint: clang-format / clang-tidy, gating when installed
+#   9. determinism lint: no wall-clock, entropy source, or std
+#      random engine may appear in simulation code (the fuzzer's
+#      SplitMix64/xoshiro streams are the only sanctioned RNG), the
+#      model checker (src/mc) may not iterate unordered containers,
+#      and src/common sim-visible headers may not declare them
+#      (tools/lint_determinism.sh) — gating;
+#  10. style lint: clang-format / clang-tidy, gating when installed
 #      and skipped with a notice otherwise (they are configs-first:
 #      the repo must stay clean under gcc -Werror regardless).
 #
@@ -75,6 +84,12 @@ step "interleaving exploration (verify_policy --interleave)"
     --json VERIFY_interleave.json
 echo "artifact archived: VERIFY_interleave.json"
 
+step "weak-order exploration + fuzz smoke (--memory-order weak)"
+./build/tools/verify_policy --interleave --memory-order weak \
+    --fuzz 200 --fuzz-seed 42 --budget 20000 --jobs 2 \
+    --json VERIFY_weak.json
+echo "artifact archived: VERIFY_weak.json"
+
 step "bench smoke sweep (vic_bench, --jobs 2)"
 ./build/tools/vic_bench --smoke --jobs 2 --json BENCH_smoke.json
 echo "artifact archived: BENCH_smoke.json"
@@ -99,13 +114,14 @@ echo "artifact archived: BENCH_throughput.json"
 step "thread sanitizer build (experiment engine + model checker)"
 cmake -B build-tsan -S . -DVIC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
-    --target experiment_engine_test vic_bench mc_test
+    --target experiment_engine_test vic_bench mc_test weak_order_test
 
 step "thread sanitizer: engine tests + smoke sweep + explorer"
 ./build-tsan/tests/experiment_engine_test
 ./build-tsan/tools/vic_bench --smoke --jobs 4 --json /dev/null \
     >/dev/null
 ./build-tsan/tests/mc_test >/dev/null
+./build-tsan/tests/weak_order_test >/dev/null
 echo "TSan: clean"
 
 step "determinism lint"

@@ -6,6 +6,16 @@ namespace vic::mc
 {
 
 const char *
+memoryOrderName(MemoryOrder order)
+{
+    switch (order) {
+      case MemoryOrder::SC: return "sc";
+      case MemoryOrder::WeakStoreOrder: return "weak";
+    }
+    return "?";
+}
+
+const char *
 opKindName(OpKind kind)
 {
     switch (kind) {
@@ -21,6 +31,8 @@ opKindName(OpKind kind)
       case OpKind::DmaStartWrite: return "dma-start-write";
       case OpKind::DmaWait: return "dma-wait";
       case OpKind::DmaBeat: return "dma-beat";
+      case OpKind::Fence: return "fence";
+      case OpKind::StoreDrain: return "sb-drain";
     }
     return "?";
 }
@@ -86,6 +98,8 @@ bool
 dependent(const Footprint &a, const Footprint &b)
 {
     if (a.pmapOp && b.pmapOp)
+        return true;
+    if (a.sbOp && b.sbOp && a.sbCpu == b.sbCpu)
         return true;
     if ((a.busyOp() || b.busyOp()) &&
         setsIntersect(a.frames, b.frames))

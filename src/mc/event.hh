@@ -26,13 +26,35 @@
 namespace vic::mc
 {
 
-/** Schedulable atomic operations. DmaBeat never appears in a scenario
- *  thread: beats belong to dynamic per-transfer threads created when a
- *  DmaStart* operation executes. */
+/**
+ * CPU store-visibility model a scenario is explored under.
+ *
+ * SC: a store becomes globally visible in the step that executes it
+ * (the model PR 4 verified). WeakStoreOrder: stores retire into a
+ * per-CPU FIFO store buffer at issue and become visible only when a
+ * separately schedulable drain step deposits them into the memory
+ * system — the write-buffered hardware the paper's choreography must
+ * also survive. Fences and busy-bit acquire points force drains:
+ * they are not enabled while a relevant store is still buffered.
+ */
+enum class MemoryOrder : std::uint8_t
+{
+    SC,             ///< stores visible in program order, at issue
+    WeakStoreOrder, ///< stores drain asynchronously, FIFO per CPU
+};
+
+/** Human-readable memory-order name ("sc" / "weak"). */
+const char *memoryOrderName(MemoryOrder order);
+
+/** Schedulable atomic operations. DmaBeat and StoreDrain never appear
+ *  in a scenario thread: beats belong to dynamic per-transfer threads
+ *  created when a DmaStart* operation executes, and drains belong to
+ *  dynamic per-store threads created when a store issues under
+ *  MemoryOrder::WeakStoreOrder. */
 enum class OpKind : std::uint8_t
 {
     CpuLoad,       ///< load through the data cache
-    CpuStore,      ///< store through the data cache
+    CpuStore,      ///< store through the data cache (weak: issue)
     CpuIFetch,     ///< fetch through the instruction cache
     PmapDmaRead,   ///< pmap->dmaRead(frame): flush before device read
     PmapDmaWrite,  ///< pmap->dmaWrite(frame): purge before device write
@@ -43,6 +65,8 @@ enum class OpKind : std::uint8_t
     DmaStartWrite, ///< command the device to write memory (DMA-write)
     DmaWait,       ///< wait for this thread's transfers to complete
     DmaBeat,       ///< one line-granular beat of a pending transfer
+    Fence,         ///< drain this CPU's store buffer (weak order only)
+    StoreDrain,    ///< one buffered store leaving the store buffer
 };
 
 /** Human-readable operation name. */
@@ -87,6 +111,12 @@ struct Footprint
     bool pmapOp = false;        ///< explicit pmap call (lock-serialised)
     bool busyAcquire = false;
     bool busyRelease = false;
+    /** Weak order: the step interacts with a per-CPU store buffer
+     *  (issue, drain, fence, or a load that may forward from it).
+     *  Same-CPU pairs of such steps never commute — the FIFO order
+     *  and forwarding results depend on which runs first. */
+    bool sbOp = false;
+    std::uint32_t sbCpu = 0; ///< owning CPU of the store buffer
 
     bool busyOp() const { return busyAcquire || busyRelease; }
 

@@ -105,6 +105,8 @@ Executor::Executor(const Scenario &scenario)
     colours = machine.dcache().geometry().numColours();
     lineBytes = scn.mparams.dcacheLineBytes;
     lineWords = lineBytes / 4;
+    sbFifo.resize(machine.numCpus());
+    sbHead.assign(machine.numCpus(), 0);
 
     recorder = std::make_unique<Recorder>(oracle, lineBytes,
                                           scn.mparams.pageBytes);
@@ -169,6 +171,34 @@ Executor::slotVa(std::uint8_t slot, std::uint8_t frame_sel) const
 }
 
 bool
+Executor::bufferEmpty(std::uint32_t cpu) const
+{
+    return sbHead[cpu] == sbFifo[cpu].size();
+}
+
+bool
+Executor::bufferedStoreTo(FrameId frame) const
+{
+    for (std::size_t c = 0; c < sbFifo.size(); ++c)
+        for (std::size_t i = sbHead[c]; i < sbFifo[c].size(); ++i)
+            if (threads[static_cast<std::size_t>(sbFifo[c][i])]
+                    .sbFrame == frame)
+                return true;
+    return false;
+}
+
+int
+Executor::forwardSource(std::uint32_t cpu, FrameId frame) const
+{
+    for (std::size_t i = sbFifo[cpu].size(); i > sbHead[cpu]; --i) {
+        const int idx = sbFifo[cpu][i - 1];
+        if (threads[static_cast<std::size_t>(idx)].sbFrame == frame)
+            return idx;
+    }
+    return -1;
+}
+
+bool
 Executor::transfersComplete(const ThreadState &t)
 {
     for (DmaTransferId id : t.started)
@@ -188,7 +218,14 @@ Executor::opEnabled(const ThreadState &t)
     if (op.kind == OpKind::DmaWait)
         return transfersComplete(t);
     if (op.kind == OpKind::BusyAcquire)
-        return busyFrames.count(frameOf(op.frameSel)) == 0;
+        // Weak order: acquiring the busy bit is an acquire point that
+        // forces every CPU's buffered stores to the frame to drain
+        // first — the kernel's guard is only sound if the stores it
+        // fences off are actually in memory-visible order.
+        return busyFrames.count(frameOf(op.frameSel)) == 0 &&
+               !bufferedStoreTo(frameOf(op.frameSel));
+    if (op.kind == OpKind::Fence)
+        return bufferEmpty(st.cpu);
     return true;
 }
 
@@ -200,6 +237,14 @@ Executor::enabled()
         const ThreadState &t = threads[i];
         if (t.isBeat) {
             if (machine.dma().transferPending(t.transfer))
+                out.push_back(static_cast<int>(i));
+            continue;
+        }
+        if (t.isDrain) {
+            // FIFO: only the oldest undrained store of a CPU's buffer
+            // may leave it.
+            if (t.pc == 0 && sbHead[t.sbCpu] < sbFifo[t.sbCpu].size() &&
+                sbFifo[t.sbCpu][sbHead[t.sbCpu]] == static_cast<int>(i))
                 out.push_back(static_cast<int>(i));
             continue;
         }
@@ -217,6 +262,11 @@ Executor::allFinished()
     for (const ThreadState &t : threads) {
         if (t.isBeat) {
             if (machine.dma().transferPending(t.transfer))
+                return false;
+            continue;
+        }
+        if (t.isDrain) {
+            if (t.pc == 0)
                 return false;
             continue;
         }
@@ -275,9 +325,18 @@ Executor::predictOp(const Op &op, std::uint32_t cpu, Footprint &fp)
         // memory; the beats carry the transfer's data footprint.
         Footprint::addFrame(fp.frames, frame);
         break;
+      case OpKind::Fence:
+        fp.sbOp = true;
+        fp.sbCpu = cpu;
+        break;
       case OpKind::DmaWait:
       case OpKind::DmaBeat:
+      case OpKind::StoreDrain:
         break;
+    }
+    if (weakOrder() && isCpuOp(op.kind)) {
+        fp.sbOp = true;
+        fp.sbCpu = cpu;
     }
 }
 
@@ -307,10 +366,33 @@ Executor::peek(int t)
         }
         return fp;
     }
+    if (ts.isDrain) {
+        if (ts.pc != 0)
+            return fp;
+        fp.cpuData = true;
+        fp.cpu = ts.sbCpu;
+        fp.colour = ts.sbColour;
+        fp.sbOp = true;
+        fp.sbCpu = ts.sbCpu;
+        Footprint::addFrame(fp.frames, ts.sbFrame);
+        Footprint::addLine(fp.writeLines, ts.sbLine);
+        return fp;
+    }
     const Thread &st = scn.threads[static_cast<std::size_t>(
         ts.scenarioIndex)];
-    if (ts.pc < st.ops.size())
-        predictOp(st.ops[ts.pc], st.cpu, fp);
+    if (ts.pc < st.ops.size()) {
+        const Op &op = st.ops[ts.pc];
+        predictOp(op, st.cpu, fp);
+        if (weakOrder() && op.kind == OpKind::CpuStore) {
+            // The issue step only enqueues: no line becomes visible
+            // until the drain, which carries the write footprint.
+            fp.writeLines.clear();
+        } else if (weakOrder() && op.kind == OpKind::CpuLoad &&
+                   forwardSource(st.cpu, frameOf(op.frameSel)) >= 0) {
+            // Store-to-load forwarding bypasses the memory system.
+            fp.readLines.clear();
+        }
+    }
     return fp;
 }
 
@@ -338,6 +420,9 @@ Executor::remainingFootprint(int t)
         }
         return fp;
     }
+
+    if (ts.isDrain)
+        return ts.pc == 0 ? peek(t) : fp;
 
     const Thread &st = scn.threads[static_cast<std::size_t>(
         ts.scenarioIndex)];
@@ -372,6 +457,8 @@ Executor::remainingFootprint(int t)
         fp.pmapOp |= one.pmapOp;
         fp.busyAcquire |= one.busyAcquire;
         fp.busyRelease |= one.busyRelease;
+        fp.sbOp |= one.sbOp;
+        fp.sbCpu = one.sbOp ? one.sbCpu : fp.sbCpu;
     }
     return fp;
 }
@@ -386,6 +473,34 @@ Executor::execute(int t, StepRecord &cur)
         cur.fp.dmaAccess = true;
         const bool stepped = machine.dma().stepTransfer(ts.transfer);
         vic_assert(stepped, "beat thread stepped without pending beat");
+        ++ts.pc;
+        return;
+    }
+
+    if (ts.isDrain) {
+        // The buffered store leaves the FIFO and enters the memory
+        // system through the issuing CPU's cache; the oracle's shadow
+        // already holds the value from issue time, so re-recording it
+        // here is idempotent and settles it into coherence order.
+        cur.kind = OpKind::StoreDrain;
+        vic_assert(sbHead[ts.sbCpu] < sbFifo[ts.sbCpu].size() &&
+                       sbFifo[ts.sbCpu][sbHead[ts.sbCpu]] == t,
+                   "drain out of FIFO order");
+        Cpu &cpu = *cpus[ts.sbCpu];
+        const std::uint64_t faults_before = cpu.faultCount();
+        Cpu::Op access;
+        access.va = ts.sbVa;
+        access.type = AccessType::Store;
+        access.value = ts.sbValue;
+        cpu.run(&access, 1);
+        cur.faulted = cpu.faultCount() != faults_before;
+        cur.fp.cpuData = true;
+        cur.fp.cpu = ts.sbCpu;
+        cur.fp.colour = ts.sbColour;
+        cur.fp.sbOp = true;
+        cur.fp.sbCpu = ts.sbCpu;
+        Footprint::addFrame(cur.fp.frames, ts.sbFrame);
+        ++sbHead[ts.sbCpu];
         ++ts.pc;
         return;
     }
@@ -406,6 +521,56 @@ Executor::execute(int t, StepRecord &cur)
         const SpaceVa sva(1, va);
         known[sva] = frame;
         Cpu &cpu = *cpus[st.cpu];
+        cur.fp.cpuData = true;
+        cur.fp.cpu = st.cpu;
+        cur.fp.inst = op.kind == OpKind::CpuIFetch;
+        cur.fp.colour = cur.fp.inst
+                            ? machine.icache().geometry().colourOf(va)
+                            : machine.dcache().geometry().colourOf(va);
+        Footprint::addFrame(cur.fp.frames, frame);
+        if (weakOrder()) {
+            cur.fp.sbOp = true;
+            cur.fp.sbCpu = st.cpu;
+        }
+
+        if (weakOrder() && op.kind == OpKind::CpuStore) {
+            // Issue: the store retires into the CPU's FIFO store
+            // buffer. Program order (and the oracle's shadow, which
+            // defines "newest value in program order") advances now;
+            // memory visibility waits for the drain step.
+            const std::uint32_t value = stamp++;
+            oracle.cpuStore(machine.frameAddr(frame), value);
+
+            ThreadState drain;
+            drain.name = ts.name + ".sb" +
+                         std::to_string(++ts.drainsIssued);
+            drain.isDrain = true;
+            drain.sbCpu = st.cpu;
+            drain.sbVa = va;
+            drain.sbValue = value;
+            drain.sbFrame = frame;
+            drain.sbLine = frame_line;
+            drain.sbColour = cur.fp.colour;
+            drain.sbSlot = op.slot;
+            drain.sbFrameSel = op.frameSel;
+            cur.startedBeat = static_cast<int>(threads.size());
+            sbFifo[st.cpu].push_back(cur.startedBeat);
+            threads.push_back(std::move(drain));
+            break;
+        }
+
+        if (weakOrder() && op.kind == OpKind::CpuLoad) {
+            const int src = forwardSource(st.cpu, frame);
+            if (src >= 0) {
+                // Store-to-load forwarding: the CPU observes its own
+                // buffered store without touching the memory system.
+                const std::uint32_t observed =
+                    threads[static_cast<std::size_t>(src)].sbValue;
+                oracle.cpuLoad(machine.frameAddr(frame), observed);
+                break;
+            }
+        }
+
         const std::uint64_t faults_before = cpu.faultCount();
         // One scenario op is one decoded operation of the CPU's
         // batched access API.
@@ -421,13 +586,6 @@ Executor::execute(int t, StepRecord &cur)
         }
         cpu.run(&access, 1);
         cur.faulted = cpu.faultCount() != faults_before;
-        cur.fp.cpuData = true;
-        cur.fp.cpu = st.cpu;
-        cur.fp.inst = op.kind == OpKind::CpuIFetch;
-        cur.fp.colour = cur.fp.inst
-                            ? machine.icache().geometry().colourOf(va)
-                            : machine.dcache().geometry().colourOf(va);
-        Footprint::addFrame(cur.fp.frames, frame);
         break;
       }
 
@@ -512,8 +670,17 @@ Executor::execute(int t, StepRecord &cur)
         cur.joins = ts.startedBeatThreads;
         break;
 
+      case OpKind::Fence:
+        // Enabledness already guaranteed the CPU's buffer is empty;
+        // the step itself is a pure ordering marker.
+        vic_assert(bufferEmpty(st.cpu), "fence with non-empty buffer");
+        cur.fp.sbOp = true;
+        cur.fp.sbCpu = st.cpu;
+        break;
+
       case OpKind::DmaBeat:
-        vic_assert(false, "DmaBeat in a scenario thread");
+      case OpKind::StoreDrain:
+        vic_assert(false, "dynamic-thread op in a scenario thread");
         break;
     }
     ++threads[static_cast<std::size_t>(t)].pc;
@@ -529,6 +696,11 @@ Executor::step(int t)
     cur.pc = ts.pc;
     if (ts.isBeat) {
         cur.label = ts.name + ":beat#" + std::to_string(ts.pc);
+    } else if (ts.isDrain) {
+        cur.label = ts.name + ":sb-drain ";
+        cur.label += static_cast<char>('A' + ts.sbSlot);
+        if (ts.sbFrameSel != 0)
+            cur.label += '*';
     } else {
         const Thread &st = scn.threads[static_cast<std::size_t>(
             ts.scenarioIndex)];
@@ -608,6 +780,16 @@ Executor::stateHash()
     for (const ThreadState &t : threads) {
         mix(t.pc);
         mix(t.started.size());
+    }
+    // Undrained store-buffer entries, FIFO order (no-op in SC mode).
+    for (std::size_t c = 0; c < sbFifo.size(); ++c) {
+        for (std::size_t i = sbHead[c]; i < sbFifo[c].size(); ++i) {
+            const ThreadState &d =
+                threads[static_cast<std::size_t>(sbFifo[c][i])];
+            mix(d.sbVa.value);
+            mix(d.sbValue);
+            mix(d.sbFrame);
+        }
     }
     DmaEngine &dma = machine.dma();
     for (std::size_t i = 0; i < dma.pendingTransfers(); ++i) {

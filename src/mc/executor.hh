@@ -102,6 +102,19 @@ class Executor
         int starter = -1;         ///< beat threads: starting thread
         std::vector<DmaTransferId> started;
         std::vector<int> startedBeatThreads;
+        /** Drain threads (WeakStoreOrder): one buffered store. The
+         *  single step deposits it into the memory system through the
+         *  issuing CPU's cache. */
+        bool isDrain = false;
+        std::uint32_t sbCpu = 0;
+        VirtAddr sbVa{0};
+        std::uint32_t sbValue = 0;
+        FrameId sbFrame = 0;
+        std::uint64_t sbLine = 0;
+        std::uint32_t sbColour = 0;
+        std::uint8_t sbSlot = 0;
+        std::uint8_t sbFrameSel = 0;
+        int drainsIssued = 0; ///< issuing threads: drains created
     };
 
     const Scenario &scn;
@@ -116,6 +129,10 @@ class Executor
     std::unique_ptr<Recorder> recorder;
 
     std::vector<ThreadState> threads;
+    /** WeakStoreOrder: per-CPU FIFO of drain-thread indices; entries
+     *  before sbHead[cpu] have drained. Empty in SC mode. */
+    std::vector<std::vector<int>> sbFifo;
+    std::vector<std::size_t> sbHead;
     std::set<FrameId> busyFrames;
     std::deque<std::vector<std::uint32_t>> readBufs;
     std::map<SpaceVa, FrameId> known; ///< demand-mappable slots
@@ -134,6 +151,15 @@ class Executor
     bool transfersComplete(const ThreadState &t);
     void predictOp(const Op &op, std::uint32_t cpu, Footprint &fp);
     void execute(int t, StepRecord &cur);
+
+    bool weakOrder() const
+    { return scn.memoryOrder == MemoryOrder::WeakStoreOrder; }
+    bool bufferEmpty(std::uint32_t cpu) const;
+    /** Any CPU still buffers a store into @p frame? */
+    bool bufferedStoreTo(FrameId frame) const;
+    /** Newest undrained store of @p cpu into @p frame (store-to-load
+     *  forwarding source), or -1. */
+    int forwardSource(std::uint32_t cpu, FrameId frame) const;
 };
 
 } // namespace vic::mc

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "common/random.hh"
 #include "mc/executor.hh"
 
 namespace vic::mc
@@ -133,6 +134,8 @@ completeRun(Ctx &c, Executor &ex, const Schedule &prefix)
             continue;
         if (r.benign)
             ++c.res.benignRaces;
+        if (r.weakWindow && !r.benign)
+            ++c.res.weakWindowRaces;
         c.res.races.push_back(std::move(r));
     }
 
@@ -242,6 +245,8 @@ ScenarioResult::passed(const Expectation &expect) const
             minimalCounterexample.size() > expect.maxCounterexample)
             return false;
     }
+    if (expect.wantWeakWindow && weakWindowRaces == 0)
+        return false;
     return true;
 }
 
@@ -251,8 +256,10 @@ explore(const Scenario &scenario, const ExploreOptions &options)
     Ctx c{scenario, options, {}, {}, {}, {}, {}, false};
     c.res.scenario = scenario.name;
     c.res.policy = scenario.policy.name;
+    c.res.memoryOrder = scenario.memoryOrder;
 
     node(c, runPrefix(c, {}), {}, {});
+    c.res.canonicalHashes.assign(c.canon.begin(), c.canon.end());
 
     if (!c.res.minimalCounterexample.empty()) {
         Executor replay(scenario);
@@ -287,6 +294,160 @@ exploreMany(const std::vector<Scenario> &scenarios,
             if (i >= scenarios.size())
                 return;
             out[i] = explore(scenarios[i], options);
+        }
+    };
+    std::vector<std::thread> pool;
+    const unsigned n = std::min<unsigned>(
+        jobs, static_cast<unsigned>(scenarios.size()));
+    for (unsigned i = 0; i < n; ++i)
+        pool.emplace_back(worker);
+    for (std::thread &th : pool)
+        th.join();
+    return out;
+}
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Per-scenario stream seed: the same double-SplitMix64 mix the
+ *  experiment engine uses for replica seeds, keyed by catalog index
+ *  so the stream is independent of scheduling across --jobs. */
+std::uint64_t
+fuzzStreamSeed(std::uint64_t base, std::size_t scenario_index)
+{
+    return splitmix64(splitmix64(base) ^
+                      splitmix64(0x5eedull + scenario_index));
+}
+
+} // namespace
+
+FuzzResult
+fuzzSchedules(const Scenario &scenario, const FuzzOptions &options,
+              std::size_t scenarioIndex,
+              const std::vector<std::uint64_t> &knownTraces)
+{
+    FuzzResult res;
+    res.scenario = scenario.name;
+    res.policy = scenario.policy.name;
+    res.memoryOrder = scenario.memoryOrder;
+
+    Random rng(fuzzStreamSeed(options.seed, scenarioIndex));
+    std::set<std::uint64_t> canon;
+    std::set<std::uint64_t> endStates;
+    std::set<std::string> raceKeys;
+
+    for (std::uint64_t sample = 0; sample < options.samples;
+         ++sample) {
+        Executor ex(scenario);
+        Schedule schedule;
+        for (;;) {
+            const std::vector<int> en = ex.enabled();
+            if (en.empty() || schedule.size() >= options.maxSteps)
+                break;
+            const int t = en[static_cast<std::size_t>(
+                rng.below(en.size()))];
+            ex.step(t);
+            schedule.push_back(t);
+        }
+        ++res.samples;
+        res.steps += schedule.size();
+        res.maxDepth = std::max<std::uint64_t>(res.maxDepth,
+                                               schedule.size());
+        if (!ex.allFinished())
+            ++res.deadlockRuns;
+
+        const std::uint64_t trace = canonicalTraceHash(ex.history());
+        if (canon.insert(trace).second &&
+            !std::binary_search(knownTraces.begin(),
+                                knownTraces.end(), trace))
+            ++res.newTraces;
+        endStates.insert(ex.stateHash());
+
+        for (RaceReport &r :
+             detectRaces(ex.history(), ex.numThreads(),
+                         scenario.mparams.dmaSnoops)) {
+            if (!raceKeys.insert(r.key()).second)
+                continue;
+            if (r.benign)
+                ++res.benignRaces;
+            if (r.weakWindow && !r.benign)
+                ++res.weakWindowRaces;
+            res.races.push_back(std::move(r));
+        }
+
+        const std::uint64_t v = ex.violationCount();
+        if (v > 0) {
+            ++res.violatingRuns;
+            res.totalViolations += v;
+            const int first = ex.firstViolationStep();
+            vic_assert(first >= 0,
+                       "violations without a violating step");
+            const std::size_t len =
+                static_cast<std::size_t>(first) + 1;
+            if (res.minimalCounterexample.empty() ||
+                len < res.minimalCounterexample.size()) {
+                res.minimalCounterexample.assign(
+                    schedule.begin(),
+                    schedule.begin() +
+                        static_cast<std::ptrdiff_t>(len));
+                res.minimalCounterexampleLabels.clear();
+                for (std::size_t i = 0; i < len; ++i)
+                    res.minimalCounterexampleLabels.push_back(
+                        ex.history()[i].label);
+            }
+        }
+    }
+    res.canonicalTraces = canon.size();
+    res.distinctEndStates = endStates.size();
+
+    if (!res.minimalCounterexample.empty()) {
+        Executor replay(scenario);
+        for (int t : res.minimalCounterexample)
+            replay.step(t);
+        res.replayConfirmed =
+            replay.violationCount() > 0 &&
+            replay.firstViolationStep() ==
+                static_cast<int>(res.minimalCounterexample.size()) - 1;
+    }
+    return res;
+}
+
+std::vector<FuzzResult>
+fuzzMany(const std::vector<Scenario> &scenarios,
+         const FuzzOptions &options,
+         const std::vector<std::vector<std::uint64_t>> &knownTraces,
+         unsigned jobs)
+{
+    static const std::vector<std::uint64_t> kNoBaseline;
+    auto baseline = [&](std::size_t i) -> const std::vector<std::uint64_t> & {
+        return i < knownTraces.size() ? knownTraces[i] : kNoBaseline;
+    };
+
+    std::vector<FuzzResult> out(scenarios.size());
+    if (jobs <= 1 || scenarios.size() <= 1) {
+        for (std::size_t i = 0; i < scenarios.size(); ++i)
+            out[i] = fuzzSchedules(scenarios[i], options, i,
+                                   baseline(i));
+        return out;
+    }
+
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= scenarios.size())
+                return;
+            out[i] = fuzzSchedules(scenarios[i], options, i,
+                                   baseline(i));
         }
     };
     std::vector<std::thread> pool;

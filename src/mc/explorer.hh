@@ -53,6 +53,7 @@ struct ScenarioResult
 {
     std::string scenario;
     std::string policy;
+    MemoryOrder memoryOrder = MemoryOrder::SC;
 
     bool exhausted = true; ///< full space explored within budget
     bool deadlock = false; ///< some schedule blocked before finishing
@@ -69,12 +70,18 @@ struct ScenarioResult
     /** Non-benign race pairs in a scenario where at least one
      *  schedule failed the oracle: the race demonstrably loses data. */
     std::uint64_t confirmedRaces = 0;
+    /** Races pairing a DMA access with an undrained store's drain. */
+    std::uint64_t weakWindowRaces = 0;
 
     std::uint64_t violatingRuns = 0;
     std::uint64_t totalViolations = 0;
     Schedule minimalCounterexample; ///< shortest violating prefix
     std::vector<std::string> minimalCounterexampleLabels;
     bool replayConfirmed = false; ///< replaying it violates again
+
+    /** Sorted canonical-trace hashes of every explored run — the
+     *  coverage baseline the fuzzer's samples are compared against. */
+    std::vector<std::uint64_t> canonicalHashes;
 
     /** Non-benign reported races. */
     std::uint64_t reportedRaces() const
@@ -93,6 +100,74 @@ ScenarioResult explore(const Scenario &scenario,
 std::vector<ScenarioResult>
 exploreMany(const std::vector<Scenario> &scenarios,
             const ExploreOptions &options, unsigned jobs);
+
+// --- schedule fuzzing --------------------------------------------------
+
+struct FuzzOptions
+{
+    /** Random maximal schedules to sample. */
+    std::uint64_t samples = 200;
+    /** Base seed; the per-scenario stream is derived from it with
+     *  SplitMix64 (no wall clock, no entropy — same seed, same
+     *  schedules, on any machine and any --jobs). */
+    std::uint64_t seed = 0x5eed;
+    /** Hard bound on schedule length (safety net). */
+    std::size_t maxSteps = 64;
+};
+
+/** What a fuzzing pass over one scenario found. */
+struct FuzzResult
+{
+    std::string scenario;
+    std::string policy;
+    MemoryOrder memoryOrder = MemoryOrder::SC;
+
+    std::uint64_t samples = 0;   ///< schedules executed
+    std::uint64_t steps = 0;     ///< machine steps executed
+    std::uint64_t maxDepth = 0;
+    std::uint64_t deadlockRuns = 0;
+
+    std::uint64_t canonicalTraces = 0; ///< distinct traces sampled
+    std::uint64_t distinctEndStates = 0;
+    /** Traces not in the exhaustive baseline the caller passed in.
+     *  Zero whenever DPOR exhausted the space — random sampling can
+     *  then only rediscover known traces. */
+    std::uint64_t newTraces = 0;
+
+    std::vector<RaceReport> races; ///< deduplicated across samples
+    std::uint64_t benignRaces = 0;
+    std::uint64_t weakWindowRaces = 0;
+    std::uint64_t violatingRuns = 0;
+    std::uint64_t totalViolations = 0;
+    Schedule minimalCounterexample; ///< shortest violating prefix
+    std::vector<std::string> minimalCounterexampleLabels;
+    bool replayConfirmed = false;
+
+    std::uint64_t reportedRaces() const
+    { return races.size() - benignRaces; }
+};
+
+/**
+ * Sample random maximal schedules of one scenario. @p knownTraces is
+ * the sorted canonical-hash baseline (ScenarioResult::canonicalHashes)
+ * used to count newTraces; pass empty when no exhaustive pass ran.
+ * The per-scenario stream is derived from options.seed and
+ * @p scenarioIndex, so a catalog fuzzed in parallel samples the same
+ * schedules as one fuzzed serially.
+ */
+FuzzResult fuzzSchedules(const Scenario &scenario,
+                         const FuzzOptions &options,
+                         std::size_t scenarioIndex,
+                         const std::vector<std::uint64_t> &knownTraces);
+
+/** Fuzz many scenarios on @p jobs worker threads. @p knownTraces is
+ *  indexed like @p scenarios (may be empty). Results are returned in
+ *  input order and are independent of @p jobs. */
+std::vector<FuzzResult>
+fuzzMany(const std::vector<Scenario> &scenarios,
+         const FuzzOptions &options,
+         const std::vector<std::vector<std::uint64_t>> &knownTraces,
+         unsigned jobs);
 
 } // namespace vic::mc
 

@@ -47,7 +47,8 @@ detectRaces(const std::vector<StepRecord> &hist, int num_threads,
     std::map<std::uint64_t, Clock> accessClock;  ///< per frame
     std::map<std::uint64_t, Clock> releaseClock; ///< per frame
     Clock pmapClock(n, 0);
-    std::map<int, Clock> forkClock; ///< beat thread -> start clock
+    std::map<int, Clock> forkClock; ///< dynamic thread -> start clock
+    std::map<std::uint32_t, Clock> drainClock; ///< per CPU buffer
 
     for (std::size_t i = 0; i < hist.size(); ++i) {
         const StepRecord &s = hist[i];
@@ -55,11 +56,22 @@ detectRaces(const std::vector<StepRecord> &hist, int num_threads,
         vic_assert(t < n, "step of unknown thread");
         Clock &c = clock[t];
 
-        if (s.kind == OpKind::DmaBeat && s.pc == 0) {
+        // Fork edges: a beat follows its DmaStart, a drain follows
+        // the issue of the store it carries (issue -> drain program
+        // order of the split weak-mode store).
+        if ((s.kind == OpKind::DmaBeat || s.kind == OpKind::StoreDrain)
+            && s.pc == 0) {
             auto it = forkClock.find(s.thread);
             vic_assert(it != forkClock.end(),
-                       "beat before its transfer started");
+                       "dynamic thread before its fork");
             join(c, it->second);
+        }
+        // A fence completes only after its CPU's buffer drained:
+        // everything after the fence follows every earlier drain.
+        if (s.kind == OpKind::Fence) {
+            auto it = drainClock.find(s.fp.sbCpu);
+            if (it != drainClock.end())
+                join(c, it->second);
         }
         for (int j : s.joins)
             join(c, clock[static_cast<std::size_t>(j)]);
@@ -85,6 +97,11 @@ detectRaces(const std::vector<StepRecord> &hist, int num_threads,
 
         if (s.startedBeat >= 0)
             forkClock[s.startedBeat] = c;
+        if (s.kind == OpKind::StoreDrain) {
+            auto [it, fresh] = drainClock.try_emplace(s.fp.sbCpu, n, 0);
+            (void)fresh;
+            join(it->second, c);
+        }
         if (s.fp.busyRelease) {
             for (std::uint64_t f : s.fp.frames)
                 releaseClock[f] = c;
@@ -125,6 +142,10 @@ detectRaces(const std::vector<StepRecord> &hist, int num_threads,
             r.labelB = b.label;
             r.line = line;
             r.benign = snooping && (a.fp.dmaAccess != b.fp.dmaAccess);
+            // The pair loop admits only CPU/DMA and DMA/DMA pairs, so
+            // a drain on either side makes this a weak-order window.
+            r.weakWindow = a.kind == OpKind::StoreDrain ||
+                           b.kind == OpKind::StoreDrain;
             out.push_back(std::move(r));
         }
     }

@@ -49,6 +49,10 @@ struct RaceReport
     std::string labelB;
     std::uint64_t line = 0; ///< a conflicting physical line
     bool benign = false;    ///< snooping-mode CPU/DMA pair
+    /** Weak-order window: a DMA access overlapping a store that was
+     *  issued but not yet drained — invisible under SC, where the
+     *  store and its visibility are one atomic step. */
+    bool weakWindow = false;
 
     /** Stable identity of the pair across schedules, for dedup. */
     std::string key() const;

@@ -243,4 +243,59 @@ standardCatalog(const PolicyConfig &policy)
     return out;
 }
 
+std::vector<Scenario>
+weakGuardedScenarios(const PolicyConfig &policy)
+{
+    std::vector<Scenario> out = guardedScenarios(policy);
+    for (Scenario &s : out) {
+        s.name += "-weak";
+        s.memoryOrder = MemoryOrder::WeakStoreOrder;
+    }
+    return out;
+}
+
+Scenario
+missingFenceExemplar(const PolicyConfig &policy, MemoryOrder order)
+{
+    Scenario s = base("dma-out-missing-fence", policy);
+    s.memoryOrder = order;
+    Thread writer;
+    writer.name = "writer";
+    writer.cpu = 0;
+    writer.ops = {cpuOp(OpKind::CpuStore, kSlotA),
+                  dmaOp(OpKind::PmapDmaRead),
+                  dmaOp(OpKind::DmaStartRead, 1),
+                  dmaOp(OpKind::DmaWait)};
+    s.threads = {writer};
+    if (order == MemoryOrder::WeakStoreOrder) {
+        // The drain can slip past the flush and race the transfer.
+        s.expect.raceFree = false;
+        s.expect.violationFree = false;
+        s.expect.wantConfirmedRace = true;
+        s.expect.wantWeakWindow = true;
+        s.expect.maxCounterexample = 5;
+    }
+    return s;
+}
+
+Scenario
+fencedVariant(const PolicyConfig &policy)
+{
+    Scenario s = missingFenceExemplar(policy);
+    s.name = "dma-out-fenced";
+    s.threads[0].ops.insert(s.threads[0].ops.begin() + 1,
+                            dmaOp(OpKind::Fence));
+    s.expect = Expectation{};
+    return s;
+}
+
+std::vector<Scenario>
+weakCatalog(const PolicyConfig &policy)
+{
+    std::vector<Scenario> out = weakGuardedScenarios(policy);
+    out.push_back(missingFenceExemplar(policy));
+    out.push_back(fencedVariant(policy));
+    return out;
+}
+
 } // namespace vic::mc

@@ -44,6 +44,9 @@ struct Expectation
     bool violationFree = true;
     /** At least one race must be confirmed by an oracle violation. */
     bool wantConfirmedRace = false;
+    /** At least one reported race must be a weak-order window (a DMA
+     *  access overlapping a still-buffered store). */
+    bool wantWeakWindow = false;
     /** Upper bound on the minimal counterexample length (0 = none). */
     std::size_t maxCounterexample = 0;
 };
@@ -56,6 +59,7 @@ struct Scenario
     std::vector<Slot> slots;
     std::vector<Thread> threads;
     Expectation expect;
+    MemoryOrder memoryOrder = MemoryOrder::SC;
 };
 
 /** Scaled-down machine for exploration: 32 frames, 16 KB caches
@@ -97,6 +101,33 @@ Scenario dependentPair(const PolicyConfig &policy);
 /** The scenarios verify_policy --interleave gates on: the guarded set
  *  plus the broken-ordering exemplar and the snooping variant. */
 std::vector<Scenario> standardCatalog(const PolicyConfig &policy);
+
+// --- weak store order --------------------------------------------------
+
+/** The guarded choreography re-explored under WeakStoreOrder. The
+ *  busy-acquire point forces every CPU's buffered stores to the frame
+ *  to drain, so the shipping orderings must stay race- and
+ *  violation-free even with asynchronous store visibility. */
+std::vector<Scenario> weakGuardedScenarios(const PolicyConfig &policy);
+
+/** Seeded-broken exemplar: a single thread stores into the page,
+ *  takes no busy guard and issues no fence, then flushes and starts a
+ *  DMA read. Under SC the program order store→flush→transfer is safe;
+ *  under WeakStoreOrder the undrained store can overlap the transfer
+ *  — a weak-order window only relaxed exploration can catch. */
+Scenario missingFenceExemplar(const PolicyConfig &policy,
+                              MemoryOrder order =
+                                  MemoryOrder::WeakStoreOrder);
+
+/** The missing-fence program with the bug fixed: an explicit fence
+ *  between the store and the flush drains the buffer, restoring the
+ *  SC verdict under WeakStoreOrder. */
+Scenario fencedVariant(const PolicyConfig &policy);
+
+/** The weak-order catalog verify_policy --memory-order weak gates on:
+ *  the weak guarded set, the missing-fence exemplar, and its fenced
+ *  repair. */
+std::vector<Scenario> weakCatalog(const PolicyConfig &policy);
 
 } // namespace vic::mc
 

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Interleave/fuzz report schema: vic-verify-report-v3.
+ *
+ * Builders turn mc exploration and fuzzing results into the JSON
+ * shape verify_policy embeds per scenario, and a reader summarises a
+ * whole report back out of JSON. v3 adds three things over v2: a
+ * per-scenario "memoryOrder" ("sc" / "weak"), the "weakWindow" race
+ * class on each race pair plus a per-scenario counter, and an
+ * optional "fuzz" object with coverage counters (samples, distinct
+ * traces, traces not seen by the exhaustive pass). The reader accepts
+ * both v2 and v3 documents: absent v3 fields default to the SC-mode
+ * values a v2 writer would have implied, so downstream consumers can
+ * diff old and new artifacts with one code path.
+ */
+
+#ifndef VIC_VERIFY_MC_REPORT_HH
+#define VIC_VERIFY_MC_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/json_writer.hh"
+#include "mc/explorer.hh"
+
+namespace vic::verify
+{
+
+/** Schema tag verify_policy writes. */
+inline constexpr const char *kVerifyReportSchemaV3 =
+    "vic-verify-report-v3";
+/** Previous schema tag, still accepted by the reader. */
+inline constexpr const char *kVerifyReportSchemaV2 =
+    "vic-verify-report-v2";
+
+/** One race pair as a v3 JSON object. */
+JsonValue raceJson(const mc::RaceReport &race);
+
+/** One explored scenario as a v3 JSON object (the per-scenario entry
+ *  of the "interleave.scenarios" array). */
+JsonValue scenarioResultJson(const mc::ScenarioResult &result,
+                             bool passed);
+
+/** One fuzzing pass as a v3 JSON object (the scenario's "fuzz"
+ *  member). */
+JsonValue fuzzResultJson(const mc::FuzzResult &result, bool passed);
+
+// --- reader ------------------------------------------------------------
+
+/** Summary of one scenario entry read back from a report. */
+struct McScenarioSummary
+{
+    std::string scenario;
+    std::string memoryOrder = "sc"; ///< v2 documents imply SC
+    bool exhausted = false;
+    std::uint64_t executions = 0;
+    std::uint64_t canonicalTraces = 0;
+    std::uint64_t violatingRuns = 0;
+    std::uint64_t weakWindowRaces = 0; ///< 0 in v2 documents
+    std::size_t races = 0;
+    bool passed = false;
+
+    bool hasFuzz = false; ///< a "fuzz" member was present (v3 only)
+    std::uint64_t fuzzSamples = 0;
+    std::uint64_t fuzzTraces = 0;
+    std::uint64_t fuzzNewTraces = 0;
+    bool fuzzPassed = false;
+};
+
+/** Summary of a whole verify report's interleave sections. */
+struct McReportSummary
+{
+    std::string schema;
+    bool recognised = false; ///< schema is v2 or v3
+    bool ok = false;         ///< the report's top-level verdict
+    std::vector<McScenarioSummary> scenarios; ///< across all policies
+};
+
+/** Read a v2 or v3 verify report (parsed JSON document). Unknown
+ *  schemas yield recognised=false with whatever fields still parse. */
+McReportSummary readMcReport(const JsonValue &report);
+
+} // namespace vic::verify
+
+#endif // VIC_VERIFY_MC_REPORT_HH

@@ -10,6 +10,14 @@
 #   time(                       C time()
 #   rand(                       C rand()/srand()
 #   random_device               nondeterministic seeding
+#   std::mt19937 et al.         std random engines/distributions —
+#                               their streams are implementation-
+#                               defined across standard libraries;
+#                               the schedule fuzzer and experiment
+#                               engine must draw from the repo's own
+#                               SplitMix64-seeded xoshiro streams
+#                               (src/common/random.hh) so a seed
+#                               reproduces bit-identically anywhere
 #
 # std::chrono::steady_clock is fine: it measures elapsed wall time
 # for progress reporting and never feeds simulated state.
@@ -25,7 +33,7 @@ cd "$(dirname "$0")/.."
 
 ALLOWLIST_RE='^$'
 
-PATTERN='std::chrono::system_clock|[^a-zA-Z_]time\(|[^a-zA-Z_]rand\(|random_device'
+PATTERN='std::chrono::system_clock|[^a-zA-Z_]time\(|[^a-zA-Z_]rand\(|random_device|std::mt19937|std::minstd_rand|default_random_engine|uniform_int_distribution|uniform_real_distribution|[^a-zA-Z_]std::shuffle'
 
 status=0
 while IFS= read -r file; do

@@ -29,10 +29,25 @@
  *                 the broken-ordering exemplars must yield an
  *                 oracle-confirmed race with a minimal replayable
  *                 schedule
+ *   --memory-order sc|weak
+ *                 store-visibility model for --interleave: "sc"
+ *                 (default) runs the standard catalog; "weak" runs
+ *                 the weak-store-order catalog, in which stores drain
+ *                 asynchronously through per-CPU FIFO buffers and the
+ *                 missing-fence exemplar must be caught as a
+ *                 weak-order-window race
+ *   --fuzz N      after the exhaustive pass, sample N random maximal
+ *                 schedules per scenario; where DPOR exhausted the
+ *                 space the samples must stay inside the known trace
+ *                 set, and violation-free scenarios must fuzz clean
+ *   --fuzz-seed S base seed of the deterministic fuzz streams
+ *                 (SplitMix64-derived per scenario; same artifacts
+ *                 for any --jobs)
  *   --budget N    complete-schedule budget per scenario (interleave)
  *   --jobs N      worker threads for --interleave (results identical
  *                 for any N)
  *   --json FILE   machine-readable report of everything run
+ *                 (schema vic-verify-report-v3)
  *
  * Exit status 0 iff every expectation holds, so CI can gate on it.
  * Unknown flags exit 2.
@@ -50,6 +65,7 @@
 #include "mc/scenario.hh"
 #include "verify/cost_model.hh"
 #include "verify/differential.hh"
+#include "verify/mc_report.hh"
 #include "verify/necessity.hh"
 #include "verify/policy_verifier.hh"
 #include "verify/trace_replay.hh"
@@ -338,20 +354,31 @@ checkNecessity(const PolicyConfig &policy, JsonValue &out)
 // Interleaving exploration
 // ---------------------------------------------------------------------
 
-JsonValue
-raceJson(const vic::mc::RaceReport &r)
+/** Did the fuzzing pass behave as the scenario's expectation and the
+ *  exhaustive result allow? Random sampling cannot prove absence, so
+ *  the gate is one-sided: clean scenarios must fuzz clean, exhausted
+ *  scenarios must yield no trace DPOR missed, and any violating
+ *  sample must carry a deterministically replayable schedule. */
+bool
+fuzzPassed(const vic::mc::FuzzResult &f,
+           const vic::mc::Expectation &expect, bool exhausted)
 {
-    JsonValue j = JsonValue::object();
-    j.set("a", JsonValue::str(r.labelA));
-    j.set("b", JsonValue::str(r.labelB));
-    j.set("line", JsonValue::number(r.line));
-    j.set("benign", JsonValue::boolean(r.benign));
-    return j;
+    if (expect.violationFree && f.violatingRuns != 0)
+        return false;
+    if (expect.raceFree && f.reportedRaces() != 0)
+        return false;
+    if (exhausted && f.newTraces != 0)
+        return false;
+    if (!f.minimalCounterexample.empty() && !f.replayConfirmed)
+        return false;
+    return true;
 }
 
 bool
 checkInterleave(const PolicyConfig &policy, std::uint64_t budget,
-                unsigned jobs, JsonValue &out)
+                unsigned jobs, vic::mc::MemoryOrder order,
+                std::uint64_t fuzz_samples, std::uint64_t fuzz_seed,
+                JsonValue &out)
 {
     namespace mc = vic::mc;
 
@@ -369,9 +396,22 @@ checkInterleave(const PolicyConfig &policy, std::uint64_t budget,
     mc::ExploreOptions opt;
     opt.budget = budget;
     const std::vector<mc::Scenario> catalog =
-        mc::standardCatalog(policy);
+        order == mc::MemoryOrder::WeakStoreOrder
+            ? mc::weakCatalog(policy)
+            : mc::standardCatalog(policy);
     const std::vector<mc::ScenarioResult> results =
         mc::exploreMany(catalog, opt, jobs);
+
+    std::vector<mc::FuzzResult> fuzzed;
+    if (fuzz_samples > 0) {
+        mc::FuzzOptions fopt;
+        fopt.samples = fuzz_samples;
+        fopt.seed = fuzz_seed;
+        std::vector<std::vector<std::uint64_t>> known;
+        for (const mc::ScenarioResult &r : results)
+            known.push_back(r.canonicalHashes);
+        fuzzed = mc::fuzzMany(catalog, fopt, known, jobs);
+    }
 
     bool ok = true;
     JsonValue scenarios = JsonValue::array();
@@ -381,15 +421,18 @@ checkInterleave(const PolicyConfig &policy, std::uint64_t budget,
         const bool pass = r.passed(expect);
         ok &= pass;
 
-        std::printf("  interleave %-22s %5llu runs = %llu traces  "
-                    "depth %2llu  races %llu(+%llu benign)  "
-                    "violations %llu  %s\n",
+        std::printf("  interleave %-24s [%-4s] %5llu runs = %llu "
+                    "traces  depth %2llu  races %llu(+%llu benign, "
+                    "%llu weak-window)  violations %llu  %s\n",
                     r.scenario.c_str(),
+                    mc::memoryOrderName(r.memoryOrder),
                     static_cast<unsigned long long>(r.executions),
                     static_cast<unsigned long long>(r.canonicalTraces),
                     static_cast<unsigned long long>(r.maxDepth),
                     static_cast<unsigned long long>(r.reportedRaces()),
                     static_cast<unsigned long long>(r.benignRaces),
+                    static_cast<unsigned long long>(
+                        r.weakWindowRaces),
                     static_cast<unsigned long long>(r.violatingRuns),
                     pass ? "ok" : "FAIL");
         if (!pass)
@@ -414,40 +457,47 @@ checkInterleave(const PolicyConfig &policy, std::uint64_t budget,
                 std::printf("      %s\n", l.c_str());
         }
 
-        JsonValue js = JsonValue::object();
-        js.set("scenario", JsonValue::str(r.scenario));
-        js.set("exhausted", JsonValue::boolean(r.exhausted));
-        js.set("deadlock", JsonValue::boolean(r.deadlock));
-        js.set("executions", JsonValue::number(r.executions));
-        js.set("canonicalTraces",
-               JsonValue::number(r.canonicalTraces));
-        js.set("distinctEndStates",
-               JsonValue::number(r.distinctEndStates));
-        js.set("maxDepth", JsonValue::number(r.maxDepth));
-        js.set("steps", JsonValue::number(r.steps));
-        js.set("sleepPruned", JsonValue::number(r.sleepPruned));
-        js.set("persistentPruned",
-               JsonValue::number(r.persistentPruned));
-        JsonValue races = JsonValue::array();
-        for (const mc::RaceReport &race : r.races)
-            races.push(raceJson(race));
-        js.set("races", std::move(races));
-        js.set("benignRaces", JsonValue::number(r.benignRaces));
-        js.set("confirmedRaces", JsonValue::number(r.confirmedRaces));
-        js.set("violatingRuns", JsonValue::number(r.violatingRuns));
-        if (!r.minimalCounterexampleLabels.empty()) {
-            JsonValue sched = JsonValue::array();
-            for (const std::string &l :
-                 r.minimalCounterexampleLabels)
-                sched.push(JsonValue::str(l));
-            js.set("minimalCounterexample", std::move(sched));
-            js.set("replayConfirmed",
-                   JsonValue::boolean(r.replayConfirmed));
+        JsonValue js = verify::scenarioResultJson(r, pass);
+
+        if (!fuzzed.empty()) {
+            const mc::FuzzResult &f = fuzzed[i];
+            const bool fpass = fuzzPassed(f, expect, r.exhausted);
+            ok &= fpass;
+            std::printf("    fuzz %5llu samples: %llu traces (%llu "
+                        "new), %llu end states, violations in %llu, "
+                        "races %llu(+%llu benign)  %s\n",
+                        static_cast<unsigned long long>(f.samples),
+                        static_cast<unsigned long long>(
+                            f.canonicalTraces),
+                        static_cast<unsigned long long>(f.newTraces),
+                        static_cast<unsigned long long>(
+                            f.distinctEndStates),
+                        static_cast<unsigned long long>(
+                            f.violatingRuns),
+                        static_cast<unsigned long long>(
+                            f.reportedRaces()),
+                        static_cast<unsigned long long>(
+                            f.benignRaces),
+                        fpass ? "ok" : "FAIL");
+            if (!fpass)
+                std::printf("      ERROR: %s\n",
+                            r.exhausted && f.newTraces != 0
+                                ? "fuzzer sampled a trace the "
+                                  "exhausted DPOR pass never saw"
+                                : "fuzzing found an unexpected race "
+                                  "or violation");
+            js.set("fuzz", verify::fuzzResultJson(f, fpass));
         }
-        js.set("passed", JsonValue::boolean(pass));
+
         scenarios.push(std::move(js));
     }
     out.set("budget", JsonValue::number(budget));
+    out.set("memoryOrder",
+            JsonValue::str(mc::memoryOrderName(order)));
+    if (fuzz_samples > 0) {
+        out.set("fuzzSamples", JsonValue::number(fuzz_samples));
+        out.set("fuzzSeed", JsonValue::number(fuzz_seed));
+    }
     out.set("scenarios", std::move(scenarios));
     out.set("gatePassed", JsonValue::boolean(ok));
     return ok;
@@ -543,7 +593,9 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--policy NAME] [--cost] [--necessity]\n"
-                 "       [--interleave] [--budget N] [--jobs N]\n"
+                 "       [--interleave] [--memory-order sc|weak]\n"
+                 "       [--fuzz N] [--fuzz-seed S] [--budget N] "
+                 "[--jobs N]\n"
                  "       [--diff-policy A B] [--json FILE] "
                  "[--no-replay] [--list]\n",
                  argv0);
@@ -560,6 +612,9 @@ main(int argc, char **argv)
     bool do_necessity = false;
     bool do_interleave = false;
     std::uint64_t budget = 20000;
+    vic::mc::MemoryOrder order = vic::mc::MemoryOrder::SC;
+    std::uint64_t fuzz_samples = 0;
+    std::uint64_t fuzz_seed = 0x5eed;
     unsigned jobs = 1;
     std::string only;
     std::string json_path;
@@ -575,6 +630,39 @@ main(int argc, char **argv)
             do_necessity = true;
         } else if (arg == "--interleave") {
             do_interleave = true;
+        } else if (arg == "--memory-order") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "--memory-order requires sc|weak\n");
+                return usage(argv[0]);
+            }
+            const std::string mo = argv[++i];
+            if (mo == "sc") {
+                order = vic::mc::MemoryOrder::SC;
+            } else if (mo == "weak") {
+                order = vic::mc::MemoryOrder::WeakStoreOrder;
+            } else {
+                std::fprintf(stderr,
+                             "unknown memory order '%s' (sc|weak)\n",
+                             mo.c_str());
+                return usage(argv[0]);
+            }
+        } else if (arg == "--fuzz") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--fuzz requires a count\n");
+                return usage(argv[0]);
+            }
+            fuzz_samples = std::strtoull(argv[++i], nullptr, 10);
+            if (fuzz_samples == 0) {
+                std::fprintf(stderr, "--fuzz must be positive\n");
+                return usage(argv[0]);
+            }
+        } else if (arg == "--fuzz-seed") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--fuzz-seed requires a seed\n");
+                return usage(argv[0]);
+            }
+            fuzz_seed = std::strtoull(argv[++i], nullptr, 0);
         } else if (arg == "--budget") {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "--budget requires a count\n");
@@ -648,7 +736,8 @@ main(int argc, char **argv)
     }
 
     JsonValue report = JsonValue::object();
-    report.set("schema", JsonValue::str("vic-verify-report-v2"));
+    report.set("schema",
+               JsonValue::str(verify::kVerifyReportSchemaV3));
     report.set("machine", JsonValue::str("hp720"));
     JsonValue policies = JsonValue::array();
 
@@ -671,7 +760,8 @@ main(int argc, char **argv)
         }
         if (do_interleave) {
             JsonValue ji = JsonValue::object();
-            ok &= checkInterleave(p, budget, jobs, ji);
+            ok &= checkInterleave(p, budget, jobs, order,
+                                  fuzz_samples, fuzz_seed, ji);
             jp.set("interleave", std::move(ji));
         }
         jp.set("ok", JsonValue::boolean(ok));
