@@ -2,8 +2,9 @@
  * @file
  * Schedule-space census of the interleaving model checker.
  *
- * For every scenario in the standard catalog and the weak-store-order
- * catalog, explores the space of concurrent CPU/DMA/pageout schedules
+ * For every scenario in the standard, weak-store-order and
+ * cross-cache coherence catalogs, explores the space of concurrent
+ * CPU/DMA/pageout schedules
  * twice — once by brute enumeration and once with the DPOR reduction
  * (sleep sets + persistent-set pruning) — and prints executed schedules,
  * inequivalent Mazurkiewicz traces, distinct end states, machine
@@ -106,6 +107,11 @@ main(int argc, char **argv)
     // exactly-once and brute-coverage invariants must survive the
     // enlarged alphabet.
     for (mc::Scenario &s : mc::weakCatalog(policy))
+        catalog.push_back(std::move(s));
+    // The cross-cache coherence rows add CPU/CPU conflict edges
+    // between distinct caches (MESI and deliberately non-coherent):
+    // the same invariants must hold over those edges too.
+    for (mc::Scenario &s : mc::coherenceCatalog(policy))
         catalog.push_back(std::move(s));
 
     mc::ExploreOptions bruteOpt;

@@ -24,8 +24,13 @@
 #      schedule-fuzzing pass — the guarded choreographies must stay
 #      clean under relaxation, the missing-fence exemplar must
 #      produce an oracle-confirmed weak-order window, the fuzzer
-#      must discover no trace DPOR missed, and the v3 report is
+#      must discover no trace DPOR missed, and the report is
 #      archived (VERIFY_weak.json);
+#   5b. multiprocessor coherence exploration: verify_policy
+#      --interleave --coherence runs the cross-cache catalog — the
+#      sharing pairs must be benign (positively reported) on the
+#      MESI machine and the non-coherent regression must yield an
+#      oracle-confirmed race — archiving VERIFY_coherence.json;
 #   6. bench smoke: vic_bench sweeps every suite at smoke scale
 #      through the experiment engine, gated on zero oracle
 #      violations, and archives the JSON artifact (BENCH_smoke.json);
@@ -51,11 +56,20 @@
 #      and skipped with a notice otherwise (they are configs-first:
 #      the repo must stay clean under gcc -Werror regardless).
 #
-# Usage: ./ci.sh [jobs]
+# Usage: ./ci.sh [--full] [jobs]
+#
+# --full additionally runs the full-scale (non-smoke) Table 1 sweep
+# with its calibrated shape checks gating — minutes of extra runtime,
+# so it is opt-in rather than part of every CI pass.
 
 set -euo pipefail
 cd "$(dirname "$0")"
 
+FULL=0
+if [[ "${1:-}" == "--full" ]]; then
+    FULL=1
+    shift
+fi
 JOBS="${1:-$(nproc)}"
 
 step() { printf '\n=== %s ===\n' "$*"; }
@@ -90,6 +104,11 @@ step "weak-order exploration + fuzz smoke (--memory-order weak)"
     --json VERIFY_weak.json
 echo "artifact archived: VERIFY_weak.json"
 
+step "multiprocessor coherence exploration (--coherence)"
+./build/tools/verify_policy --interleave --coherence \
+    --budget 5000 --jobs 2 --json VERIFY_coherence.json
+echo "artifact archived: VERIFY_coherence.json"
+
 step "bench smoke sweep (vic_bench, --jobs 2)"
 ./build/tools/vic_bench --smoke --jobs 2 --json BENCH_smoke.json
 echo "artifact archived: BENCH_smoke.json"
@@ -110,6 +129,13 @@ cmake --build build-release -j "$JOBS" --target vic_bench
 rm -f BENCH_smoke_release.json
 ./build-release/tools/vic_bench --list --throughput BENCH_throughput.json
 echo "artifact archived: BENCH_throughput.json"
+
+if [[ "$FULL" == 1 ]]; then
+    step "full-scale Table 1 sweep (opt-in, calibrated shape checks)"
+    ./build/tools/vic_bench --filter table1 --jobs "$JOBS" \
+        --json BENCH_table1_full.json
+    echo "artifact archived: BENCH_table1_full.json"
+fi
 
 step "thread sanitizer build (experiment engine + model checker)"
 cmake -B build-tsan -S . -DVIC_SANITIZE=thread >/dev/null

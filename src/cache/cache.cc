@@ -1,15 +1,32 @@
 #include "cache/cache.hh"
 
+#include "cache/coherence.hh"
 #include "common/logging.hh"
 
 namespace vic
 {
 
+const char *
+mesiStateName(MesiState s)
+{
+    switch (s) {
+      case MesiState::Invalid:
+        return "I";
+      case MesiState::Shared:
+        return "S";
+      case MesiState::Exclusive:
+        return "E";
+      case MesiState::Modified:
+        return "M";
+    }
+    return "?";
+}
+
 Cache::Cache(std::string cache_name, const CacheGeometry &geom,
              const CacheCosts &cache_costs, WritePolicy write_policy,
              PhysicalMemory &memory, CycleClock &clock, StatSet &stat_set)
     : cacheName(std::move(cache_name)), geo(geom), costs(cache_costs),
-      policy(write_policy), mem(memory), clk(clock),
+      policy(write_policy), mem(memory), clk(clock), statSet(stat_set),
       lines(geo.numLines()),
       data(std::uint64_t(geo.numLines()) * geo.wordsPerLine(), 0),
       statReads(stat_set.counter(cacheName + ".reads")),
@@ -27,6 +44,21 @@ Cache::Cache(std::string cache_name, const CacheGeometry &geom,
 {
 }
 
+void
+Cache::enableSelfSnoop(Cycles penalty_cycles)
+{
+    selfSnoop = true;
+    selfSnoopPenalty = penalty_cycles;
+    // Registered lazily so machines without synonym coherence keep
+    // their exact pre-existing counter set (artifact bit-identity).
+    if (statSynonymSnoops == nullptr) {
+        statSynonymSnoops =
+            &statSet.counter(cacheName + ".synonym_snoops");
+        statSynonymSnoopCycles =
+            &statSet.counter(cacheName + ".synonym_snoop_cycles");
+    }
+}
+
 std::uint32_t
 Cache::victimWay(std::uint32_t set) const
 {
@@ -34,7 +66,7 @@ Cache::victimWay(std::uint32_t set) const
     std::uint64_t oldest = ~std::uint64_t(0);
     for (std::uint32_t w = 0; w < geo.associativity(); ++w) {
         const Line &l = lines[lineId(set, w)];
-        if (!l.valid)
+        if (!l.valid())
             return w;
         if (l.lastUse < oldest) {
             oldest = l.lastUse;
@@ -48,22 +80,56 @@ void
 Cache::writeBack(std::uint32_t line_id)
 {
     Line &l = lines[line_id];
-    vic_assert(l.valid && l.dirty, "write-back of non-dirty line");
+    vic_assert(l.valid() && l.dirty(), "write-back of non-dirty line");
     PhysAddr base(l.tag * geo.lineBytes());
     mem.writeWords(base, lineData(line_id), geo.wordsPerLine());
-    l.dirty = false;
+    l.state = MesiState::Exclusive;
     ++statWriteBacks;
     clk.advance(costs.writeBackPenalty);
 }
 
 void
-Cache::fill(std::uint32_t line_id, PhysAddr pa)
+Cache::selfSnoopSynonyms(std::uint32_t keep_id, PhysAddr pa_line)
+{
+    const std::uint64_t tag = pa_line.value / geo.lineBytes();
+    forEachCandidateSet(pa_line, [&](std::uint32_t set) {
+        for (std::uint32_t w = 0; w < geo.associativity(); ++w) {
+            const std::uint32_t id = lineId(set, w);
+            if (id == keep_id)
+                continue;
+            Line &l = lines[id];
+            if (!l.valid() || l.tag != tag)
+                continue;
+            if (l.dirty())
+                writeBack(id);
+            l.state = MesiState::Invalid;
+            if (statSynonymSnoops != nullptr) {
+                ++*statSynonymSnoops;
+                *statSynonymSnoopCycles += selfSnoopPenalty;
+            }
+            clk.advance(selfSnoopPenalty);
+        }
+    });
+}
+
+void
+Cache::fill(std::uint32_t line_id, PhysAddr pa, bool for_write)
 {
     Line &l = lines[line_id];
     PhysAddr base(geo.lineBase(pa.value));
+    // Coherence actions first, so peer (and synonym) write-backs land
+    // in memory before this fill reads it.
+    bool shared = false;
+    if (bus != nullptr) {
+        if (for_write)
+            bus->busReadExclusive(this, base);
+        else
+            shared = bus->busRead(this, base);
+    }
+    if (selfSnoop)
+        selfSnoopSynonyms(line_id, base);
     mem.readWords(base, lineData(line_id), geo.wordsPerLine());
-    l.valid = true;
-    l.dirty = false;
+    l.state = shared ? MesiState::Shared : MesiState::Exclusive;
     l.tag = pa.value / geo.lineBytes();
     ++statFills;
     clk.advance(costs.missPenalty);
@@ -82,9 +148,9 @@ Cache::read(VirtAddr va, PhysAddr pa)
         ++statMisses;
         const std::uint32_t victim = victimWay(set);
         const std::uint32_t id = lineId(set, victim);
-        if (lines[id].valid && lines[id].dirty)
+        if (lines[id].dirty())
             writeBack(id);
-        fill(id, pa);
+        fill(id, pa, false);
         way = static_cast<int>(victim);
     } else {
         ++statHits;
@@ -129,16 +195,21 @@ Cache::write(VirtAddr va, PhysAddr pa, std::uint32_t value)
         ++statMisses;
         const std::uint32_t victim = victimWay(set);
         const std::uint32_t id = lineId(set, victim);
-        if (lines[id].valid && lines[id].dirty)
+        if (lines[id].dirty())
             writeBack(id);
-        fill(id, pa);
+        fill(id, pa, true);
         way = static_cast<int>(victim);
     } else {
         ++statHits;
+        const std::uint32_t id =
+            lineId(set, static_cast<std::uint32_t>(way));
+        // A Shared hit must win exclusive ownership before writing.
+        if (bus != nullptr && lines[id].state == MesiState::Shared)
+            bus->busUpgrade(this, PhysAddr(geo.lineBase(pa.value)));
     }
     const std::uint32_t id = lineId(set, static_cast<std::uint32_t>(way));
     lines[id].lastUse = ++useTick;
-    lines[id].dirty = true;
+    lines[id].state = MesiState::Modified;
     const std::uint32_t word_in_line =
         static_cast<std::uint32_t>((pa.value / 4) % geo.wordsPerLine());
     lineData(id)[word_in_line] = value;
@@ -168,10 +239,9 @@ Cache::removeLine(VirtAddr va, PhysAddr pa, bool write_back)
         return false;
 
     const std::uint32_t id = lineId(set, static_cast<std::uint32_t>(way));
-    if (write_back && lines[id].dirty)
+    if (write_back && lines[id].dirty())
         writeBack(id);
-    lines[id].valid = false;
-    lines[id].dirty = false;
+    lines[id].state = MesiState::Invalid;
     return true;
 }
 
@@ -214,10 +284,8 @@ Cache::purgePage(VirtAddr page_va, PhysAddr page_pa)
 void
 Cache::purgeAll()
 {
-    for (auto &l : lines) {
-        l.valid = false;
-        l.dirty = false;
-    }
+    for (auto &l : lines)
+        l.state = MesiState::Invalid;
 }
 
 void
@@ -227,10 +295,8 @@ Cache::snoopInvalidateLine(PhysAddr pa_line)
     forEachCandidateSet(pa_line, [&](std::uint32_t set) {
         for (std::uint32_t w = 0; w < geo.associativity(); ++w) {
             Line &l = lines[lineId(set, w)];
-            if (l.valid && l.tag == tag) {
-                l.valid = false;
-                l.dirty = false;
-            }
+            if (l.valid() && l.tag == tag)
+                l.state = MesiState::Invalid;
         }
     });
 }
@@ -244,13 +310,57 @@ Cache::snoopWriteBackLine(PhysAddr pa_line)
         for (std::uint32_t w = 0; w < geo.associativity(); ++w) {
             const std::uint32_t id = lineId(set, w);
             Line &l = lines[id];
-            if (l.valid && l.tag == tag && l.dirty) {
+            if (l.valid() && l.tag == tag && l.dirty()) {
                 writeBack(id);
                 wrote = true;
             }
         }
     });
     return wrote;
+}
+
+Cache::SnoopReply
+Cache::snoopBusRead(PhysAddr pa_line)
+{
+    const std::uint64_t tag = pa_line.value / geo.lineBytes();
+    SnoopReply reply;
+    forEachCandidateSet(pa_line, [&](std::uint32_t set) {
+        for (std::uint32_t w = 0; w < geo.associativity(); ++w) {
+            const std::uint32_t id = lineId(set, w);
+            Line &l = lines[id];
+            if (!l.valid() || l.tag != tag)
+                continue;
+            reply.hadCopy = true;
+            if (l.dirty()) {
+                writeBack(id);
+                reply.intervened = true;
+            }
+            l.state = MesiState::Shared;
+        }
+    });
+    return reply;
+}
+
+Cache::SnoopReply
+Cache::snoopBusInvalidate(PhysAddr pa_line)
+{
+    const std::uint64_t tag = pa_line.value / geo.lineBytes();
+    SnoopReply reply;
+    forEachCandidateSet(pa_line, [&](std::uint32_t set) {
+        for (std::uint32_t w = 0; w < geo.associativity(); ++w) {
+            const std::uint32_t id = lineId(set, w);
+            Line &l = lines[id];
+            if (!l.valid() || l.tag != tag)
+                continue;
+            reply.hadCopy = true;
+            if (l.dirty()) {
+                writeBack(id);
+                reply.intervened = true;
+            }
+            l.state = MesiState::Invalid;
+        }
+    });
+    return reply;
 }
 
 Cache::Probe
@@ -263,7 +373,8 @@ Cache::probe(VirtAddr va, PhysAddr pa) const
         return p;
     const std::uint32_t id = lineId(set, static_cast<std::uint32_t>(way));
     p.present = true;
-    p.dirty = lines[id].dirty;
+    p.dirty = lines[id].dirty();
+    p.state = lines[id].state;
     const std::uint32_t word_in_line =
         static_cast<std::uint32_t>((pa.value / 4) % geo.wordsPerLine());
     p.word = lineData(id)[word_in_line];

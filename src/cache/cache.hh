@@ -16,6 +16,14 @@
  * flush and purge by virtual address, are modelled with the 720's
  * measured cost asymmetry (an operation on a line that is present is
  * several times more expensive than on an absent one, Section 2.3).
+ *
+ * Each line carries a MESI coherence state. On a uniprocessor the
+ * states degenerate to the classic valid/dirty pair (fill -> Exclusive,
+ * store -> Modified) and nothing else changes. When the cache is
+ * attached to a CoherenceBus (multi-CPU machines, coherence.hh), fills
+ * become bus transactions that snoop the peer caches, stores to Shared
+ * lines upgrade ownership, and the bus calls back into the snoop
+ * methods to downgrade or invalidate this cache's copy.
  */
 
 #ifndef VIC_CACHE_CACHE_HH
@@ -34,6 +42,8 @@
 namespace vic
 {
 
+class CoherenceBus;
+
 /** Write policy of the cache (Section 3.3 distinguishes the two by the
  *  existence of the dirty state). */
 enum class WritePolicy : std::uint8_t
@@ -41,6 +51,20 @@ enum class WritePolicy : std::uint8_t
     WriteBack,
     WriteThrough,
 };
+
+/** Per-line MESI coherence state. Invalid/Exclusive/Modified map onto
+ *  the uniprocessor (valid, dirty) pair; Shared only arises when a
+ *  CoherenceBus observes another cache holding the line. */
+enum class MesiState : std::uint8_t
+{
+    Invalid = 0,
+    Shared = 1,
+    Exclusive = 2,
+    Modified = 3,
+};
+
+/** Printable name ("I"/"S"/"E"/"M") for traces and tests. */
+const char *mesiStateName(MesiState s);
 
 /** Per-operation cycle costs. Defaults approximate the 50 MHz 720 as
  *  characterised in the paper. */
@@ -83,6 +107,30 @@ class Cache
     WritePolicy writePolicy() const { return policy; }
     const std::string &name() const { return cacheName; }
 
+    /**
+     * Attach this cache to a snooping coherence bus. Every fill then
+     * issues a bus-read (or bus-read-exclusive for stores) and stores
+     * to Shared lines issue a bus-upgrade; the bus snoops the peers
+     * through snoopBusRead()/snoopBusInvalidate(). A cache with no bus
+     * behaves exactly as the uniprocessor cache always has.
+     */
+    void attachBus(CoherenceBus *b) { bus = b; }
+
+    /** @return the attached coherence bus, or nullptr. */
+    CoherenceBus *coherenceBus() const { return bus; }
+
+    /**
+     * Enable reverse-lookup synonym coherence (arXiv 2108.00444): at
+     * fill time the cache snoops its *own* other candidate sets for a
+     * copy of the same physical line under a different colour, writes
+     * it back if modified and invalidates it, so at most one copy of
+     * any physical line ever lives in the cache. @p penalty_cycles is
+     * charged per displaced synonym; counters
+     * <name>.synonym_snoops/.synonym_snoop_cycles are registered
+     * lazily so uncoherent machines' artifacts are unchanged.
+     */
+    void enableSelfSnoop(Cycles penalty_cycles);
+
     /** CPU load of the aligned word at (@p va -> @p pa). */
     std::uint32_t read(VirtAddr va, PhysAddr pa);
 
@@ -119,8 +167,10 @@ class Cache
     /**
      * Access-pipeline fast path for stores: the write-back, line-hit
      * analogue of tryReadHit(). Returns false — with no accounting —
-     * on a line miss or for a write-through cache (whose stores always
-     * touch memory); the caller falls back to write().
+     * on a line miss, for a write-through cache (whose stores always
+     * touch memory), or for a Shared line on a coherence bus (which
+     * must broadcast an upgrade first); the caller falls back to
+     * write().
      */
     bool
     tryWriteHit(VirtAddr va, PhysAddr pa, std::uint32_t value)
@@ -131,13 +181,15 @@ class Cache
         const int way = findWay(set, pa);
         if (way < 0)
             return false;
+        const std::uint32_t id =
+            lineId(set, static_cast<std::uint32_t>(way));
+        if (bus != nullptr && lines[id].state == MesiState::Shared)
+            return false;
         ++statWrites;
         ++statHits;
         clk.advance(costs.hit);
-        const std::uint32_t id =
-            lineId(set, static_cast<std::uint32_t>(way));
         lines[id].lastUse = ++useTick;
-        lines[id].dirty = true;
+        lines[id].state = MesiState::Modified;
         lineData(id)[static_cast<std::uint32_t>(
             (pa.value / 4) % geo.wordsPerLine())] = value;
         return true;
@@ -182,11 +234,32 @@ class Cache
      */
     bool snoopWriteBackLine(PhysAddr pa_line);
 
+    /** Outcome of a bus snoop against this cache. */
+    struct SnoopReply
+    {
+        bool hadCopy = false;   ///< a valid copy of the line was found
+        bool intervened = false; ///< a Modified copy was written back
+    };
+
+    /**
+     * Bus snoop for a peer's read: a Modified copy is written back
+     * (memory becomes current) and any copy downgrades to Shared.
+     */
+    SnoopReply snoopBusRead(PhysAddr pa_line);
+
+    /**
+     * Bus snoop for a peer's write (bus-read-exclusive / upgrade): a
+     * Modified copy is written back first, then every copy is
+     * invalidated.
+     */
+    SnoopReply snoopBusInvalidate(PhysAddr pa_line);
+
     /** Result of a non-intrusive lookup, for tests and the oracle. */
     struct Probe
     {
         bool present = false; ///< valid line with matching tag at va's set
         bool dirty = false;
+        MesiState state = MesiState::Invalid; ///< coherence state
         std::uint32_t word = 0; ///< cached value of the probed word
     };
 
@@ -196,10 +269,12 @@ class Cache
   private:
     struct Line
     {
-        bool valid = false;
-        bool dirty = false;
+        MesiState state = MesiState::Invalid;
         std::uint64_t tag = 0; ///< physical line number (pa / lineBytes)
         std::uint64_t lastUse = 0;
+
+        bool valid() const { return state != MesiState::Invalid; }
+        bool dirty() const { return state == MesiState::Modified; }
     };
 
     std::string cacheName;
@@ -208,10 +283,15 @@ class Cache
     WritePolicy policy;
     PhysicalMemory &mem;
     CycleClock &clk;
+    StatSet &statSet;
+    CoherenceBus *bus = nullptr;
 
     std::vector<Line> lines;
     std::vector<std::uint32_t> data;
     std::uint64_t useTick = 0;
+
+    bool selfSnoop = false;
+    Cycles selfSnoopPenalty = 0;
 
     Counter &statReads;
     Counter &statWrites;
@@ -225,6 +305,8 @@ class Cache
     Counter &statPurgeAbsent;
     Counter &statFlushCycles; ///< cycles spent in flush operations
     Counter &statPurgeCycles; ///< cycles spent in purge operations
+    Counter *statSynonymSnoops = nullptr;      ///< lazily registered
+    Counter *statSynonymSnoopCycles = nullptr; ///< lazily registered
 
     std::uint64_t
     indexBits(VirtAddr va, PhysAddr pa) const
@@ -246,7 +328,7 @@ class Cache
         const std::uint64_t tag = pa.value / geo.lineBytes();
         for (std::uint32_t w = 0; w < geo.associativity(); ++w) {
             const Line &l = lines[lineId(set, w)];
-            if (l.valid && l.tag == tag)
+            if (l.valid() && l.tag == tag)
                 return static_cast<int>(w);
         }
         return -1;
@@ -255,11 +337,22 @@ class Cache
     /** Choose a victim way in @p set (invalid first, else LRU). */
     std::uint32_t victimWay(std::uint32_t set) const;
 
-    /** Write line @p line_id back to memory. */
+    /** Write line @p line_id back to memory (Modified -> Exclusive). */
     void writeBack(std::uint32_t line_id);
 
-    /** Fill line @p line_id from memory for @p pa's line. */
-    void fill(std::uint32_t line_id, PhysAddr pa);
+    /**
+     * Fill line @p line_id from memory for @p pa's line. On a bus this
+     * is a bus-read (@p for_write false: fills Shared or Exclusive by
+     * the peers' reply) or a bus-read-exclusive (@p for_write true:
+     * peers invalidate, fills Exclusive); with synonym coherence the
+     * cache's other candidate sets are self-snooped first.
+     */
+    void fill(std::uint32_t line_id, PhysAddr pa, bool for_write);
+
+    /** Displace any other copy of @p pa_line held under a different
+     *  colour (reverse-lookup synonym snoop); @p keep_id is the line
+     *  being filled. */
+    void selfSnoopSynonyms(std::uint32_t keep_id, PhysAddr pa_line);
 
     /** Shared flush/purge implementation. */
     bool removeLine(VirtAddr va, PhysAddr pa, bool write_back);

@@ -1,0 +1,70 @@
+#include "cache/coherence.hh"
+
+namespace vic
+{
+
+CoherenceBus::CoherenceBus(Cycles snoop_penalty, CycleClock &clock,
+                           StatSet &stat_set)
+    : snoopPenalty(snoop_penalty), clk(clock),
+      statReads(stat_set.counter("bus.reads")),
+      statReadExclusives(stat_set.counter("bus.read_exclusives")),
+      statUpgrades(stat_set.counter("bus.upgrades")),
+      statInterventions(stat_set.counter("bus.interventions")),
+      statInvalidations(stat_set.counter("bus.invalidations")),
+      statSnoopCycles(stat_set.counter("bus.snoop_cycles"))
+{
+}
+
+void
+CoherenceBus::attach(Cache *c)
+{
+    ports.push_back(c);
+    c->attachBus(this);
+}
+
+Cache::SnoopReply
+CoherenceBus::snoopPeers(const Cache *requester, PhysAddr pa_line,
+                         bool invalidate)
+{
+    Cache::SnoopReply summary;
+    for (Cache *port : ports) {
+        if (port == requester)
+            continue;
+        const Cache::SnoopReply r = invalidate
+            ? port->snoopBusInvalidate(pa_line)
+            : port->snoopBusRead(pa_line);
+        summary.hadCopy |= r.hadCopy;
+        summary.intervened |= r.intervened;
+        if (invalidate && r.hadCopy)
+            ++statInvalidations;
+    }
+    if (summary.intervened) {
+        ++statInterventions;
+        statSnoopCycles += snoopPenalty;
+        clk.advance(snoopPenalty);
+    }
+    return summary;
+}
+
+bool
+CoherenceBus::busRead(const Cache *requester, PhysAddr pa_line)
+{
+    ++statReads;
+    return snoopPeers(requester, pa_line, false).hadCopy;
+}
+
+void
+CoherenceBus::busReadExclusive(const Cache *requester, PhysAddr pa_line)
+{
+    ++statReadExclusives;
+    snoopPeers(requester, pa_line, true);
+}
+
+void
+CoherenceBus::busUpgrade(const Cache *requester, PhysAddr pa_line)
+{
+    ++statUpgrades;
+    snoopPeers(requester, pa_line, true);
+}
+
+} // namespace vic

@@ -140,4 +140,15 @@ PolicyConfig::broken()
     return p;
 }
 
+PolicyConfig
+PolicyConfig::hardware()
+{
+    // Same pmap behaviour as broken() — zero software consistency
+    // ops — but named for its intended pairing with a fully
+    // hardware-coherent machine, where it is sound.
+    PolicyConfig p = broken();
+    p.name = "HW (hardware-coherent)";
+    return p;
+}
+
 } // namespace vic

@@ -127,6 +127,18 @@ struct PolicyConfig
 
     /** The deliberately unsound policy (testing only). */
     static PolicyConfig broken();
+
+    /**
+     * The hardware-coherent "no software ops" policy: the pmap issues
+     * no consistency flushes or purges at all, because the machine it
+     * pairs with resolves every failure mode in hardware — a MESI bus
+     * between the CPUs' caches, reverse-lookup synonym self-snoops,
+     * instruction caches on the bus, and snooping DMA. Only sound on a
+     * machine with all of synonymCoherence + ifetchCoherence +
+     * dmaSnoops set (the head-to-head bench constructs exactly that);
+     * on the default machine it behaves like broken().
+     */
+    static PolicyConfig hardware();
 };
 
 } // namespace vic

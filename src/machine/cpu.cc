@@ -18,8 +18,7 @@ constexpr int maxFaultRetries = 8;
 Cpu::Cpu(Machine &m, std::uint32_t cpu_id)
     : mach(m), cpuId(cpu_id), tlbRef(m.tlb(cpu_id)),
       dcacheRef(m.dcache(cpu_id)), icacheRef(m.icache(cpu_id)),
-      pageOffsetMask(m.pageBytes() - 1), pageBytesC(m.pageBytes()),
-      multiCpu(m.numCpus() > 1)
+      pageOffsetMask(m.pageBytes() - 1), pageBytesC(m.pageBytes())
 {
     vic_assert(cpu_id < m.numCpus(), "cpu id %u out of range", cpu_id);
 }
@@ -50,8 +49,9 @@ Cpu::accessMapped(AccessType type, VirtAddr va, std::uint32_t store_value,
 
     switch (type) {
       case AccessType::Load: {
-          if (multiCpu)
-              mach.coherencePrepare(cpuId, CacheKind::Data, pa, false);
+          // Coherence is the cache's own job now: a miss issues a bus
+          // read that snoops the peers (coherence.hh); a hit is silent
+          // exactly as real MESI hardware is.
           std::uint32_t v;
           if (!dcacheRef.tryReadHit(va, pa, v))
               v = dcacheRef.read(va, pa);
@@ -60,8 +60,6 @@ Cpu::accessMapped(AccessType type, VirtAddr va, std::uint32_t store_value,
           return v;
       }
       case AccessType::IFetch: {
-          // Instruction caches are outside the coherence domain
-          // (coherencePrepare is a no-op for them), so skip the call.
           std::uint32_t v;
           if (!icacheRef.tryReadHit(va, pa, v))
               v = icacheRef.read(va, pa);
@@ -71,11 +69,10 @@ Cpu::accessMapped(AccessType type, VirtAddr va, std::uint32_t store_value,
       }
       case AccessType::Store: {
           pte->modified = true;
-          if (multiCpu)
-              mach.coherencePrepare(cpuId, CacheKind::Data, pa, true);
           // Observer sees the store before the cache commits it (the
           // oracle's shadow memory must be current when the written
-          // line later leaves the cache).
+          // line later leaves the cache). A Shared-line hit falls out
+          // of tryWriteHit into write(), which broadcasts the upgrade.
           if (obs && observerDue())
               obs->cpuStore(pa, store_value);
           if (!dcacheRef.tryWriteHit(va, pa, store_value))

@@ -122,7 +122,6 @@ class Cpu
     Cache &icacheRef;
     const std::uint64_t pageOffsetMask; ///< pageBytes - 1
     const std::uint64_t pageBytesC;     ///< pageBytes
-    const bool multiCpu;                ///< coherencePrepare needed
 
     std::uint32_t obsTick = 0; ///< sampling counter (period > 1 only)
 

@@ -42,6 +42,27 @@ Machine::Machine(const MachineParams &machine_params)
         for (auto &c : instCaches)
             dmaEngine->attachSnoopedCache(c.get());
     }
+
+    // MESI bus: per-CPU data caches always attach; instruction caches
+    // join as read-only ports when ifetch coherence is selected.
+    const bool mesi =
+        mparams.numCpus > 1 &&
+        mparams.cpuCoherence == MachineParams::CpuCoherence::Mesi;
+    if (mesi || mparams.ifetchCoherence) {
+        cohBus = std::make_unique<CoherenceBus>(mparams.snoopPenalty,
+                                                cycleClock, statSet);
+        for (auto &c : dataCaches)
+            cohBus->attach(c.get());
+        if (mparams.ifetchCoherence)
+            for (auto &c : instCaches)
+                cohBus->attach(c.get());
+    }
+    if (mparams.synonymCoherence) {
+        for (auto &c : dataCaches)
+            c->enableSelfSnoop(mparams.snoopPenalty);
+        for (auto &c : instCaches)
+            c->enableSelfSnoop(mparams.snoopPenalty);
+    }
 }
 
 void
@@ -56,30 +77,6 @@ Machine::tlbShootdownSpace(SpaceId space)
 {
     for (auto &t : tlbs)
         t->invalidateSpace(space);
-}
-
-void
-Machine::coherencePrepare(std::uint32_t cpu, CacheKind kind,
-                          PhysAddr pa, bool is_write)
-{
-    if (mparams.numCpus < 2 || kind != CacheKind::Data)
-        return;
-    const PhysAddr line(dcache(cpu).geometry().lineBase(pa.value));
-    bool intervened = false;
-    for (std::uint32_t peer = 0; peer < mparams.numCpus; ++peer) {
-        if (peer == cpu)
-            continue;
-        Cache &pc = dcache(peer);
-        // The newest copy may be dirty in a peer: write it back so
-        // the local fill (from memory) is current.
-        intervened |= pc.snoopWriteBackLine(line);
-        if (is_write) {
-            // Write-invalidate: peers must refetch after our write.
-            pc.snoopInvalidateLine(line);
-        }
-    }
-    if (intervened)
-        cycleClock.advance(mparams.snoopPenalty);
 }
 
 void

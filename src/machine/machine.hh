@@ -8,14 +8,15 @@
  * this layer (pmap, OS, workloads) manipulates the machine only
  * through these components.
  *
- * With more than one CPU the data caches form a coherence domain:
- * before an access, coherencePrepare() performs the write-invalidate
- * snooping a hardware protocol would (peer dirty copies are written
- * back; a write invalidates peer copies). Cache pages of the SAME
- * colour on different CPUs thereby behave as one hardware-consistent
- * set — the paper's Section 3.3 multiprocessor view — while unaligned
- * aliases within any one cache remain the operating system's problem,
- * with unchanged transition rules.
+ * With more than one CPU (and MESI coherence selected, the default)
+ * the data caches attach to a CoherenceBus: fills snoop the peers,
+ * stores to Shared lines broadcast an upgrade, and per-line MESI
+ * states track ownership. Cache pages of the SAME colour on different
+ * CPUs thereby behave as one hardware-consistent set — the paper's
+ * Section 3.3 multiprocessor view — while unaligned aliases within
+ * any one cache remain the operating system's problem, with unchanged
+ * transition rules (unless synonymCoherence puts those in hardware
+ * too, and ifetchCoherence does the same for the instruction caches).
  */
 
 #ifndef VIC_MACHINE_MACHINE_HH
@@ -26,6 +27,7 @@
 #include <vector>
 
 #include "cache/cache.hh"
+#include "cache/coherence.hh"
 #include "common/cycle_clock.hh"
 #include "common/event_log.hh"
 #include "common/observer.hh"
@@ -79,17 +81,10 @@ class Machine
         return kind == CacheKind::Data ? dcache(cpu) : icache(cpu);
     }
 
-    /**
-     * Hardware coherence step before CPU @p cpu accesses @p pa's line
-     * through its cache of kind @p kind: peer dirty copies are written
-     * back so the local fill sees current memory; a write additionally
-     * invalidates peer copies. No-op on a uniprocessor. Instruction
-     * caches never hold dirty data and are not kept coherent with the
-     * data caches (as on the real machine) — that remains software's
-     * job.
-     */
-    void coherencePrepare(std::uint32_t cpu, CacheKind kind, PhysAddr pa,
-                          bool is_write);
+    /** The snooping MESI bus connecting the caches, or nullptr on an
+     *  uncoherent machine (uniprocessor without ifetchCoherence, or
+     *  cpuCoherence == None). */
+    CoherenceBus *coherenceBus() const { return cohBus.get(); }
 
     /** Install the transfer observer on CPU and DMA paths. */
     void setObserver(MemoryObserver *obs);
@@ -160,6 +155,7 @@ class Machine
     std::vector<std::unique_ptr<Tlb>> tlbs;
     std::vector<std::unique_ptr<Cache>> dataCaches;
     std::vector<std::unique_ptr<Cache>> instCaches;
+    std::unique_ptr<CoherenceBus> cohBus;
     std::unique_ptr<DmaEngine> dmaEngine;
     std::unique_ptr<Disk> diskDev;
     MemoryObserver *memObserver = nullptr;

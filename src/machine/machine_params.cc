@@ -29,6 +29,13 @@ MachineParams::check() const
         vic_fatal("clock rate must be positive");
     if (numCpus == 0)
         vic_fatal("machine needs at least one CPU");
+    if (numCpus > 1 && cpuCoherence == CpuCoherence::Mesi &&
+        dcachePolicy != WritePolicy::WriteBack)
+        vic_fatal("MESI coherence requires write-back data caches");
+    if (ifetchCoherence && numCpus > 1 &&
+        cpuCoherence == CpuCoherence::None)
+        vic_fatal("ifetch coherence needs the MESI bus on a "
+                  "multiprocessor");
 }
 
 CacheGeometry

@@ -68,13 +68,37 @@ struct MachineParams
 
     // --- multiprocessing ---
     /** Number of CPUs, each with private I/D caches. With more than
-     *  one, the data caches are kept coherent by a write-invalidate
-     *  snooping protocol (physical tags), modelling the Section 3.3
-     *  "cache-coherent multiprocessor" in which equivalent cache
-     *  pages across processors form a hardware-consistent set. */
+     *  one, the data caches are kept coherent per cpuCoherence,
+     *  modelling the Section 3.3 "cache-coherent multiprocessor" in
+     *  which equivalent cache pages across processors form a
+     *  hardware-consistent set. */
     std::uint32_t numCpus = 1;
+    /** Inter-cache CPU coherence protocol (multiprocessors only). */
+    enum class CpuCoherence : std::uint8_t
+    {
+        None, ///< caches drift — software must manage them (testing)
+        Mesi, ///< write-invalidate snooping bus with MESI line states
+    };
+    CpuCoherence cpuCoherence = CpuCoherence::Mesi;
     /** Bus cycles charged per cross-cache snoop intervention. */
     Cycles snoopPenalty = 10;
+    /** Reverse-lookup synonym coherence: each cache self-snoops its
+     *  other candidate sets at fill time so unaligned aliases cannot
+     *  hold two copies of a physical line (arXiv 2108.00444). Part of
+     *  the "no software consistency ops" hardware configuration. */
+    bool synonymCoherence = false;
+    /** Put the instruction caches on the coherence bus as read-only
+     *  ports, so stores invalidate stale instruction copies in
+     *  hardware instead of via software flush/purge pairs. */
+    bool ifetchCoherence = false;
+
+    /** True iff CPU/CPU conflicting accesses through *different*
+     *  caches are kept coherent by hardware under these parameters. */
+    bool
+    providesCpuCoherence() const
+    {
+        return numCpus < 2 || cpuCoherence == CpuCoherence::Mesi;
+    }
 
     // --- clock ---
     double clockHz = 50e6;  ///< Model 720: 50 MHz

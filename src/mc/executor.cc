@@ -747,11 +747,16 @@ Executor::stateHash()
                 const VirtAddr va =
                     slotVa(static_cast<std::uint8_t>(s), sel);
                 const PhysAddr pa = machine.frameAddr(frameOf(sel));
+                // The MESI state subsumes present/dirty (Invalid,
+                // Modified) and additionally splits Shared from
+                // Exclusive; off the bus only I/E/M occur, so the
+                // encoding stays injective with the old valid|dirty
+                // pair and uniprocessor state counts are unchanged.
                 const Cache::Probe d = machine.dcache(c).probe(va, pa);
-                mix((d.present ? 1u : 0u) | (d.dirty ? 2u : 0u));
+                mix(static_cast<std::uint64_t>(d.state));
                 mix(d.word);
                 const Cache::Probe i = machine.icache(c).probe(va, pa);
-                mix((i.present ? 1u : 0u) | (i.dirty ? 2u : 0u));
+                mix(static_cast<std::uint64_t>(i.state));
                 mix(i.word);
             }
         }

@@ -128,8 +128,9 @@ completeRun(Ctx &c, Executor &ex, const Schedule &prefix)
     c.endStates.insert(ex.stateHash());
     c.res.distinctEndStates = c.endStates.size();
 
-    for (RaceReport &r : detectRaces(ex.history(), ex.numThreads(),
-                                     c.scn.mparams.dmaSnoops)) {
+    for (RaceReport &r :
+         detectRaces(ex.history(), ex.numThreads(),
+                     CoherenceModel::of(c.scn.mparams))) {
         if (!c.raceKeys.insert(r.key()).second)
             continue;
         if (r.benign)
@@ -246,6 +247,8 @@ ScenarioResult::passed(const Expectation &expect) const
             return false;
     }
     if (expect.wantWeakWindow && weakWindowRaces == 0)
+        return false;
+    if (expect.wantBenignRace && benignRaces == 0)
         return false;
     return true;
 }
@@ -374,7 +377,7 @@ fuzzSchedules(const Scenario &scenario, const FuzzOptions &options,
 
         for (RaceReport &r :
              detectRaces(ex.history(), ex.numThreads(),
-                         scenario.mparams.dmaSnoops)) {
+                         CoherenceModel::of(scenario.mparams))) {
             if (!raceKeys.insert(r.key()).second)
                 continue;
             if (r.benign)

@@ -33,12 +33,17 @@ happensBefore(const Clock &vci, int ti, const Clock &vcj)
 std::string
 RaceReport::key() const
 {
-    return labelA + "|" + labelB + "|" + std::to_string(line);
+    // Order-insensitive: the same unordered pair surfaces with its
+    // roles swapped when both schedule orders are explored, and must
+    // dedup to one race, not two.
+    const bool ab = labelA <= labelB;
+    return (ab ? labelA : labelB) + "|" + (ab ? labelB : labelA) +
+           "|" + std::to_string(line);
 }
 
 std::vector<RaceReport>
 detectRaces(const std::vector<StepRecord> &hist, int num_threads,
-            bool snooping)
+            const CoherenceModel &coh)
 {
     const std::size_t n = static_cast<std::size_t>(num_threads);
     std::vector<Clock> clock(n, Clock(n, 0));
@@ -128,8 +133,12 @@ detectRaces(const std::vector<StepRecord> &hist, int num_threads,
                 continue;
             if (!b.fp.cpuData && !b.fp.dmaAccess)
                 continue;
-            if (!a.fp.dmaAccess && !b.fp.dmaAccess)
-                continue; // CPU/CPU: hardware-coherent across caches
+            // CPU/CPU through the same cache: the cache itself orders
+            // the pair (every access reads/writes the one live copy),
+            // coherent by construction on any machine.
+            if (!a.fp.dmaAccess && !b.fp.dmaAccess &&
+                a.fp.cpu == b.fp.cpu)
+                continue;
             const std::uint64_t line = conflictingLine(a.fp, b.fp);
             if (line == ~std::uint64_t(0))
                 continue;
@@ -141,9 +150,19 @@ detectRaces(const std::vector<StepRecord> &hist, int num_threads,
             r.labelA = a.label;
             r.labelB = b.label;
             r.line = line;
-            r.benign = snooping && (a.fp.dmaAccess != b.fp.dmaAccess);
-            // The pair loop admits only CPU/DMA and DMA/DMA pairs, so
-            // a drain on either side makes this a weak-order window.
+            if (!a.fp.dmaAccess && !b.fp.dmaAccess) {
+                // Cross-cache CPU/CPU: benign only when the machine
+                // actually runs an inter-cache coherence protocol —
+                // previously assumed unconditionally, which hid real
+                // races on non-coherent multi-cache configs.
+                r.benign = coh.cpuCoherent;
+            } else if (a.fp.dmaAccess && b.fp.dmaAccess) {
+                // DMA/DMA torn transfer: snooping is between caches
+                // and devices, it cannot order two device transfers.
+                r.benign = false;
+            } else {
+                r.benign = coh.dmaSnoops;
+            }
             r.weakWindow = a.kind == OpKind::StoreDrain ||
                            b.kind == OpKind::StoreDrain;
             out.push_back(std::move(r));

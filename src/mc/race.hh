@@ -22,11 +22,23 @@
  *  - the pmap lock: explicit pmap operations, and the pmap work done
  *    inside a faulting CPU access, serialise in schedule order.
  *
- * An unordered CPU/DMA conflict on a snooping machine is reported as
- * benign: the hardware keeps the cache and the transfer coherent, so
- * the pair is racy in time but not in value. Everything else is a
- * candidate consistency race; the explorer confirms candidates by
- * exhibiting a schedule the ConsistencyOracle rejects.
+ * Whether an unordered conflicting pair is *benign* — racy in time
+ * but not in value — depends on what the machine's hardware keeps
+ * coherent, which the caller passes in as a CoherenceModel derived
+ * from the actual MachineParams:
+ *
+ *  - CPU/CPU through the SAME cache is ordered by that cache itself
+ *    and never reported;
+ *  - CPU/CPU through DIFFERENT caches is benign iff the machine runs
+ *    an inter-cache protocol (MESI bus); on a non-coherent
+ *    multiprocessor it is a genuine consistency race;
+ *  - CPU/DMA is benign iff the DMA engine snoops the caches;
+ *  - DMA/DMA (a torn transfer) is NEVER benign: no cache protocol
+ *    orders two device transfers against each other.
+ *
+ * Everything non-benign is a candidate consistency race; the explorer
+ * confirms candidates by exhibiting a schedule the ConsistencyOracle
+ * rejects.
  */
 
 #ifndef VIC_MC_RACE_HH
@@ -35,10 +47,28 @@
 #include <string>
 #include <vector>
 
+#include "machine/machine_params.hh"
 #include "mc/event.hh"
 
 namespace vic::mc
 {
+
+/** What the machine's hardware keeps coherent — drives the benign
+ *  classification instead of a hard-coded assumption. */
+struct CoherenceModel
+{
+    /** DMA engine snoops the caches (CPU/DMA pairs value-coherent). */
+    bool dmaSnoops = false;
+    /** Cross-cache CPU/CPU pairs are kept coherent (MESI bus, or a
+     *  single cache because the machine is a uniprocessor). */
+    bool cpuCoherent = true;
+
+    static CoherenceModel
+    of(const MachineParams &mp)
+    {
+        return {mp.dmaSnoops, mp.providesCpuCoherence()};
+    }
+};
 
 /** One unordered conflicting pair, anchored at its schedule steps. */
 struct RaceReport
@@ -48,8 +78,8 @@ struct RaceReport
     std::string labelA;
     std::string labelB;
     std::uint64_t line = 0; ///< a conflicting physical line
-    bool benign = false;    ///< snooping-mode CPU/DMA pair
-    /** Weak-order window: a DMA access overlapping a store that was
+    bool benign = false;    ///< hardware-coherent pair (see above)
+    /** Weak-order window: an access overlapping a store that was
      *  issued but not yet drained — invisible under SC, where the
      *  store and its visibility are one atomic step. */
     bool weakWindow = false;
@@ -58,9 +88,10 @@ struct RaceReport
     std::string key() const;
 };
 
-/** Detect races over @p hist; @p snooping marks CPU/DMA pairs benign. */
+/** Detect races over @p hist, classifying benignity per @p coh. */
 std::vector<RaceReport> detectRaces(const std::vector<StepRecord> &hist,
-                                    int num_threads, bool snooping);
+                                    int num_threads,
+                                    const CoherenceModel &coh);
 
 } // namespace vic::mc
 

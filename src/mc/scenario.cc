@@ -182,6 +182,9 @@ snoopingVariant(const PolicyConfig &policy)
     s.expect.raceFree = true; // CPU/DMA pairs are benign when snooped
     s.expect.violationFree = true;
     s.expect.wantConfirmedRace = false;
+    // raceFree alone would also pass if the pairs simply vanished;
+    // require the benign classification to actually fire.
+    s.expect.wantBenignRace = true;
     s.expect.maxCounterexample = 0;
     return s;
 }
@@ -241,6 +244,53 @@ standardCatalog(const PolicyConfig &policy)
     out.push_back(lostWriteBackRace(policy));
     out.push_back(snoopingVariant(policy));
     return out;
+}
+
+Scenario
+crossCacheSharing(const PolicyConfig &policy)
+{
+    Scenario s = base("cross-cache-sharing", policy, /*num_cpus=*/2);
+    Thread producer;
+    producer.name = "writer0";
+    producer.cpu = 0;
+    producer.ops = {cpuOp(OpKind::CpuStore, kSlotA)};
+    Thread consumer;
+    consumer.name = "reader1";
+    consumer.cpu = 1;
+    consumer.ops = {cpuOp(OpKind::CpuLoad, kSlotA)};
+    s.threads = {producer, consumer};
+    s.expect.wantBenignRace = true;
+    return s;
+}
+
+Scenario
+nonCoherentSharing(const PolicyConfig &policy)
+{
+    Scenario s = crossCacheSharing(policy);
+    s.name = "cross-cache-noncoherent";
+    s.mparams.cpuCoherence = MachineParams::CpuCoherence::None;
+    s.expect.raceFree = false;
+    s.expect.violationFree = false;
+    s.expect.wantConfirmedRace = true;
+    s.expect.wantBenignRace = false;
+    s.expect.maxCounterexample = 2;
+    return s;
+}
+
+Scenario
+crossCacheStores(const PolicyConfig &policy)
+{
+    Scenario s = dependentPair(policy);
+    s.name = "cross-cache-stores";
+    s.expect.wantBenignRace = true;
+    return s;
+}
+
+std::vector<Scenario>
+coherenceCatalog(const PolicyConfig &policy)
+{
+    return {crossCacheSharing(policy), crossCacheStores(policy),
+            nonCoherentSharing(policy)};
 }
 
 std::vector<Scenario>

@@ -47,6 +47,11 @@ struct Expectation
     /** At least one reported race must be a weak-order window (a DMA
      *  access overlapping a still-buffered store). */
     bool wantWeakWindow = false;
+    /** At least one unordered pair must be classified benign — the
+     *  hardware-coherence claim is checked positively, not conflated
+     *  into raceFree (a scenario with NO unordered pairs at all is
+     *  race-free too, but proves nothing about the classifier). */
+    bool wantBenignRace = false;
     /** Upper bound on the minimal counterexample length (0 = none). */
     std::size_t maxCounterexample = 0;
 };
@@ -101,6 +106,32 @@ Scenario dependentPair(const PolicyConfig &policy);
 /** The scenarios verify_policy --interleave gates on: the guarded set
  *  plus the broken-ordering exemplar and the snooping variant. */
 std::vector<Scenario> standardCatalog(const PolicyConfig &policy);
+
+// --- multiprocessor coherence ------------------------------------------
+
+/** Producer/consumer across two CPUs' caches: cpu0 stores a line,
+ *  cpu1 loads it. On the default MESI machine the pair is unordered
+ *  but benign — the consumer's bus read snoops the producer's
+ *  Modified copy — so the scenario must be race- and violation-free
+ *  AND report the benign pair. */
+Scenario crossCacheSharing(const PolicyConfig &policy);
+
+/** The same program with the coherence bus deconfigured
+ *  (cpuCoherence = None): the consumer fills stale memory under the
+ *  producer's dirty copy. The pair is a genuine race and the explorer
+ *  must confirm it with a 2-event oracle counterexample. This is the
+ *  regression for the detector's old hard-coded assumption that
+ *  CPU/CPU pairs are always hardware-coherent. */
+Scenario nonCoherentSharing(const PolicyConfig &policy);
+
+/** Two same-line stores from different CPUs on the MESI machine:
+ *  write-invalidate serialises them (single-writer), so the pair is
+ *  benign and both orders converge on the last store's value. */
+Scenario crossCacheStores(const PolicyConfig &policy);
+
+/** The catalog verify_policy --coherence gates on: the cross-cache
+ *  pairs under MESI and the non-coherent regression. */
+std::vector<Scenario> coherenceCatalog(const PolicyConfig &policy);
 
 // --- weak store order --------------------------------------------------
 

@@ -57,6 +57,7 @@ scenarioResultJson(const mc::ScenarioResult &r, bool passed)
     js.set("persistentPruned", JsonValue::number(r.persistentPruned));
     js.set("races", racesJson(r.races));
     js.set("benignRaces", JsonValue::number(r.benignRaces));
+    js.set("reportedRaces", JsonValue::number(r.reportedRaces()));
     js.set("confirmedRaces", JsonValue::number(r.confirmedRaces));
     js.set("weakWindowRaces", JsonValue::number(r.weakWindowRaces));
     js.set("violatingRuns", JsonValue::number(r.violatingRuns));
@@ -84,6 +85,7 @@ fuzzResultJson(const mc::FuzzResult &r, bool passed)
     js.set("newTraces", JsonValue::number(r.newTraces));
     js.set("races", racesJson(r.races));
     js.set("benignRaces", JsonValue::number(r.benignRaces));
+    js.set("reportedRaces", JsonValue::number(r.reportedRaces()));
     js.set("weakWindowRaces", JsonValue::number(r.weakWindowRaces));
     js.set("violatingRuns", JsonValue::number(r.violatingRuns));
     if (!r.minimalCounterexampleLabels.empty()) {
@@ -141,6 +143,11 @@ readScenario(const JsonValue &js)
     if (const JsonValue *races = js.find("races");
         races != nullptr && races->kind() == JsonValue::Kind::Array)
         s.races = races->items().size();
+    s.benignRaces = u64Or(js, "benignRaces", 0);
+    s.confirmedRaces = u64Or(js, "confirmedRaces", 0);
+    // Pre-v4 writers carried the counts but not the difference.
+    s.reportedRaces =
+        u64Or(js, "reportedRaces", s.races - s.benignRaces);
     s.passed = boolOr(js, "passed", false);
 
     if (const JsonValue *fuzz = js.find("fuzz");
@@ -162,7 +169,8 @@ readMcReport(const JsonValue &report)
     McReportSummary out;
     out.schema = strOr(report, "schema", "");
     out.recognised = out.schema == kVerifyReportSchemaV2 ||
-                     out.schema == kVerifyReportSchemaV3;
+                     out.schema == kVerifyReportSchemaV3 ||
+                     out.schema == kVerifyReportSchemaV4;
     out.ok = boolOr(report, "ok", false);
 
     const JsonValue *policies = report.find("policies");

@@ -1,17 +1,21 @@
 /**
  * @file
- * Interleave/fuzz report schema: vic-verify-report-v3.
+ * Interleave/fuzz report schema: vic-verify-report-v4.
  *
  * Builders turn mc exploration and fuzzing results into the JSON
  * shape verify_policy embeds per scenario, and a reader summarises a
- * whole report back out of JSON. v3 adds three things over v2: a
- * per-scenario "memoryOrder" ("sc" / "weak"), the "weakWindow" race
- * class on each race pair plus a per-scenario counter, and an
- * optional "fuzz" object with coverage counters (samples, distinct
- * traces, traces not seen by the exhaustive pass). The reader accepts
- * both v2 and v3 documents: absent v3 fields default to the SC-mode
- * values a v2 writer would have implied, so downstream consumers can
- * diff old and new artifacts with one code path.
+ * whole report back out of JSON. v3 added over v2: a per-scenario
+ * "memoryOrder" ("sc" / "weak"), the "weakWindow" race class on each
+ * race pair plus a per-scenario counter, and an optional "fuzz"
+ * object with coverage counters (samples, distinct traces, traces not
+ * seen by the exhaustive pass). v4 adds the benign-race accounting:
+ * an explicit per-scenario "reportedRaces" (non-benign pairs — the
+ * number the pass/fail verdict is about) alongside the "benignRaces"
+ * count, so hardware-coherent pairs are visible distinctly instead of
+ * being buried inside the races array. The reader accepts v2 through
+ * v4 documents: absent fields default to the values an older writer
+ * would have implied, so downstream consumers can diff old and new
+ * artifacts with one code path.
  */
 
 #ifndef VIC_VERIFY_MC_REPORT_HH
@@ -27,9 +31,11 @@ namespace vic::verify
 {
 
 /** Schema tag verify_policy writes. */
+inline constexpr const char *kVerifyReportSchemaV4 =
+    "vic-verify-report-v4";
+/** Previous schema tags, still accepted by the reader. */
 inline constexpr const char *kVerifyReportSchemaV3 =
     "vic-verify-report-v3";
-/** Previous schema tag, still accepted by the reader. */
 inline constexpr const char *kVerifyReportSchemaV2 =
     "vic-verify-report-v2";
 
@@ -57,7 +63,12 @@ struct McScenarioSummary
     std::uint64_t canonicalTraces = 0;
     std::uint64_t violatingRuns = 0;
     std::uint64_t weakWindowRaces = 0; ///< 0 in v2 documents
-    std::size_t races = 0;
+    std::size_t races = 0;             ///< all pairs, benign included
+    std::uint64_t benignRaces = 0;
+    std::uint64_t confirmedRaces = 0;
+    /** Non-benign pairs. Pre-v4 documents lack the explicit field;
+     *  the reader falls back to races - benignRaces. */
+    std::uint64_t reportedRaces = 0;
     bool passed = false;
 
     bool hasFuzz = false; ///< a "fuzz" member was present (v3 only)
@@ -71,12 +82,12 @@ struct McScenarioSummary
 struct McReportSummary
 {
     std::string schema;
-    bool recognised = false; ///< schema is v2 or v3
+    bool recognised = false; ///< schema is v2, v3 or v4
     bool ok = false;         ///< the report's top-level verdict
     std::vector<McScenarioSummary> scenarios; ///< across all policies
 };
 
-/** Read a v2 or v3 verify report (parsed JSON document). Unknown
+/** Read a v2/v3/v4 verify report (parsed JSON document). Unknown
  *  schemas yield recognised=false with whatever fields still parse. */
 McReportSummary readMcReport(const JsonValue &report);
 

@@ -75,7 +75,9 @@ TEST(SnoopCandidateTest, FindsLineAtEveryColour)
 TEST(CoherenceBoundaryTest, InstructionCachesAreNotHardwareCoherent)
 {
     // As on the real machine: the I-caches are left to software even
-    // on a multiprocessor. coherencePrepare is a no-op for ifetches.
+    // on a multiprocessor — the MESI bus connects only the data
+    // caches unless ifetchCoherence opts the I-caches in as
+    // read-only ports.
     MachineParams mp = MachineParams::hp720();
     mp.numCpus = 2;
     Machine m(mp);

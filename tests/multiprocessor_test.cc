@@ -99,6 +99,123 @@ TEST_F(CoherenceTest, SnoopInterventionChargesBusCycles)
               machine.params().snoopPenalty);
 }
 
+// --- MESI state machine, transition by transition ---------------------
+
+TEST_F(CoherenceTest, MesiFillIsExclusiveWhenNoPeerHasTheLine)
+{
+    const PhysAddr pa = machine.frameAddr(2);
+    cpu0.load(VirtAddr(0x4000));
+    EXPECT_EQ(machine.dcache(0).probe(VirtAddr(0x4000), pa).state,
+              MesiState::Exclusive);
+    EXPECT_EQ(machine.dcache(1).probe(VirtAddr(0x4000), pa).state,
+              MesiState::Invalid);
+}
+
+TEST_F(CoherenceTest, MesiPeerFillDemotesExclusiveToShared)
+{
+    const PhysAddr pa = machine.frameAddr(2);
+    cpu0.load(VirtAddr(0x4000));
+    cpu1.load(VirtAddr(0x4000));
+    EXPECT_EQ(machine.dcache(0).probe(VirtAddr(0x4000), pa).state,
+              MesiState::Shared);
+    EXPECT_EQ(machine.dcache(1).probe(VirtAddr(0x4000), pa).state,
+              MesiState::Shared);
+}
+
+TEST_F(CoherenceTest, MesiStoreToExclusiveUpgradesSilently)
+{
+    const PhysAddr pa = machine.frameAddr(2);
+    cpu0.load(VirtAddr(0x4000));
+    const std::uint64_t upgrades = machine.stats().value("bus.upgrades");
+    cpu0.store(VirtAddr(0x4000), 5);
+    // E -> M is the silent transition: no bus transaction at all.
+    EXPECT_EQ(machine.dcache(0).probe(VirtAddr(0x4000), pa).state,
+              MesiState::Modified);
+    EXPECT_EQ(machine.stats().value("bus.upgrades"), upgrades);
+}
+
+TEST_F(CoherenceTest, MesiStoreToSharedBroadcastsAnUpgrade)
+{
+    const PhysAddr pa = machine.frameAddr(2);
+    cpu0.load(VirtAddr(0x4000));
+    cpu1.load(VirtAddr(0x4000)); // S in both
+    cpu0.store(VirtAddr(0x4000), 9);
+    EXPECT_EQ(machine.dcache(0).probe(VirtAddr(0x4000), pa).state,
+              MesiState::Modified);
+    EXPECT_EQ(machine.dcache(1).probe(VirtAddr(0x4000), pa).state,
+              MesiState::Invalid);
+    EXPECT_GE(machine.stats().value("bus.upgrades"), 1u);
+    EXPECT_GE(machine.stats().value("bus.invalidations"), 1u);
+}
+
+TEST_F(CoherenceTest, MesiSnoopDemotesModifiedToSharedWithWriteBack)
+{
+    const PhysAddr pa = machine.frameAddr(2);
+    cpu0.store(VirtAddr(0x4000), 31);
+    EXPECT_EQ(machine.dcache(0).probe(VirtAddr(0x4000), pa).state,
+              MesiState::Modified);
+    cpu1.load(VirtAddr(0x4000));
+    // The owner intervened: its line is written back and demoted, the
+    // requester fills Shared, and memory holds the store.
+    EXPECT_EQ(machine.dcache(0).probe(VirtAddr(0x4000), pa).state,
+              MesiState::Shared);
+    EXPECT_EQ(machine.dcache(1).probe(VirtAddr(0x4000), pa).state,
+              MesiState::Shared);
+    EXPECT_EQ(machine.memory().readWord(pa), 31u);
+    EXPECT_GE(machine.stats().value("bus.interventions"), 1u);
+}
+
+TEST_F(CoherenceTest, MesiReadExclusiveInvalidatesTheOwner)
+{
+    const PhysAddr pa = machine.frameAddr(2);
+    cpu0.store(VirtAddr(0x4000), 1); // M in cache0
+    cpu1.store(VirtAddr(0x4000), 2); // miss-for-write: busReadExclusive
+    EXPECT_EQ(machine.dcache(0).probe(VirtAddr(0x4000), pa).state,
+              MesiState::Invalid);
+    EXPECT_EQ(machine.dcache(1).probe(VirtAddr(0x4000), pa).state,
+              MesiState::Modified);
+    // cpu0's value reached memory before cpu1's line took ownership.
+    EXPECT_EQ(machine.memory().readWord(pa), 1u);
+}
+
+TEST_F(CoherenceTest, MesiOwnershipImpliesAllPeersInvalid)
+{
+    // Invariant sweep over a ping-pong history: whenever one cache
+    // holds a line M or E, the other must hold it Invalid.
+    for (std::uint32_t i = 0; i < 12; ++i) {
+        Cpu &writer = i % 2 ? cpu1 : cpu0;
+        writer.store(VirtAddr(0x4000), i);
+        const PhysAddr pa = machine.frameAddr(2);
+        const MesiState s0 =
+            machine.dcache(0).probe(VirtAddr(0x4000), pa).state;
+        const MesiState s1 =
+            machine.dcache(1).probe(VirtAddr(0x4000), pa).state;
+        if (s0 == MesiState::Modified || s0 == MesiState::Exclusive) {
+            EXPECT_EQ(s1, MesiState::Invalid) << i;
+        }
+        if (s1 == MesiState::Modified || s1 == MesiState::Exclusive) {
+            EXPECT_EQ(s0, MesiState::Invalid) << i;
+        }
+    }
+}
+
+TEST_F(CoherenceTest, NonCoherentConfigReadsStaleMemory)
+{
+    // The same machine without the bus: the peer fill bypasses the
+    // dirty copy — the failure mode the MESI configs exist to prevent
+    // (and the one the race detector must keep reporting).
+    MachineParams p = mpParams(2);
+    p.cpuCoherence = MachineParams::CpuCoherence::None;
+    Machine bare(p);
+    bare.pageTable().enter(SpaceVa(1, VirtAddr(0x4000)), 2,
+                           Protection::all());
+    Cpu c0(bare, 0), c1(bare, 1);
+    c0.setSpace(1);
+    c1.setSpace(1);
+    c0.store(VirtAddr(0x4000), 77);
+    EXPECT_NE(c1.load(VirtAddr(0x4000)), 77u); // stale fill
+}
+
 TEST_F(CoherenceTest, TlbsArePerCpu)
 {
     cpu0.load(VirtAddr(0x4000));

@@ -29,6 +29,13 @@
  *                 the broken-ordering exemplars must yield an
  *                 oracle-confirmed race with a minimal replayable
  *                 schedule
+ *   --coherence   run the multiprocessor coherence catalog for
+ *                 --interleave instead of the standard one: the
+ *                 cross-cache sharing pairs must be race-free with a
+ *                 positively reported benign pair on the MESI
+ *                 machine, and the non-coherent regression must yield
+ *                 an oracle-confirmed race (the detector's old
+ *                 hard-coded CPU/CPU skip would miss it)
  *   --memory-order sc|weak
  *                 store-visibility model for --interleave: "sc"
  *                 (default) runs the standard catalog; "weak" runs
@@ -47,7 +54,7 @@
  *   --jobs N      worker threads for --interleave (results identical
  *                 for any N)
  *   --json FILE   machine-readable report of everything run
- *                 (schema vic-verify-report-v3)
+ *                 (schema vic-verify-report-v4)
  *
  * Exit status 0 iff every expectation holds, so CI can gate on it.
  * Unknown flags exit 2.
@@ -377,8 +384,8 @@ fuzzPassed(const vic::mc::FuzzResult &f,
 bool
 checkInterleave(const PolicyConfig &policy, std::uint64_t budget,
                 unsigned jobs, vic::mc::MemoryOrder order,
-                std::uint64_t fuzz_samples, std::uint64_t fuzz_seed,
-                JsonValue &out)
+                bool coherence, std::uint64_t fuzz_samples,
+                std::uint64_t fuzz_seed, JsonValue &out)
 {
     namespace mc = vic::mc;
 
@@ -396,7 +403,8 @@ checkInterleave(const PolicyConfig &policy, std::uint64_t budget,
     mc::ExploreOptions opt;
     opt.budget = budget;
     const std::vector<mc::Scenario> catalog =
-        order == mc::MemoryOrder::WeakStoreOrder
+        coherence ? mc::coherenceCatalog(policy)
+        : order == mc::MemoryOrder::WeakStoreOrder
             ? mc::weakCatalog(policy)
             : mc::standardCatalog(policy);
     const std::vector<mc::ScenarioResult> results =
@@ -494,6 +502,8 @@ checkInterleave(const PolicyConfig &policy, std::uint64_t budget,
     out.set("budget", JsonValue::number(budget));
     out.set("memoryOrder",
             JsonValue::str(mc::memoryOrderName(order)));
+    if (coherence)
+        out.set("coherenceCatalog", JsonValue::boolean(true));
     if (fuzz_samples > 0) {
         out.set("fuzzSamples", JsonValue::number(fuzz_samples));
         out.set("fuzzSeed", JsonValue::number(fuzz_seed));
@@ -593,7 +603,8 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--policy NAME] [--cost] [--necessity]\n"
-                 "       [--interleave] [--memory-order sc|weak]\n"
+                 "       [--interleave] [--coherence] "
+                 "[--memory-order sc|weak]\n"
                  "       [--fuzz N] [--fuzz-seed S] [--budget N] "
                  "[--jobs N]\n"
                  "       [--diff-policy A B] [--json FILE] "
@@ -611,6 +622,7 @@ main(int argc, char **argv)
     bool do_cost = false;
     bool do_necessity = false;
     bool do_interleave = false;
+    bool coherence = false;
     std::uint64_t budget = 20000;
     vic::mc::MemoryOrder order = vic::mc::MemoryOrder::SC;
     std::uint64_t fuzz_samples = 0;
@@ -630,6 +642,8 @@ main(int argc, char **argv)
             do_necessity = true;
         } else if (arg == "--interleave") {
             do_interleave = true;
+        } else if (arg == "--coherence") {
+            coherence = true;
         } else if (arg == "--memory-order") {
             if (i + 1 >= argc) {
                 std::fprintf(stderr,
@@ -737,7 +751,7 @@ main(int argc, char **argv)
 
     JsonValue report = JsonValue::object();
     report.set("schema",
-               JsonValue::str(verify::kVerifyReportSchemaV3));
+               JsonValue::str(verify::kVerifyReportSchemaV4));
     report.set("machine", JsonValue::str("hp720"));
     JsonValue policies = JsonValue::array();
 
@@ -760,7 +774,7 @@ main(int argc, char **argv)
         }
         if (do_interleave) {
             JsonValue ji = JsonValue::object();
-            ok &= checkInterleave(p, budget, jobs, order,
+            ok &= checkInterleave(p, budget, jobs, order, coherence,
                                   fuzz_samples, fuzz_seed, ji);
             jp.set("interleave", std::move(ji));
         }
