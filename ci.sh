@@ -44,14 +44,14 @@
 #      (BENCH_throughput.json) as the perf baseline for later
 #      commits to regress against;
 #   8. thread sanitizer: the threaded fan-outs (experiment engine
-#      tests + the smoke sweep + the model checker's exploreMany)
-#      rebuilt and rerun under TSan;
-#   9. determinism lint: no wall-clock, entropy source, or std
-#      random engine may appear in simulation code (the fuzzer's
-#      SplitMix64/xoshiro streams are the only sanctioned RNG), the
-#      model checker (src/mc) may not iterate unordered containers,
-#      and src/common sim-visible headers may not declare them
-#      (tools/lint_determinism.sh) — gating;
+#      tests + the smoke sweep + the model checker's exploreMany +
+#      the CoherenceBus head-to-head paths) rebuilt and rerun under
+#      TSan;
+#   9. static analysis: tools/vic_lint runs all five invariant
+#      passes (determinism, DMA drain-pairing, spec-table
+#      completeness, counter registration, layering — see
+#      docs/STATIC_ANALYSIS.md) over the tree, gating on zero
+#      diagnostics, and archives LINT_report.json;
 #  10. style lint: clang-format / clang-tidy, gating when installed
 #      and skipped with a notice otherwise (they are configs-first:
 #      the repo must stay clean under gcc -Werror regardless).
@@ -137,21 +137,30 @@ if [[ "$FULL" == 1 ]]; then
     echo "artifact archived: BENCH_table1_full.json"
 fi
 
-step "thread sanitizer build (experiment engine + model checker)"
+step "thread sanitizer build (experiment engine + model checker + coherence)"
 cmake -B build-tsan -S . -DVIC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
-    --target experiment_engine_test vic_bench mc_test weak_order_test
+    --target experiment_engine_test vic_bench mc_test weak_order_test \
+             multiprocessor_test
 
-step "thread sanitizer: engine tests + smoke sweep + explorer"
+step "thread sanitizer: engine tests + smoke sweep + explorer + coherence"
 ./build-tsan/tests/experiment_engine_test
 ./build-tsan/tools/vic_bench --smoke --jobs 4 --json /dev/null \
     >/dev/null
 ./build-tsan/tests/mc_test >/dev/null
 ./build-tsan/tests/weak_order_test >/dev/null
+# The CoherenceBus paths from the multi-CPU PR, driven two ways: the
+# MESI/kernel suites directly, and the engine fanning multi-CPU
+# sweeps across worker threads.
+./build-tsan/tests/multiprocessor_test >/dev/null
+./build-tsan/tools/vic_bench --smoke --filter coherence --jobs 4 \
+    --json /dev/null >/dev/null
 echo "TSan: clean"
 
-step "determinism lint"
-tools/lint_determinism.sh
+step "static analysis (vic_lint, all passes)"
+cmake --build build -j "$JOBS" --target vic_lint >/dev/null
+./build/tools/vic_lint --root . --json LINT_report.json
+echo "artifact archived: LINT_report.json"
 
 step "style lint"
 if command -v clang-format >/dev/null 2>&1; then

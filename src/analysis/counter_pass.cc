@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Pass 4: counter registration discipline.
+ *
+ * Every statistic flows into the JSON artifacts that ci.sh diffs for
+ * bit-reproducibility, and into the bench baselines the perf work
+ * compares across commits. That puts three constraints on
+ * StatSet::counter() call sites:
+ *
+ *  - NAMES are machine keys, not prose: lower-case dotted snake_case
+ *    ([a-z0-9_.]) so artifact diffing, plotting scripts and the
+ *    bench comparator never have to quote or normalise. Dynamic name
+ *    pieces (format("pmap.%s.%s", ...) reason counters, the
+ *    cacheName + ".reads" per-CPU prefixes) are checked on their
+ *    literal fragments.
+ *  - NO DUPLICATES: two distinct sites registering the same literal
+ *    name silently share one counter (StatSet::counter is
+ *    find-or-create), merging unrelated subsystems' numbers into one
+ *    artifact row.
+ *  - BUS COUNTERS STAY LAZY: "bus.*" rows may only be registered by
+ *    the CoherenceBus constructor (src/cache/coherence.cc), which
+ *    only runs when a machine actually has >1 CPU. An eager
+ *    registration anywhere else would add zero-valued bus.* rows to
+ *    every single-CPU artifact and break bit-identity with the
+ *    pre-coherence baselines.
+ */
+
+#include <map>
+
+#include "analysis/cpp_scan.hh"
+#include "analysis/pass.hh"
+
+#include "common/logging.hh"
+
+namespace vic::analysis
+{
+namespace
+{
+
+/** One parsed StatSet::counter() call site. */
+struct CounterSite
+{
+    std::string file;
+    std::uint32_t line = 0;
+    std::uint32_t col = 0;
+    std::vector<std::string> literals;  ///< string-literal pieces
+    bool fully_literal = false;  ///< single plain string argument
+    bool via_format = false;     ///< name built by format(...)
+};
+
+/** Strip quotes from a String token's text. */
+std::string
+unquote(const std::string &s)
+{
+    if (s.size() >= 2 && s.front() == '"' && s.back() == '"')
+        return s.substr(1, s.size() - 2);
+    return s;
+}
+
+/** Remove %-conversions from a format string, leaving literals. */
+std::string
+stripConversions(const std::string &s)
+{
+    std::string out;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        if (s[i] == '%' && i + 1 < s.size()) {
+            ++i;  // skip '%'
+            // Skip flags/width/length then one conversion char.
+            while (i < s.size() &&
+                   (s[i] == 'l' || s[i] == 'h' || s[i] == 'z' ||
+                    (s[i] >= '0' && s[i] <= '9')))
+                ++i;
+            if (i < s.size())
+                ++i;
+            continue;
+        }
+        out += s[i++];
+    }
+    return out;
+}
+
+bool
+isValidNamePiece(const std::string &s)
+{
+    for (char c : s) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= '0' && c <= '9') || c == '_' ||
+                        c == '.';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+class CounterPass : public Pass
+{
+  public:
+    const char *name() const override { return "counter"; }
+
+    const char *summary() const override
+    {
+        return "statistic names are dotted snake_case, registered "
+               "once, and bus.* counters only register lazily in "
+               "the CoherenceBus";
+    }
+
+    std::vector<RuleInfo> rules() const override
+    {
+        return {
+            {"counter-name",
+             "counter name (or literal fragment of a dynamic name) "
+             "is not lower-case dotted snake_case [a-z0-9_.]"},
+            {"counter-duplicate",
+             "the same literal counter name is registered by two "
+             "distinct call sites — StatSet::counter is "
+             "find-or-create, so they silently share one row"},
+            {"counter-bus-eager",
+             "a bus.* counter registered outside "
+             "src/cache/coherence.cc — bus rows must only exist "
+             "when a CoherenceBus does, or single-CPU artifacts "
+             "lose bit-identity"},
+        };
+    }
+
+    void run(const PassContext &ctx, Sink &sink) const override
+    {
+        std::vector<CounterSite> sites;
+        for (const SourceFile &f : ctx.files) {
+            if (f.path.rfind("src/", 0) != 0)
+                continue;
+            collectSites(f, sites);
+        }
+
+        for (const CounterSite &s : sites) {
+            for (const std::string &piece : s.literals) {
+                const std::string lit =
+                    s.via_format ? stripConversions(piece) : piece;
+                if (!isValidNamePiece(lit)) {
+                    sink.report(
+                        "counter-name", s.file, s.line, s.col,
+                        format("counter name piece \"%s\" is not "
+                               "dotted snake_case [a-z0-9_.]",
+                               piece.c_str()));
+                }
+            }
+            if (!s.literals.empty() &&
+                s.literals.front().rfind("bus.", 0) == 0 &&
+                s.file != "src/cache/coherence.cc") {
+                sink.report(
+                    "counter-bus-eager", s.file, s.line, s.col,
+                    format("\"%s\" registers a bus counter outside "
+                           "the CoherenceBus constructor",
+                           s.literals.front().c_str()));
+            }
+        }
+
+        // Duplicate fully-literal names across distinct sites.
+        std::map<std::string, const CounterSite *> first;
+        for (const CounterSite &s : sites) {
+            if (!s.fully_literal)
+                continue;
+            const std::string &name = s.literals.front();
+            const auto [it, fresh] = first.emplace(name, &s);
+            if (!fresh) {
+                sink.report(
+                    "counter-duplicate", s.file, s.line, s.col,
+                    format("counter \"%s\" already registered at "
+                           "%s:%u — the two sites silently share "
+                           "one row",
+                           name.c_str(), it->second->file.c_str(),
+                           it->second->line));
+            }
+        }
+    }
+
+  private:
+    /** Find `.counter(...)` method calls and parse the argument. */
+    void collectSites(const SourceFile &f,
+                      std::vector<CounterSite> &out) const
+    {
+        const std::vector<Token> &toks = f.tokens;
+        for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+            if (!isIdent(toks, i, "counter") ||
+                !isPunct(toks, i - 1, ".") ||
+                !isPunct(toks, skipComments(toks, i + 1), "("))
+                continue;
+            const std::size_t open = skipComments(toks, i + 1);
+            const std::size_t close = matchForward(toks, open);
+            if (close <= open)
+                continue;
+
+            CounterSite s;
+            s.file = f.path;
+            s.line = toks[i].line;
+            s.col = toks[i].col;
+            std::size_t nontrivial = 0;
+            for (std::size_t j = open + 1; j < close; ++j) {
+                const Token &t = toks[j];
+                if (t.kind == TokKind::Comment)
+                    continue;
+                if (t.kind == TokKind::String) {
+                    s.literals.push_back(unquote(t.text));
+                } else if (isIdent(toks, j, "format")) {
+                    s.via_format = true;
+                }
+                ++nontrivial;
+            }
+            s.fully_literal =
+                nontrivial == 1 && s.literals.size() == 1;
+            out.push_back(std::move(s));
+        }
+    }
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Pass>
+makeCounterPass()
+{
+    return std::make_unique<CounterPass>();
+}
+
+} // namespace vic::analysis

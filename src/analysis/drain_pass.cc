@@ -1,0 +1,430 @@
+/**
+ * @file
+ * Pass 2: drain-pairing — the static twin of the interleaving model
+ * checker's flush-after-start and lost-write-back findings.
+ *
+ * Every asynchronous DMA start (DmaEngine::startWrite/startRead,
+ * Disk::writeBlockAsync/readBlockAsync) opens a window in which
+ * device beats race CPU accesses to the frame. The kernel's
+ * choreography closes that window by draining (Machine::drainDma,
+ * DmaEngine::drainAll, or a `while (stepTransfer/stepBeat(...))`
+ * loop) before the function returns. This pass proves the pairing
+ * structurally: a lightweight brace-matched CFG over every function
+ * body in src/os, src/mc and src/dma checks that each start is
+ * followed by a drain on ALL paths to function exit.
+ *
+ * The CFG is deliberately conservative and simple:
+ *  - if/else: a drain guarantees only if every branch drains (an
+ *    if without else never does);
+ *  - loops: a drain in the CONDITION counts (it is evaluated at
+ *    least once — the `while (stepTransfer(id)) {}` idiom); a drain
+ *    only in the body does not (zero iterations), and starts made
+ *    inside the body stay pending after it;
+ *  - switch bodies are analysed as a linear sequence (fallthrough
+ *    view) — exact per-case joins are not needed by this tree;
+ *  - return with a pending start is a violation; vic_panic/vic_fatal/
+ *    throw/abort terminate the path and forgive pending starts;
+ *  - lambda bodies are skipped entirely (neither their starts nor
+ *    their drains are attributed to the enclosing function).
+ *
+ * Functions whose NAME ends in "Async", or is itself one of the
+ * start/drain primitives, are exempt: returning the DmaTransferId is
+ * their contract — the drain obligation transfers to the caller.
+ * Call sites that hand the obligation to a scheduler (the model
+ * checker's executor forks a beat thread per transfer) carry a
+ * documented `// vic-lint: allow(drain-unpaired): ...` suppression.
+ */
+
+#include <algorithm>
+
+#include "analysis/cpp_scan.hh"
+#include "analysis/pass.hh"
+
+#include "common/logging.hh"
+
+namespace vic::analysis
+{
+namespace
+{
+
+const char *const kStartCalls[] = {"startWrite", "startRead",
+                                   "writeBlockAsync", "readBlockAsync"};
+const char *const kDrainCalls[] = {"drainDma", "drainAll",
+                                   "stepTransfer", "stepBeat"};
+const char *const kAbortCalls[] = {"vic_panic", "vic_fatal", "abort",
+                                   "exit", "throw"};
+
+bool
+inList(const std::string &s, const char *const *list, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        if (s == list[i])
+            return true;
+    }
+    return false;
+}
+
+/** A DMA start a path has not yet drained. */
+struct StartSite
+{
+    std::string callee;
+    std::uint32_t line = 0;
+    std::uint32_t col = 0;
+
+    bool operator==(const StartSite &o) const
+    {
+        return line == o.line && col == o.col;
+    }
+};
+
+struct Flow
+{
+    /** Every remaining path ended in return/abort (nothing falls
+     *  through). */
+    bool terminated = false;
+    std::vector<StartSite> pending;
+};
+
+void
+merge(std::vector<StartSite> &into, const std::vector<StartSite> &from)
+{
+    for (const StartSite &s : from) {
+        if (std::find(into.begin(), into.end(), s) == into.end())
+            into.push_back(s);
+    }
+}
+
+class Analyzer
+{
+  public:
+    Analyzer(const SourceFile &file, bool exempt_fn, Sink &sink)
+        : f(file), toks(file.tokens), exempt(exempt_fn), out(sink)
+    {}
+
+    /** Analyse the body range (open/close at the braces); report any
+     *  start pending at an exit. */
+    void runBody(std::size_t open, std::size_t close)
+    {
+        Flow in;
+        Flow end = seq(open + 1, close, in);
+        reportPending(end, toks[close].line);
+    }
+
+  private:
+    const SourceFile &f;
+    const std::vector<Token> &toks;
+    bool exempt;
+    Sink &out;
+
+    void reportPending(const Flow &flow, std::uint32_t exit_line)
+    {
+        if (flow.terminated)
+            return;
+        for (const StartSite &s : flow.pending) {
+            out.report("drain-unpaired", f.path, s.line, s.col,
+                       format("DMA start '%s' reaches function exit "
+                              "(line %u) without a drain on every "
+                              "path",
+                              s.callee.c_str(), exit_line));
+        }
+    }
+
+    /** Scan the token range of a condition/header: drains clear all
+     *  pending (the header is always evaluated), starts add. */
+    void header(std::size_t begin, std::size_t end, Flow &flow)
+    {
+        for (std::size_t i = begin; i < end; ++i) {
+            if (toks[i].kind != TokKind::Ident)
+                continue;
+            if (!isPunct(toks, skipComments(toks, i + 1), "("))
+                continue;
+            if (!exempt && inList(toks[i].text, kStartCalls, 4))
+                flow.pending.push_back(
+                    {toks[i].text, toks[i].line, toks[i].col});
+            else if (inList(toks[i].text, kDrainCalls, 4))
+                flow.pending.clear();
+        }
+    }
+
+    /** Analyse one statement starting at @p i (which must be a code
+     *  token); returns the flow and sets @p next past it. */
+    Flow statement(std::size_t i, std::size_t limit, Flow in,
+                   std::size_t &next)
+    {
+        i = skipComments(toks, i);
+        if (i >= limit) {
+            next = limit;
+            return in;
+        }
+
+        if (isPunct(toks, i, "{")) {
+            const std::size_t close = matchForward(toks, i);
+            next = std::min(close + 1, limit);
+            return seq(i + 1, std::min(close, limit), in);
+        }
+
+        if (isIdent(toks, i, "if"))
+            return ifStatement(i, limit, in, next);
+        if (isIdent(toks, i, "while") || isIdent(toks, i, "for"))
+            return loopStatement(i, limit, in, next);
+        if (isIdent(toks, i, "do"))
+            return doStatement(i, limit, in, next);
+        if (isIdent(toks, i, "switch"))
+            return switchStatement(i, limit, in, next);
+        if (isIdent(toks, i, "return")) {
+            reportPending(in, toks[i].line);
+            next = skipToSemicolon(i, limit);
+            Flow outf;
+            outf.terminated = true;
+            return outf;
+        }
+
+        // Plain statement: scan to ';' at this nesting level,
+        // tracking starts/drains/aborts. Lambda bodies are skipped.
+        bool aborted = false;
+        std::size_t j = i;
+        while (j < limit) {
+            const Token &t = toks[j];
+            if (t.kind == TokKind::Punct && t.text == ";")
+                break;
+            if (t.kind == TokKind::Punct &&
+                (t.text == "{" || t.text == "[")) {
+                j = std::min(matchForward(toks, j) + 1, limit);
+                continue;
+            }
+            if (t.kind == TokKind::Ident) {
+                if (isPunct(toks, skipComments(toks, j + 1), "(")) {
+                    if (!exempt && inList(t.text, kStartCalls, 4))
+                        in.pending.push_back(
+                            {t.text, t.line, t.col});
+                    else if (inList(t.text, kDrainCalls, 4))
+                        in.pending.clear();
+                    else if (inList(t.text, kAbortCalls, 5))
+                        aborted = true;
+                } else if (t.text == "throw") {
+                    aborted = true;
+                }
+            }
+            ++j;
+        }
+        next = std::min(j + 1, limit);
+        if (aborted) {
+            Flow outf;
+            outf.terminated = true;
+            return outf;
+        }
+        return in;
+    }
+
+    Flow ifStatement(std::size_t i, std::size_t limit, Flow in,
+                     std::size_t &next)
+    {
+        const std::size_t cond_open = skipComments(toks, i + 1);
+        const std::size_t cond_close = matchForward(toks, cond_open);
+        header(cond_open + 1, std::min(cond_close, limit), in);
+
+        std::size_t after_then = limit;
+        Flow then_f = statement(cond_close + 1, limit, in, after_then);
+
+        std::size_t e = skipComments(toks, after_then);
+        if (isIdent(toks, e, "else")) {
+            std::size_t after_else = limit;
+            Flow else_f =
+                statement(skipComments(toks, e + 1), limit, in,
+                          after_else);
+            next = after_else;
+            Flow outf;
+            outf.terminated = then_f.terminated && else_f.terminated;
+            if (!then_f.terminated)
+                merge(outf.pending, then_f.pending);
+            if (!else_f.terminated)
+                merge(outf.pending, else_f.pending);
+            return outf;
+        }
+
+        next = after_then;
+        Flow outf;
+        outf.pending = in.pending;  // the branch-not-taken path
+        if (!then_f.terminated)
+            merge(outf.pending, then_f.pending);
+        return outf;
+    }
+
+    Flow loopStatement(std::size_t i, std::size_t limit, Flow in,
+                       std::size_t &next)
+    {
+        const std::size_t cond_open = skipComments(toks, i + 1);
+        const std::size_t cond_close = matchForward(toks, cond_open);
+        header(cond_open + 1, std::min(cond_close, limit), in);
+
+        std::size_t after_body = limit;
+        Flow body_f =
+            statement(cond_close + 1, limit, in, after_body);
+        next = after_body;
+
+        // Zero-iteration path: drains inside the body do not clear
+        // incoming starts; starts inside the body stay pending.
+        Flow outf;
+        outf.pending = in.pending;
+        if (!body_f.terminated)
+            merge(outf.pending, body_f.pending);
+        return outf;
+    }
+
+    Flow doStatement(std::size_t i, std::size_t limit, Flow in,
+                     std::size_t &next)
+    {
+        std::size_t after_body = limit;
+        Flow body_f = statement(skipComments(toks, i + 1), limit, in,
+                                after_body);
+        std::size_t w = skipComments(toks, after_body);
+        Flow outf = body_f.terminated ? Flow{} : body_f;
+        if (isIdent(toks, w, "while")) {
+            const std::size_t cond_open = skipComments(toks, w + 1);
+            const std::size_t cond_close =
+                matchForward(toks, cond_open);
+            header(cond_open + 1, std::min(cond_close, limit), outf);
+            next = skipToSemicolon(cond_close, limit);
+        } else {
+            next = w;
+        }
+        outf.terminated = false;  // do-while always falls through
+        return outf;
+    }
+
+    Flow switchStatement(std::size_t i, std::size_t limit, Flow in,
+                         std::size_t &next)
+    {
+        const std::size_t cond_open = skipComments(toks, i + 1);
+        const std::size_t cond_close = matchForward(toks, cond_open);
+        header(cond_open + 1, std::min(cond_close, limit), in);
+
+        std::size_t after_body = limit;
+        // Linear (fallthrough) view of the case bodies.
+        Flow body_f =
+            statement(cond_close + 1, limit, in, after_body);
+        next = after_body;
+
+        Flow outf;
+        outf.pending = in.pending;  // no case may match
+        if (!body_f.terminated)
+            merge(outf.pending, body_f.pending);
+        return outf;
+    }
+
+    /** Statement sequence in [begin, end). */
+    Flow seq(std::size_t begin, std::size_t end, Flow in)
+    {
+        std::size_t i = skipComments(toks, begin);
+        Flow flow = in;
+        while (i < end) {
+            // Labels are transparent: "case X :", "default :",
+            // "break ;", "continue ;".
+            if (isIdent(toks, i, "case")) {
+                while (i < end && !isPunct(toks, i, ":"))
+                    ++i;
+                i = skipComments(toks, i + 1);
+                continue;
+            }
+            if (isIdent(toks, i, "default") || isIdent(toks, i, "break") ||
+                isIdent(toks, i, "continue")) {
+                while (i < end && !isPunct(toks, i, ";") &&
+                       !isPunct(toks, i, ":"))
+                    ++i;
+                i = skipComments(toks, i + 1);
+                continue;
+            }
+            std::size_t nxt = end;
+            Flow sf = statement(i, end, flow, nxt);
+            if (sf.terminated) {
+                // Everything after this statement in the sequence is
+                // unreachable from it; a later `case` label can still
+                // enter, so keep scanning with an empty pending set.
+                Flow fresh;
+                flow = fresh;
+            } else {
+                flow = sf;
+            }
+            if (nxt <= i)
+                nxt = i + 1;  // safety against degenerate parses
+            i = skipComments(toks, nxt);
+        }
+        return flow;
+    }
+
+    std::size_t skipToSemicolon(std::size_t i, std::size_t limit)
+    {
+        std::size_t j = i;
+        while (j < limit && !isPunct(toks, j, ";")) {
+            if (isPunct(toks, j, "(") || isPunct(toks, j, "{") ||
+                isPunct(toks, j, "[")) {
+                j = matchForward(toks, j) + 1;
+                continue;
+            }
+            ++j;
+        }
+        return std::min(j + 1, limit);
+    }
+};
+
+bool
+startsWith(const std::string &s, const char *prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+bool
+endsWith(const std::string &s, const char *suffix)
+{
+    const std::size_t n = std::string(suffix).size();
+    return s.size() >= n &&
+           s.compare(s.size() - n, n, suffix) == 0;
+}
+
+class DrainPass : public Pass
+{
+  public:
+    const char *name() const override { return "drain"; }
+
+    const char *summary() const override
+    {
+        return "every asynchronous DMA start in src/os, src/mc and "
+               "src/dma is drained on all paths before function exit";
+    }
+
+    std::vector<RuleInfo> rules() const override
+    {
+        return {
+            {"drain-unpaired",
+             "DMA start (startWrite/startRead/writeBlockAsync/"
+             "readBlockAsync) can reach function exit without "
+             "drainDma/drainAll/stepTransfer/stepBeat on every path"},
+        };
+    }
+
+    void run(const PassContext &ctx, Sink &sink) const override
+    {
+        for (const SourceFile &f : ctx.files) {
+            if (!startsWith(f.path, "src/os/") &&
+                !startsWith(f.path, "src/mc/") &&
+                !startsWith(f.path, "src/dma/"))
+                continue;
+            for (const FnBody &fn : findFunctions(f.tokens)) {
+                const bool ex = endsWith(fn.name, "Async") ||
+                                inList(fn.name, kStartCalls, 4) ||
+                                inList(fn.name, kDrainCalls, 4);
+                Analyzer(f, ex, sink).runBody(fn.open, fn.close);
+            }
+        }
+    }
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Pass>
+makeDrainPass()
+{
+    return std::make_unique<DrainPass>();
+}
+
+} // namespace vic::analysis

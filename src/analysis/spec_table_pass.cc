@@ -1,0 +1,1090 @@
+/**
+ * @file
+ * Pass 3: spec-table completeness and cross-checking.
+ *
+ * The consistency protocol lives in three switch-shaped tables:
+ *
+ *  - Table 2 (core/cache_page_state.cc): targetTransition /
+ *    otherTransition over (CachePageState x MemOp);
+ *  - the MESI tables (cache/mesi_spec.cc): local and snoop
+ *    transitions over (MesiState x event);
+ *  - the A-F configuration ladder (core/policy_config.cc): each
+ *    Table 4 config derives from its predecessor by setting the one
+ *    flag the paper adds.
+ *
+ * The pass parses the switches straight out of the source and checks:
+ *
+ *  - COVERAGE: every (state, event) pair has an entry — a deleted or
+ *    forgotten case is a compile-silent protocol hole (the outer
+ *    switch falls through to vic_panic at runtime, on whatever input
+ *    first hits it);
+ *  - REACHABILITY: every state is reachable from the power-up state,
+ *    so no table row is dead specification;
+ *  - INTERNAL CONSISTENCY: an entry that requires a purge/flush must
+ *    agree with applying the op first (the line is Empty afterwards)
+ *    and then the event — exactly the inconsistency class of the
+ *    Dirty+DmaRead -> {Present, Flush} bug hand-fixed in the cost-
+ *    model work, which claimed a present line that the machine's
+ *    flush-invalidates semantics had just emptied, costing a
+ *    provably redundant purge downstream. For MESI: write-backs only
+ *    from Modified, invalidations end Invalid, writes end Modified,
+ *    bus fills only from Invalid;
+ *  - CROSS-CHECK, bit for bit: the parsed entries must equal the
+ *    compiled functions AND the abstract SpecExecutor's behaviour
+ *    (the executable specification src/verify's model refines), so
+ *    the parse can never silently drift from what the verifier
+ *    actually proves. The ladder is cross-checked field by field
+ *    against the linked PolicyConfig factories.
+ */
+
+#include <array>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "analysis/cpp_scan.hh"
+#include "analysis/pass.hh"
+
+#include "cache/mesi_spec.hh"
+#include "common/logging.hh"
+#include "core/cache_page_state.hh"
+#include "core/policy_config.hh"
+#include "core/spec_executor.hh"
+
+namespace vic::analysis
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Generic nested-switch table parser
+// ---------------------------------------------------------------------
+
+/** One parsed `return {...};` entry. Elements are the braced
+ *  initialiser's members reduced to their last identifier ("Present",
+ *  "Purge", "true", "current"); the special element "@delegate" marks
+ *  a `return targetTransition(current, op);` forward. */
+struct ParsedEntry
+{
+    bool present = false;
+    std::vector<std::string> elems;
+    std::uint32_t line = 0;
+};
+
+/** Parsed (outer-case, inner-case) -> entry table of one function. */
+using ParsedTable = std::map<std::pair<std::string, std::string>,
+                             ParsedEntry>;
+
+/** Reduce a qualified-name token run starting at @p i to its last
+ *  identifier; advances @p i past it. */
+std::string
+lastIdentOfQualified(const std::vector<Token> &toks, std::size_t &i,
+                     std::size_t limit)
+{
+    std::string last;
+    while (i < limit) {
+        if (toks[i].kind == TokKind::Ident)
+            last = toks[i].text;
+        else if (!isPunct(toks, i, "::"))
+            break;
+        ++i;
+    }
+    return last;
+}
+
+/** Parse the return expression at @p i (just past `return`). */
+ParsedEntry
+parseReturnExpr(const std::vector<Token> &toks, std::size_t &i,
+                std::size_t limit, std::uint32_t line)
+{
+    ParsedEntry e;
+    e.present = true;
+    e.line = line;
+    i = skipComments(toks, i);
+    if (isPunct(toks, i, "{")) {
+        const std::size_t close = matchForward(toks, i);
+        std::size_t j = i + 1;
+        std::string cur_last;
+        bool cur_any = false;
+        while (j < close) {
+            j = skipComments(toks, j);
+            if (j >= close)
+                break;
+            if (isPunct(toks, j, ",")) {
+                e.elems.push_back(cur_last);
+                cur_last.clear();
+                cur_any = false;
+                ++j;
+                continue;
+            }
+            if (toks[j].kind == TokKind::Ident) {
+                cur_last = toks[j].text;
+                cur_any = true;
+            }
+            ++j;
+        }
+        if (cur_any)
+            e.elems.push_back(cur_last);
+        i = close + 1;
+    } else if (i < limit && toks[i].kind == TokKind::Ident) {
+        // `return targetTransition(current, op);` delegation (or any
+        // other call forward).
+        e.elems.push_back("@delegate");
+        while (i < limit && !isPunct(toks, i, ";"))
+            ++i;
+    }
+    while (i < limit && !isPunct(toks, i, ";"))
+        ++i;
+    return e;
+}
+
+/**
+ * Parse a nested-switch table function body: outer switch over the
+ * event enum, inner switches over the state enum, entries assigned to
+ * the accumulated case labels. @p inner_states lists every expected
+ * inner label so outer-level `return` entries can fan out to all of
+ * them.
+ */
+ParsedTable
+parseSwitchTable(const std::vector<Token> &toks, std::size_t open,
+                 std::size_t close,
+                 const std::vector<std::string> &inner_states)
+{
+    ParsedTable table;
+    std::vector<std::string> outer_labels;
+    std::vector<std::string> inner_labels;
+    int switch_depth = 0;  // 1 = in outer switch body, 2 = inner
+
+    std::size_t i = open + 1;
+    while (i < close) {
+        i = skipComments(toks, i);
+        if (i >= close)
+            break;
+        if (isIdent(toks, i, "switch")) {
+            const std::size_t cond = skipComments(toks, i + 1);
+            const std::size_t cond_close = matchForward(toks, cond);
+            std::size_t body = skipComments(toks, cond_close + 1);
+            if (isPunct(toks, body, "{")) {
+                ++switch_depth;
+                i = body + 1;
+                continue;
+            }
+            i = cond_close + 1;
+            continue;
+        }
+        if (isIdent(toks, i, "case")) {
+            std::size_t j = i + 1;
+            const std::string label =
+                lastIdentOfQualified(toks, j, close);
+            while (j < close && !isPunct(toks, j, ":"))
+                ++j;
+            if (switch_depth >= 2)
+                inner_labels.push_back(label);
+            else
+                outer_labels.push_back(label);
+            i = j + 1;
+            continue;
+        }
+        if (isIdent(toks, i, "return")) {
+            const std::uint32_t line = toks[i].line;
+            std::size_t j = i + 1;
+            ParsedEntry e = parseReturnExpr(toks, j, close, line);
+            const std::vector<std::string> &states =
+                switch_depth >= 2 ? inner_labels : inner_states;
+            for (const std::string &o : outer_labels)
+                for (const std::string &s : states)
+                    table[{o, s}] = e;
+            if (switch_depth >= 2)
+                inner_labels.clear();
+            else
+                outer_labels.clear();
+            i = j + 1;
+            continue;
+        }
+        if (isIdent(toks, i, "break")) {
+            if (switch_depth <= 1)
+                outer_labels.clear();
+            i += 1;
+            continue;
+        }
+        if (isPunct(toks, i, "}")) {
+            if (switch_depth > 0)
+                --switch_depth;
+            if (switch_depth <= 1)
+                inner_labels.clear();
+            ++i;
+            continue;
+        }
+        ++i;
+    }
+    return table;
+}
+
+/** Locate function @p fn_name in @p file and parse its switch table. */
+std::optional<ParsedTable>
+parseFunctionTable(const SourceFile &file, const char *fn_name,
+                   const std::vector<std::string> &inner_states)
+{
+    for (const FnBody &fn : findFunctions(file.tokens)) {
+        if (fn.name == fn_name)
+            return parseSwitchTable(file.tokens, fn.open, fn.close,
+                                    inner_states);
+    }
+    return std::nullopt;
+}
+
+// ---------------------------------------------------------------------
+// Table 2 (cache_page_state.cc)
+// ---------------------------------------------------------------------
+
+const std::vector<std::string> kStateNames = {"Empty", "Present",
+                                              "Dirty", "Stale"};
+const std::vector<std::string> kOpNames = {"CpuRead", "CpuWrite",
+                                           "DmaRead", "DmaWrite",
+                                           "Purge", "Flush"};
+
+std::optional<CachePageState>
+stateByName(const std::string &s)
+{
+    for (std::size_t i = 0; i < kStateNames.size(); ++i) {
+        if (s == kStateNames[i])
+            return allCachePageStates[i];
+    }
+    return std::nullopt;
+}
+
+std::optional<RequiredOp>
+requiredByName(const std::string &s)
+{
+    if (s == "Purge")
+        return RequiredOp::Purge;
+    if (s == "Flush")
+        return RequiredOp::Flush;
+    if (s == "None")
+        return RequiredOp::None;
+    return std::nullopt;
+}
+
+/** Resolve a parsed Table 2 entry for state @p cur; delegation
+ *  resolves through @p target_table. */
+std::optional<SpecTransition>
+resolveSpecEntry(const ParsedEntry &e, CachePageState cur,
+                 const std::string &op,
+                 const ParsedTable *target_table)
+{
+    if (!e.present || e.elems.empty())
+        return std::nullopt;
+    if (e.elems[0] == "@delegate") {
+        if (target_table == nullptr)
+            return std::nullopt;
+        const auto it = target_table->find(
+            {op, kStateNames[static_cast<std::size_t>(cur)]});
+        if (it == target_table->end())
+            return std::nullopt;
+        return resolveSpecEntry(it->second, cur, op, nullptr);
+    }
+    SpecTransition t;
+    if (e.elems[0] == "current") {
+        t.next = cur;
+    } else if (auto s = stateByName(e.elems[0])) {
+        t.next = *s;
+    } else {
+        return std::nullopt;
+    }
+    if (e.elems.size() > 1) {
+        auto r = requiredByName(e.elems[1]);
+        if (!r)
+            return std::nullopt;
+        t.required = *r;
+    }
+    return t;
+}
+
+// ---------------------------------------------------------------------
+// The pass
+// ---------------------------------------------------------------------
+
+class SpecTablePass : public Pass
+{
+  public:
+    const char *name() const override { return "spec"; }
+
+    const char *summary() const override
+    {
+        return "Table 2, MESI and A-F ladder spec tables: complete, "
+               "reachable, internally consistent, and bit-for-bit "
+               "equal to the compiled abstract model";
+    }
+
+    std::vector<RuleInfo> rules() const override
+    {
+        return {
+            {"spec-coverage",
+             "a (state, event) pair has no entry, or a spec table "
+             "file is missing from the tree"},
+            {"spec-unreachable",
+             "a protocol state is unreachable from the power-up "
+             "state"},
+            {"spec-compose",
+             "an entry disagrees with op-then-event composition "
+             "(the Dirty+DmaRead inconsistency class) or violates a "
+             "MESI protocol invariant"},
+            {"spec-mismatch",
+             "a parsed entry differs bit-for-bit from the compiled "
+             "table / abstract SpecExecutor"},
+            {"spec-ladder",
+             "the A-F configuration ladder is broken: a config does "
+             "not derive from its predecessor, or its fields "
+             "disagree with the compiled PolicyConfig factories"},
+        };
+    }
+
+    void run(const PassContext &ctx, Sink &sink) const override
+    {
+        checkTable2(ctx, sink);
+        checkMesi(ctx, sink);
+        checkLadder(ctx, sink);
+    }
+
+  private:
+    // --- shared helpers ---
+
+    static const SourceFile *
+    requireFile(const PassContext &ctx, Sink &sink, const char *path,
+                const char *dir)
+    {
+        const SourceFile *f = findFile(ctx.files, path);
+        if (f == nullptr && hasDir(ctx.files, dir)) {
+            sink.report("spec-coverage", path, 1, 1,
+                        format("spec table file missing from the "
+                               "tree (directory %s exists)",
+                               dir));
+        }
+        return f;
+    }
+
+    static void
+    checkCoverage(const ParsedTable &t, const SourceFile &f,
+                  Sink &sink, const char *table_name,
+                  const std::vector<std::string> &events,
+                  const std::vector<std::string> &states)
+    {
+        for (const std::string &e : events) {
+            for (const std::string &s : states) {
+                if (t.count({e, s}) == 0) {
+                    sink.report(
+                        "spec-coverage", f.path, 1, 1,
+                        format("%s has no entry for (%s, %s)",
+                               table_name, s.c_str(), e.c_str()));
+                }
+            }
+        }
+    }
+
+    // --- Table 2 ---
+
+    void checkTable2(const PassContext &ctx, Sink &sink) const
+    {
+        const SourceFile *f = requireFile(
+            ctx, sink, "src/core/cache_page_state.cc", "src/core");
+        if (f == nullptr)
+            return;
+
+        auto target =
+            parseFunctionTable(*f, "targetTransition", kStateNames);
+        auto other =
+            parseFunctionTable(*f, "otherTransition", kStateNames);
+        if (!target || !other) {
+            sink.report("spec-coverage", f->path, 1, 1,
+                        "targetTransition/otherTransition not found "
+                        "— Table 2 cannot be checked");
+            return;
+        }
+        checkCoverage(*target, *f, sink, "targetTransition", kOpNames,
+                      kStateNames);
+        checkCoverage(*other, *f, sink, "otherTransition", kOpNames,
+                      kStateNames);
+
+        checkSpecReachability(*target, *other, *f, sink);
+        checkSpecCompose(*target, *f, sink, "targetTransition",
+                         &*target);
+        checkSpecCompose(*other, *f, sink, "otherTransition",
+                         &*target);
+        checkSpecAgainstCompiled(*target, *other, *f, sink);
+        checkSpecAgainstExecutor(*target, *other, *f, sink);
+    }
+
+    void checkSpecReachability(const ParsedTable &target,
+                               const ParsedTable &other,
+                               const SourceFile &f, Sink &sink) const
+    {
+        std::set<CachePageState> reach = {CachePageState::Empty};
+        bool grew = true;
+        while (grew) {
+            grew = false;
+            for (CachePageState s : allCachePageStates) {
+                if (reach.count(s) == 0)
+                    continue;
+                for (const std::string &op : kOpNames) {
+                    for (const ParsedTable *t : {&target, &other}) {
+                        const auto it = t->find(
+                            {op, kStateNames[static_cast<std::size_t>(
+                                     s)]});
+                        if (it == t->end())
+                            continue;
+                        auto tr = resolveSpecEntry(it->second, s, op,
+                                                   &target);
+                        if (tr && reach.insert(tr->next).second)
+                            grew = true;
+                    }
+                }
+            }
+        }
+        for (CachePageState s : allCachePageStates) {
+            if (reach.count(s) == 0) {
+                sink.report(
+                    "spec-unreachable", f.path, 1, 1,
+                    format("state %s is unreachable from Empty "
+                           "under the parsed Table 2",
+                           cachePageStateName(s)));
+            }
+        }
+    }
+
+    /** An entry that requires an op must agree with running the op
+     *  first (line becomes Empty) and then the event. */
+    void checkSpecCompose(const ParsedTable &t, const SourceFile &f,
+                          Sink &sink, const char *table_name,
+                          const ParsedTable *target_table) const
+    {
+        for (const std::string &op : kOpNames) {
+            for (CachePageState s : allCachePageStates) {
+                const std::string &sn =
+                    kStateNames[static_cast<std::size_t>(s)];
+                const auto it = t.find({op, sn});
+                if (it == t.end())
+                    continue;
+                auto tr =
+                    resolveSpecEntry(it->second, s, op, target_table);
+                if (!tr || tr->required == RequiredOp::None)
+                    continue;
+                const auto post_it =
+                    t.find({op, kStateNames[0]});  // Empty
+                if (post_it == t.end())
+                    continue;
+                auto post = resolveSpecEntry(
+                    post_it->second, CachePageState::Empty, op,
+                    target_table);
+                if (!post)
+                    continue;
+                if (post->required != RequiredOp::None ||
+                    post->next != tr->next) {
+                    sink.report(
+                        "spec-compose", f.path, it->second.line, 1,
+                        format("%s (%s, %s) -> {%s, %s} is "
+                               "inconsistent: after the %s the line "
+                               "is Empty, and (Empty, %s) -> {%s, "
+                               "%s}",
+                               table_name, sn.c_str(), op.c_str(),
+                               cachePageStateName(tr->next),
+                               requiredOpName(tr->required),
+                               requiredOpName(tr->required),
+                               op.c_str(),
+                               cachePageStateName(post->next),
+                               requiredOpName(post->required)));
+                }
+            }
+        }
+    }
+
+    void checkSpecAgainstCompiled(const ParsedTable &target,
+                                  const ParsedTable &other,
+                                  const SourceFile &f,
+                                  Sink &sink) const
+    {
+        for (std::size_t oi = 0; oi < kOpNames.size(); ++oi) {
+            const MemOp op = allMemOps[oi];
+            for (CachePageState s : allCachePageStates) {
+                const std::string &sn =
+                    kStateNames[static_cast<std::size_t>(s)];
+                compareOne(target, &target, f, sink,
+                           "targetTransition", kOpNames[oi], sn, s,
+                           targetTransition(s, op));
+                compareOne(other, &target, f, sink,
+                           "otherTransition", kOpNames[oi], sn, s,
+                           otherTransition(s, op));
+            }
+        }
+    }
+
+    void compareOne(const ParsedTable &t, const ParsedTable *tt,
+                    const SourceFile &f, Sink &sink,
+                    const char *table_name, const std::string &op,
+                    const std::string &sn, CachePageState s,
+                    SpecTransition compiled) const
+    {
+        const auto it = t.find({op, sn});
+        if (it == t.end())
+            return;  // coverage already reported
+        auto parsed = resolveSpecEntry(it->second, s, op, tt);
+        if (!parsed) {
+            sink.report("spec-mismatch", f.path, it->second.line, 1,
+                        format("%s (%s, %s): entry does not parse as "
+                               "a SpecTransition",
+                               table_name, sn.c_str(), op.c_str()));
+            return;
+        }
+        if (parsed->next != compiled.next ||
+            parsed->required != compiled.required) {
+            sink.report(
+                "spec-mismatch", f.path, it->second.line, 1,
+                format("%s (%s, %s): parsed {%s, %s} but the "
+                       "compiled table says {%s, %s}",
+                       table_name, sn.c_str(), op.c_str(),
+                       cachePageStateName(parsed->next),
+                       requiredOpName(parsed->required),
+                       cachePageStateName(compiled.next),
+                       requiredOpName(compiled.required)));
+        }
+    }
+
+    /** Cross-check the parsed table against the abstract
+     *  SpecExecutor — the executable specification the verifier's
+     *  model refines. Bit-for-bit: resulting state AND required op. */
+    void checkSpecAgainstExecutor(const ParsedTable &target,
+                                  const ParsedTable &other,
+                                  const SourceFile &f,
+                                  Sink &sink) const
+    {
+        for (std::size_t oi = 0; oi < kOpNames.size(); ++oi) {
+            const MemOp op = allMemOps[oi];
+            const bool is_dma =
+                op == MemOp::DmaRead || op == MemOp::DmaWrite;
+            for (CachePageState s : allCachePageStates) {
+                const std::string &sn =
+                    kStateNames[static_cast<std::size_t>(s)];
+
+                // Target column: the observed colour IS the target
+                // (DMA has no target; both columns agree there).
+                {
+                    SpecExecutor ex(1);
+                    ex.setState(0, s);
+                    auto ops = ex.apply(
+                        op, is_dma ? std::nullopt
+                                   : std::optional<CachePageId>(0));
+                    executorCompare(target, &target, f, sink,
+                                    "targetTransition", kOpNames[oi],
+                                    sn, s, ex.state(0), ops, 0);
+                }
+
+                // Other column: observe colour 0 while colour 1 is
+                // the target of a CPU/Purge/Flush event.
+                if (!is_dma) {
+                    SpecExecutor ex(2);
+                    ex.setState(0, s);
+                    auto ops = ex.apply(
+                        op, std::optional<CachePageId>(1));
+                    executorCompare(other, &target, f, sink,
+                                    "otherTransition", kOpNames[oi],
+                                    sn, s, ex.state(0), ops, 0);
+                }
+            }
+        }
+    }
+
+    void executorCompare(
+        const ParsedTable &t, const ParsedTable *tt,
+        const SourceFile &f, Sink &sink, const char *table_name,
+        const std::string &op, const std::string &sn,
+        CachePageState s, CachePageState got,
+        const std::vector<SpecExecutor::AppliedOp> &ops,
+        CachePageId colour) const
+    {
+        const auto it = t.find({op, sn});
+        if (it == t.end())
+            return;
+        auto parsed = resolveSpecEntry(it->second, s, op, tt);
+        if (!parsed)
+            return;  // reported by compareOne
+        RequiredOp applied = RequiredOp::None;
+        for (const SpecExecutor::AppliedOp &a : ops) {
+            if (a.colour == colour)
+                applied = a.op;
+        }
+        if (parsed->next != got || parsed->required != applied) {
+            sink.report(
+                "spec-mismatch", f.path, it->second.line, 1,
+                format("%s (%s, %s): parsed {%s, %s} but the "
+                       "abstract SpecExecutor produced {%s, %s}",
+                       table_name, sn.c_str(), op.c_str(),
+                       cachePageStateName(parsed->next),
+                       requiredOpName(parsed->required),
+                       cachePageStateName(got),
+                       requiredOpName(applied)));
+        }
+    }
+
+    // --- MESI ---
+
+    void checkMesi(const PassContext &ctx, Sink &sink) const
+    {
+        const SourceFile *f = requireFile(
+            ctx, sink, "src/cache/mesi_spec.cc", "src/cache");
+        if (f == nullptr)
+            return;
+
+        const std::vector<std::string> states = {
+            "Invalid", "Shared", "Exclusive", "Modified"};
+        auto local =
+            parseFunctionTable(*f, "mesiLocalTransition", states);
+        auto snoop =
+            parseFunctionTable(*f, "mesiSnoopTransition", states);
+        if (!local || !snoop) {
+            sink.report("spec-coverage", f->path, 1, 1,
+                        "mesiLocalTransition/mesiSnoopTransition not "
+                        "found — MESI tables cannot be checked");
+            return;
+        }
+        const std::vector<std::string> local_events = {"Read",
+                                                       "Write"};
+        const std::vector<std::string> snoop_events = {
+            "BusRead", "BusInvalidate"};
+        checkCoverage(*local, *f, sink, "mesiLocalTransition",
+                      local_events, states);
+        checkCoverage(*snoop, *f, sink, "mesiSnoopTransition",
+                      snoop_events, states);
+        checkMesiConsistency(*local, *snoop, *f, sink);
+        checkMesiReachability(*local, *snoop, *f, sink);
+        checkMesiAgainstCompiled(*local, *snoop, *f, sink);
+    }
+
+    static std::optional<MesiState>
+    mesiByName(const std::string &s)
+    {
+        if (s == "Invalid")
+            return MesiState::Invalid;
+        if (s == "Shared")
+            return MesiState::Shared;
+        if (s == "Exclusive")
+            return MesiState::Exclusive;
+        if (s == "Modified")
+            return MesiState::Modified;
+        return std::nullopt;
+    }
+
+    static const char *
+    mesiName(MesiState s)
+    {
+        switch (s) {
+          case MesiState::Invalid: return "Invalid";
+          case MesiState::Shared: return "Shared";
+          case MesiState::Exclusive: return "Exclusive";
+          case MesiState::Modified: return "Modified";
+        }
+        return "?";
+    }
+
+    static std::optional<MesiLocalTransition>
+    resolveLocal(const ParsedEntry &e)
+    {
+        if (!e.present || e.elems.size() != 3)
+            return std::nullopt;
+        auto a = mesiByName(e.elems[0]);
+        auto b = mesiByName(e.elems[1]);
+        if (!a || !b)
+            return std::nullopt;
+        MesiLocalTransition t;
+        t.next = *a;
+        t.nextIfPeerHolds = *b;
+        if (e.elems[2] == "None")
+            t.bus = MesiBusOp::None;
+        else if (e.elems[2] == "BusRead")
+            t.bus = MesiBusOp::BusRead;
+        else if (e.elems[2] == "BusReadExclusive")
+            t.bus = MesiBusOp::BusReadExclusive;
+        else if (e.elems[2] == "BusUpgrade")
+            t.bus = MesiBusOp::BusUpgrade;
+        else
+            return std::nullopt;
+        return t;
+    }
+
+    static std::optional<MesiSnoopTransition>
+    resolveSnoop(const ParsedEntry &e)
+    {
+        if (!e.present || e.elems.size() != 2)
+            return std::nullopt;
+        auto a = mesiByName(e.elems[0]);
+        if (!a)
+            return std::nullopt;
+        MesiSnoopTransition t;
+        t.next = *a;
+        if (e.elems[1] == "true")
+            t.writeBack = true;
+        else if (e.elems[1] == "false")
+            t.writeBack = false;
+        else
+            return std::nullopt;
+        return t;
+    }
+
+    void checkMesiConsistency(const ParsedTable &local,
+                              const ParsedTable &snoop,
+                              const SourceFile &f, Sink &sink) const
+    {
+        for (const auto &[key, entry] : snoop) {
+            auto t = resolveSnoop(entry);
+            if (!t)
+                continue;
+            if (t->writeBack != (key.second == "Modified")) {
+                sink.report(
+                    "spec-compose", f.path, entry.line, 1,
+                    format("mesiSnoopTransition (%s, %s): a snoop "
+                           "write-back must happen from Modified and "
+                           "only from Modified (memory is current in "
+                           "every other state)",
+                           key.second.c_str(), key.first.c_str()));
+            }
+            if (key.first == "BusInvalidate" &&
+                t->next != MesiState::Invalid) {
+                sink.report(
+                    "spec-compose", f.path, entry.line, 1,
+                    format("mesiSnoopTransition (%s, BusInvalidate) "
+                           "must end Invalid, got %s",
+                           key.second.c_str(), mesiName(t->next)));
+            }
+        }
+        for (const auto &[key, entry] : local) {
+            auto t = resolveLocal(entry);
+            if (!t)
+                continue;
+            if (key.first == "Write" &&
+                (t->next != MesiState::Modified ||
+                 t->nextIfPeerHolds != MesiState::Modified)) {
+                sink.report(
+                    "spec-compose", f.path, entry.line, 1,
+                    format("mesiLocalTransition (%s, Write) must end "
+                           "Modified on both columns",
+                           key.second.c_str()));
+            }
+            if ((t->bus == MesiBusOp::BusRead ||
+                 t->bus == MesiBusOp::BusReadExclusive) &&
+                key.second != "Invalid") {
+                sink.report(
+                    "spec-compose", f.path, entry.line, 1,
+                    format("mesiLocalTransition (%s, %s): a bus fill "
+                           "can only start from Invalid",
+                           key.second.c_str(), key.first.c_str()));
+            }
+            if (t->bus == MesiBusOp::BusRead &&
+                t->nextIfPeerHolds != MesiState::Shared) {
+                sink.report(
+                    "spec-compose", f.path, entry.line, 1,
+                    format("mesiLocalTransition (%s, %s): a busRead "
+                           "fill with a peer copy must be Shared",
+                           key.second.c_str(), key.first.c_str()));
+            }
+        }
+    }
+
+    void checkMesiReachability(const ParsedTable &local,
+                               const ParsedTable &snoop,
+                               const SourceFile &f, Sink &sink) const
+    {
+        std::set<std::string> reach = {"Invalid"};
+        bool grew = true;
+        while (grew) {
+            grew = false;
+            for (const auto &[key, entry] : local) {
+                if (reach.count(key.second) == 0)
+                    continue;
+                auto t = resolveLocal(entry);
+                if (!t)
+                    continue;
+                if (reach.insert(mesiName(t->next)).second)
+                    grew = true;
+                if (reach.insert(mesiName(t->nextIfPeerHolds)).second)
+                    grew = true;
+            }
+            for (const auto &[key, entry] : snoop) {
+                if (reach.count(key.second) == 0)
+                    continue;
+                auto t = resolveSnoop(entry);
+                if (t && reach.insert(mesiName(t->next)).second)
+                    grew = true;
+            }
+        }
+        for (const char *s :
+             {"Invalid", "Shared", "Exclusive", "Modified"}) {
+            if (reach.count(s) == 0) {
+                sink.report("spec-unreachable", f.path, 1, 1,
+                            format("MESI state %s is unreachable "
+                                   "from Invalid",
+                                   s));
+            }
+        }
+    }
+
+    void checkMesiAgainstCompiled(const ParsedTable &local,
+                                  const ParsedTable &snoop,
+                                  const SourceFile &f,
+                                  Sink &sink) const
+    {
+        const std::pair<const char *, MesiLocalEvent> levents[] = {
+            {"Read", MesiLocalEvent::Read},
+            {"Write", MesiLocalEvent::Write}};
+        const std::pair<const char *, MesiSnoopEvent> sevents[] = {
+            {"BusRead", MesiSnoopEvent::BusRead},
+            {"BusInvalidate", MesiSnoopEvent::BusInvalidate}};
+        for (MesiState s : allMesiStates) {
+            for (const auto &[en, ev] : levents) {
+                const auto it = local.find({en, mesiName(s)});
+                if (it == local.end())
+                    continue;
+                auto parsed = resolveLocal(it->second);
+                const MesiLocalTransition compiled =
+                    mesiLocalTransition(s, ev);
+                if (!parsed || !(*parsed == compiled)) {
+                    sink.report(
+                        "spec-mismatch", f.path, it->second.line, 1,
+                        format("mesiLocalTransition (%s, %s) differs "
+                               "from the compiled table "
+                               "{%s, %s, %s}",
+                               mesiName(s), en,
+                               mesiName(compiled.next),
+                               mesiName(compiled.nextIfPeerHolds),
+                               mesiBusOpName(compiled.bus)));
+                }
+            }
+            for (const auto &[en, ev] : sevents) {
+                const auto it = snoop.find({en, mesiName(s)});
+                if (it == snoop.end())
+                    continue;
+                auto parsed = resolveSnoop(it->second);
+                const MesiSnoopTransition compiled =
+                    mesiSnoopTransition(s, ev);
+                if (!parsed || !(*parsed == compiled)) {
+                    sink.report(
+                        "spec-mismatch", f.path, it->second.line, 1,
+                        format("mesiSnoopTransition (%s, %s) differs "
+                               "from the compiled table {%s, "
+                               "writeBack=%d}",
+                               mesiName(s), en,
+                               mesiName(compiled.next),
+                               compiled.writeBack ? 1 : 0));
+                }
+            }
+        }
+    }
+
+    // --- A-F ladder ---
+
+    struct ParsedConfig
+    {
+        bool present = false;
+        std::string base;  ///< "" = default-constructed
+        std::vector<std::pair<std::string, std::string>> assigns;
+        std::uint32_t line = 0;
+    };
+
+    static ParsedConfig
+    parseConfigFn(const SourceFile &f, const char *fn_name)
+    {
+        ParsedConfig pc;
+        for (const FnBody &fn : findFunctions(f.tokens)) {
+            if (fn.name != fn_name)
+                continue;
+            const std::vector<Token> &toks = f.tokens;
+            pc.present = true;
+            pc.line = toks[fn.open].line;
+            std::size_t i = fn.open + 1;
+            while (i < fn.close) {
+                i = skipComments(toks, i);
+                if (i >= fn.close)
+                    break;
+                if (isIdent(toks, i, "PolicyConfig")) {
+                    // `PolicyConfig p;` or `PolicyConfig p = base();`
+                    std::size_t j = i + 1;
+                    while (j < fn.close && !isPunct(toks, j, ";") &&
+                           !isPunct(toks, j, "="))
+                        ++j;
+                    if (isPunct(toks, j, "=")) {
+                        const std::size_t b =
+                            skipComments(toks, j + 1);
+                        if (toks[b].kind == TokKind::Ident)
+                            pc.base = toks[b].text;
+                        while (j < fn.close &&
+                               !isPunct(toks, j, ";"))
+                            ++j;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+                if (toks[i].kind == TokKind::Ident &&
+                    isPunct(toks, i + 1, ".")) {
+                    // `p.field = value;`
+                    const std::size_t field_tok =
+                        skipComments(toks, i + 2);
+                    std::size_t j = field_tok + 1;
+                    if (toks[field_tok].kind == TokKind::Ident &&
+                        isPunct(toks, skipComments(toks, j), "=")) {
+                        j = skipComments(toks, j) + 1;
+                        std::string value;
+                        while (j < fn.close &&
+                               !isPunct(toks, j, ";")) {
+                            if (toks[j].kind != TokKind::Comment)
+                                value += toks[j].text;
+                            ++j;
+                        }
+                        pc.assigns.emplace_back(
+                            toks[field_tok].text, value);
+                    }
+                    while (j < fn.close && !isPunct(toks, j, ";"))
+                        ++j;
+                    i = j + 1;
+                    continue;
+                }
+                ++i;
+            }
+            break;
+        }
+        return pc;
+    }
+
+    /** Canonical field->value text rendering of a compiled config. */
+    static std::vector<std::pair<std::string, std::string>>
+    fieldsOf(const PolicyConfig &p)
+    {
+        auto b = [](bool v) { return v ? "true" : "false"; };
+        return {
+            {"name", "\"" + p.name + "\""},
+            {"pmapKind", p.pmapKind == PmapKind::Classic
+                             ? "PmapKind::Classic"
+                             : "PmapKind::Lazy"},
+            {"cleanOnUnmap", b(p.cleanOnUnmap)},
+            {"equalVaOnly", b(p.equalVaOnly)},
+            {"breakAlignedAliases", b(p.breakAlignedAliases)},
+            {"brokenNoConsistency", b(p.brokenNoConsistency)},
+            {"useNeedData", b(p.useNeedData)},
+            {"useWillOverwrite", b(p.useWillOverwrite)},
+            {"useModifiedBit", b(p.useModifiedBit)},
+            {"alignIpc", b(p.alignIpc)},
+            {"alignSharedPages", b(p.alignSharedPages)},
+            {"alignedPrepare", b(p.alignedPrepare)},
+            {"alignTextOnly", b(p.alignTextOnly)},
+            {"freeListOrg",
+             p.freeListOrg == FreePageList::Organisation::Single
+                 ? "FreePageList::Organisation::Single"
+                 : "FreePageList::Organisation::PerColour"},
+        };
+    }
+
+    void checkLadder(const PassContext &ctx, Sink &sink) const
+    {
+        const SourceFile *f = requireFile(
+            ctx, sink, "src/core/policy_config.cc", "src/core");
+        if (f == nullptr)
+            return;
+
+        const struct
+        {
+            const char *fn;
+            const char *expected_base;
+            PolicyConfig compiled;
+            PolicyConfig compiled_base;
+        } ladder[] = {
+            {"configA", "", PolicyConfig::configA(), PolicyConfig{}},
+            {"configB", "", PolicyConfig::configB(), PolicyConfig{}},
+            {"configC", "configB", PolicyConfig::configC(),
+             PolicyConfig::configB()},
+            {"configD", "configC", PolicyConfig::configD(),
+             PolicyConfig::configC()},
+            {"configE", "configD", PolicyConfig::configE(),
+             PolicyConfig::configD()},
+            {"configF", "configE", PolicyConfig::configF(),
+             PolicyConfig::configE()},
+        };
+
+        for (const auto &step : ladder) {
+            ParsedConfig pc = parseConfigFn(*f, step.fn);
+            if (!pc.present) {
+                sink.report("spec-ladder", f->path, 1, 1,
+                            format("Table 4 config factory %s() is "
+                                   "missing",
+                                   step.fn));
+                continue;
+            }
+            if (pc.base != step.expected_base) {
+                sink.report(
+                    "spec-ladder", f->path, pc.line, 1,
+                    format("%s() must derive from %s (the ladder is "
+                           "cumulative), but derives from '%s'",
+                           step.fn,
+                           *step.expected_base
+                               ? step.expected_base
+                               : "the default PolicyConfig",
+                           pc.base.empty() ? "the default"
+                                           : pc.base.c_str()));
+            }
+
+            // Bit-for-bit: base fields overridden by the parsed
+            // assignments must equal the compiled factory.
+            auto expected = fieldsOf(step.compiled_base);
+            for (const auto &[field, value] : pc.assigns) {
+                bool known = false;
+                for (auto &[k, v] : expected) {
+                    if (k == field) {
+                        v = value;
+                        known = true;
+                    }
+                }
+                if (!known) {
+                    sink.report(
+                        "spec-ladder", f->path, pc.line, 1,
+                        format("%s() assigns unknown PolicyConfig "
+                               "field '%s' — update the analyzer's "
+                               "field table",
+                               step.fn, field.c_str()));
+                }
+            }
+            const auto got = fieldsOf(step.compiled);
+            for (std::size_t i = 0; i < got.size(); ++i) {
+                if (expected[i].second != got[i].second) {
+                    sink.report(
+                        "spec-ladder", f->path, pc.line, 1,
+                        format("%s(): parsed source gives %s = %s "
+                               "but the compiled factory has %s",
+                               step.fn, expected[i].first.c_str(),
+                               expected[i].second.c_str(),
+                               got[i].second.c_str()));
+                }
+            }
+        }
+
+        // The sweep must list exactly A..F in order.
+        const std::vector<PolicyConfig> sweep =
+            PolicyConfig::table4Sweep();
+        const PolicyConfig expect[] = {
+            PolicyConfig::configA(), PolicyConfig::configB(),
+            PolicyConfig::configC(), PolicyConfig::configD(),
+            PolicyConfig::configE(), PolicyConfig::configF()};
+        bool sweep_ok = sweep.size() == 6;
+        for (std::size_t i = 0; sweep_ok && i < sweep.size(); ++i)
+            sweep_ok = sweep[i].name == expect[i].name;
+        if (!sweep_ok) {
+            sink.report("spec-ladder", f->path, 1, 1,
+                        "PolicyConfig::table4Sweep() does not list "
+                        "configs A..F in the paper's order");
+        }
+    }
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Pass>
+makeSpecTablePass()
+{
+    return std::make_unique<SpecTablePass>();
+}
+
+} // namespace vic::analysis

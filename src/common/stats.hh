@@ -66,8 +66,8 @@ class StatSet
 
     /** Capture a snapshot of all current values, ordered by name.
      *  Snapshots feed the JSON artifacts, so the container must have a
-     *  deterministic iteration order (tools/lint_determinism.sh bans
-     *  unordered containers in src/common sim-visible APIs). */
+     *  deterministic iteration order (vic_lint's det-unordered rule
+     *  bans unordered containers in src/common sim-visible APIs). */
     std::map<std::string, std::uint64_t> snapshot() const;
 
     /** Render all counters whose names start with @p prefix, sorted by

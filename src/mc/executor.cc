@@ -638,6 +638,10 @@ Executor::execute(int t, StepRecord &cur)
         DmaTransferId id = 0;
         if (op.kind == OpKind::DmaStartRead) {
             readBufs.emplace_back(nwords, 0u);
+            // The beat thread spawned below drains this transfer;
+            // the scheduler's DmaWait events gate every
+            // interleaving on its completion.
+            // vic-lint: allow(drain-unpaired): beat thread drains it
             id = machine.dma().startRead(machine.frameAddr(frame),
                                          readBufs.back().data(),
                                          nwords);
@@ -647,6 +651,7 @@ Executor::execute(int t, StepRecord &cur)
                 words[i] = 0x80000000u +
                            (std::uint32_t(stamp) << 8) + i;
             ++stamp;
+            // vic-lint: allow(drain-unpaired): beat thread drains it
             id = machine.dma().startWrite(machine.frameAddr(frame),
                                           words.data(), nwords);
         }

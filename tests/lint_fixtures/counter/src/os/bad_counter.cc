@@ -1,0 +1,16 @@
+// Fixture: counter registration violations. Never compiled — parsed
+// by vic_lint only.
+
+struct StatSet
+{
+    int &counter(const char *);
+};
+
+void
+registerStats(StatSet &stats)
+{
+    ++stats.counter("os.good_name");
+    ++stats.counter("OS.BadName");          // counter-name
+    ++stats.counter("os.good_name");        // counter-duplicate
+    ++stats.counter("bus.rogue_requests");  // counter-bus-eager
+}

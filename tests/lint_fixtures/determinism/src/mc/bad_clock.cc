@@ -1,0 +1,41 @@
+// Fixture: every determinism rule fires exactly where marked, and
+// the comment/string mentions below do NOT fire (token-awareness).
+// This tree is never compiled — it only feeds vic_lint in tests.
+
+#include <chrono>
+#include <random>
+#include <unordered_map>
+
+// system_clock and rand() in a comment must not be flagged.
+static const char *doc = "calls time() and std::mt19937 by name";
+
+unsigned long
+seedFromWallClock()
+{
+    auto now = std::chrono::system_clock::now();  // det-wallclock
+    (void)now;
+    return time(nullptr);  // det-wallclock (C time())
+}
+
+int
+entropy()
+{
+    std::random_device rd;  // det-entropy
+    return rand() + static_cast<int>(rd());  // det-entropy
+}
+
+double
+stream()
+{
+    std::mt19937 gen(42);  // det-std-random
+    std::uniform_int_distribution<int> d(0, 9);  // det-std-random
+    return d(gen);
+}
+
+std::unordered_map<int, int> table;  // det-unordered (src/mc)
+
+const char *
+unused()
+{
+    return doc;
+}

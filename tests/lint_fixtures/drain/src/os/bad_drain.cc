@@ -1,0 +1,43 @@
+// Fixture: DMA drain-pairing violations and one correct pairing.
+// Never compiled — parsed by vic_lint only; the stub types below
+// just make the shape realistic.
+
+struct Dma
+{
+    int startWrite(int, int);
+    int startRead(int, int);
+    void drainDma(int);
+};
+
+// BAD: the early-return path leaks the transfer.
+void
+flushLeaky(Dma &dma, bool fast_path)
+{
+    int id = dma.startWrite(0, 4);  // drain-unpaired fires here
+    if (fast_path)
+        return;
+    dma.drainDma(id);
+}
+
+// GOOD: both branches drain before exit.
+void
+flushPaired(Dma &dma, bool fast_path)
+{
+    int id = dma.startWrite(0, 4);
+    if (fast_path) {
+        dma.drainDma(id);
+        return;
+    }
+    dma.drainDma(id);
+}
+
+// GOOD: a loop whose condition steps the transfer drains it.
+void
+fillStepped(Dma &dma)
+{
+    int id = dma.startRead(0, 4);
+    while (stepTransfer(id)) {
+    }
+}
+
+int stepTransfer(int);

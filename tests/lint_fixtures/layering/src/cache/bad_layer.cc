@@ -1,0 +1,10 @@
+// Fixture: a hardware-layer file reaching up into the OS layer.
+// Never compiled — parsed by vic_lint only.
+
+#include "common/types.hh"
+#include "os/kernel.hh"  // layer-cycle: cache (2) -> os (6)
+
+void
+cacheTouchesKernel()
+{
+}

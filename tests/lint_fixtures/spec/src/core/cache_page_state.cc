@@ -1,0 +1,102 @@
+// Fixture: Table 2 with the Dirty+DmaRead bug re-seeded — the exact
+// inconsistency class the cost-model PR hand-fixed. On this machine
+// a flush writes back AND invalidates, so the row must end Empty;
+// {Present, Flush} disagrees both with composition (flush-then-
+// DmaRead on Empty stays Empty) and with the compiled table. One
+// case is also deleted (Stale under CpuWrite) to exercise coverage.
+// Never compiled — parsed by vic_lint only.
+
+#include "core/cache_page_state.hh"
+
+#include "common/logging.hh"
+
+namespace vic
+{
+
+SpecTransition
+targetTransition(CachePageState current, MemOp op)
+{
+    using S = CachePageState;
+    using R = RequiredOp;
+    switch (op) {
+      case MemOp::CpuRead:
+        switch (current) {
+          case S::Empty: return {S::Present};
+          case S::Present: return {S::Present};
+          case S::Dirty: return {S::Dirty};
+          case S::Stale: return {S::Present, R::Purge};
+        }
+        break;
+
+      case MemOp::CpuWrite:
+        switch (current) {
+          case S::Empty: return {S::Dirty};
+          case S::Present: return {S::Dirty};
+          case S::Dirty: return {S::Dirty};
+          // Stale row deleted: spec-coverage must fire.
+        }
+        break;
+
+      case MemOp::DmaRead:
+        switch (current) {
+          case S::Empty: return {S::Empty};
+          case S::Present: return {S::Present};
+          case S::Dirty: return {S::Present, R::Flush};  // the bug
+          case S::Stale: return {S::Stale};
+        }
+        break;
+
+      case MemOp::DmaWrite:
+        switch (current) {
+          case S::Empty: return {S::Empty};
+          case S::Present: return {S::Stale};
+          case S::Dirty: return {S::Empty, R::Purge};
+          case S::Stale: return {S::Stale};
+        }
+        break;
+
+      case MemOp::Purge:
+      case MemOp::Flush:
+        return {S::Empty};
+    }
+    vic_panic("invalid (state=%d, op=%d)", static_cast<int>(current),
+              static_cast<int>(op));
+}
+
+SpecTransition
+otherTransition(CachePageState current, MemOp op)
+{
+    using S = CachePageState;
+    using R = RequiredOp;
+    switch (op) {
+      case MemOp::CpuRead:
+        switch (current) {
+          case S::Empty: return {S::Empty};
+          case S::Present: return {S::Present};
+          case S::Dirty: return {S::Empty, R::Flush};
+          case S::Stale: return {S::Stale};
+        }
+        break;
+
+      case MemOp::CpuWrite:
+        switch (current) {
+          case S::Empty: return {S::Empty};
+          case S::Present: return {S::Stale};
+          case S::Dirty: return {S::Empty, R::Flush};
+          case S::Stale: return {S::Stale};
+        }
+        break;
+
+      case MemOp::DmaRead:
+      case MemOp::DmaWrite:
+        return targetTransition(current, op);
+
+      case MemOp::Purge:
+      case MemOp::Flush:
+        return {current};
+    }
+    vic_panic("invalid (state=%d, op=%d)", static_cast<int>(current),
+              static_cast<int>(op));
+}
+
+} // namespace vic

@@ -1,0 +1,16 @@
+// Fixture: suppression hygiene. Never compiled — parsed by vic_lint
+// only.
+
+#include <unordered_map>
+
+// A documented suppression that silences a real diagnostic: no
+// det-unordered must be reported for the next line, and the
+// suppression must count as used.
+// vic-lint: allow(det-unordered): fixture exercises a used allow
+std::unordered_map<int, int> silenced;
+
+// vic-lint: allow(det-unordered)
+std::unordered_map<int, int> undocumented;  // suppress-undocumented
+
+// vic-lint: allow(det-wallclock): nothing here uses the wall clock
+int unused_suppression;  // suppress-unused fires on the comment

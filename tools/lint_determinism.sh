@@ -1,81 +1,31 @@
 #!/usr/bin/env bash
-# Determinism lint: the simulator, benches, and analyzers must be
-# bit-reproducible — same inputs, same artifacts, across runs and
-# across --jobs settings (ci.sh gates on artifact equality). Any
-# wall-clock or entropy source in simulation code silently breaks
-# that contract, so this lint fails the build if one appears.
-#
-# Banned outside the allowlist:
-#   std::chrono::system_clock   wall-clock time
-#   time(                       C time()
-#   rand(                       C rand()/srand()
-#   random_device               nondeterministic seeding
-#   std::mt19937 et al.         std random engines/distributions —
-#                               their streams are implementation-
-#                               defined across standard libraries;
-#                               the schedule fuzzer and experiment
-#                               engine must draw from the repo's own
-#                               SplitMix64-seeded xoshiro streams
-#                               (src/common/random.hh) so a seed
-#                               reproduces bit-identically anywhere
-#
-# std::chrono::steady_clock is fine: it measures elapsed wall time
-# for progress reporting and never feeds simulated state.
-#
-# Allowlist (regex on repo-relative paths), with the reason each
-# entry is exempt:
-#   (none currently)
+# Back-compat entry point: the grep lint that used to live here is
+# now vic_lint's token-aware `determinism` pass (rules det-wallclock,
+# det-entropy, det-std-random, det-unordered — see
+# docs/STATIC_ANALYSIS.md). This wrapper finds or builds the vic_lint
+# binary and delegates, so existing hooks and habits keep working.
 #
 # Usage: tools/lint_determinism.sh   (run from anywhere in the repo)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-ALLOWLIST_RE='^$'
+find_lint() {
+    local d
+    for d in build build-release build-ci build-tsan; do
+        if [ -x "$d/tools/vic_lint" ]; then
+            echo "$d/tools/vic_lint"
+            return 0
+        fi
+    done
+    return 1
+}
 
-PATTERN='std::chrono::system_clock|[^a-zA-Z_]time\(|[^a-zA-Z_]rand\(|random_device|std::mt19937|std::minstd_rand|default_random_engine|uniform_int_distribution|uniform_real_distribution|[^a-zA-Z_]std::shuffle'
-
-status=0
-while IFS= read -r file; do
-    if [[ "$file" =~ $ALLOWLIST_RE ]]; then
-        continue
-    fi
-    if matches=$(grep -nE "$PATTERN" "$file"); then
-        echo "determinism lint: banned source of nondeterminism in $file:"
-        echo "$matches" | sed 's/^/    /'
-        status=1
-    fi
-done < <(git ls-files 'src/*.cc' 'src/*.hh' 'tools/*.cc' \
-         'bench/*.cc' 'bench/*.hh' 'tests/*.cc' 'examples/*.cc')
-
-# The model checker carries a stricter contract: exploration results
-# must be identical across runs, machines, and --jobs settings, and
-# unordered-container iteration order is hash-seed and address-space
-# dependent. src/mc therefore may not use unordered containers at
-# all — std::set/std::map give the canonical order for free.
-while IFS= read -r file; do
-    if matches=$(grep -nE 'std::unordered_' "$file"); then
-        echo "determinism lint: unordered container in model checker $file:"
-        echo "$matches" | sed 's/^/    /'
-        status=1
-    fi
-done < <(git ls-files 'src/mc/*.cc' 'src/mc/*.hh')
-
-# src/common headers are the sim-visible APIs every layer shares
-# (stats snapshots, observers, types). An unordered container
-# declared there leaks hash-iteration order into whatever consumes
-# it — StatSet::snapshot() once returned an unordered_map straight
-# into the JSON artifacts. Implementation .cc files may use one when
-# iteration order never escapes, but the shared interfaces must not.
-while IFS= read -r file; do
-    if matches=$(grep -nE 'std::unordered_' "$file"); then
-        echo "determinism lint: unordered container in sim-visible common API $file:"
-        echo "$matches" | sed 's/^/    /'
-        status=1
-    fi
-done < <(git ls-files 'src/common/*.hh')
-
-if [ "$status" -eq 0 ]; then
-    echo "determinism lint: clean"
+if ! VIC_LINT=$(find_lint); then
+    echo "lint_determinism: building vic_lint..." >&2
+    cmake -S . -B build >/dev/null
+    cmake --build build --target vic_lint -j"$(nproc)" >/dev/null
+    VIC_LINT=build/tools/vic_lint
 fi
-exit "$status"
+
+exec "$VIC_LINT" --root . --pass determinism "$@"
