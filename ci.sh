@@ -47,11 +47,14 @@
 #      tests + the smoke sweep + the model checker's exploreMany +
 #      the CoherenceBus head-to-head paths) rebuilt and rerun under
 #      TSan;
-#   9. static analysis: tools/vic_lint runs all five invariant
-#      passes (determinism, DMA drain-pairing, spec-table
-#      completeness, counter registration, layering — see
+#   9. static analysis: tools/vic_lint runs all seven invariant
+#      passes (determinism, interprocedural DMA drain-pairing,
+#      address-kind laundering, spec-table completeness, counter
+#      registration, whole-program counter liveness, layering — see
 #      docs/STATIC_ANALYSIS.md) over the tree, gating on zero
-#      diagnostics, and archives LINT_report.json;
+#      diagnostics, and archives LINT_report.json (schema v2, with
+#      per-pass fixpoint stats) plus LINT_report.sarif for CI
+#      annotators;
 #  10. style lint: clang-format / clang-tidy, gating when installed
 #      and skipped with a notice otherwise (they are configs-first:
 #      the repo must stay clean under gcc -Werror regardless).
@@ -159,8 +162,9 @@ echo "TSan: clean"
 
 step "static analysis (vic_lint, all passes)"
 cmake --build build -j "$JOBS" --target vic_lint >/dev/null
-./build/tools/vic_lint --root . --json LINT_report.json
-echo "artifact archived: LINT_report.json"
+./build/tools/vic_lint --root . --json LINT_report.json \
+    --sarif LINT_report.sarif
+echo "artifacts archived: LINT_report.json LINT_report.sarif"
 
 step "style lint"
 if command -v clang-format >/dev/null 2>&1; then

@@ -1,0 +1,327 @@
+#include "analysis/cfg.hh"
+
+#include <algorithm>
+
+#include "analysis/cpp_scan.hh"
+
+namespace vic::analysis
+{
+
+void
+mergeFacts(std::vector<CfgFact> &into, const std::vector<CfgFact> &from)
+{
+    for (const CfgFact &f : from) {
+        if (std::find(into.begin(), into.end(), f) == into.end())
+            into.push_back(f);
+    }
+}
+
+CfgWalker::CfgWalker(const std::vector<Token> &tokens,
+                     CfgDelegate &delegate)
+    : toks(tokens), out(delegate)
+{}
+
+std::vector<LambdaBody>
+CfgWalker::walk(std::size_t open, std::size_t close, CfgState in)
+{
+    lambdas.clear();
+    CfgState end = seq(open + 1, close, std::move(in));
+    if (!end.terminated)
+        out.onExit(end, close < toks.size() ? toks[close].line : 0);
+    return std::move(lambdas);
+}
+
+/**
+ * At token @p bracket (a '['): if this is a lambda introducer —
+ * the '[' does not follow a value (identifier, ')', ']', literal),
+ * so it cannot be a subscript — record the body range and set
+ * @p skip_to past it. Otherwise skip the subscript group.
+ */
+void
+CfgWalker::noteLambdaAt(std::size_t bracket, std::size_t limit,
+                        std::size_t &skip_to)
+{
+    const std::size_t caps_close = matchForward(toks, bracket);
+    skip_to = std::min(caps_close + 1, limit);
+
+    // Subscript? Look at what precedes the '['.
+    std::size_t p = bracket;
+    while (p > 0) {
+        --p;
+        if (toks[p].kind != TokKind::Comment)
+            break;
+    }
+    const Token &prev = toks[p];
+    const bool subscript =
+        p < bracket &&
+        (prev.kind == TokKind::Ident || prev.kind == TokKind::Number ||
+         prev.kind == TokKind::String ||
+         (prev.kind == TokKind::Punct &&
+          (prev.text == ")" || prev.text == "]")));
+    if (subscript || caps_close >= limit)
+        return;
+
+    // Optional parameter list, then the body braces.
+    std::size_t q = skipComments(toks, caps_close + 1);
+    if (isPunct(toks, q, "(")) {
+        const std::size_t params_close = matchForward(toks, q);
+        q = skipComments(toks, params_close + 1);
+    }
+    // Skip specifiers (mutable/noexcept) and a trailing return type
+    // up to the body.
+    while (q < limit && !isPunct(toks, q, "{") &&
+           !isPunct(toks, q, ";") && !isPunct(toks, q, ","))
+        ++q;
+    if (!isPunct(toks, q, "{"))
+        return;
+    const std::size_t body_close = matchForward(toks, q);
+    if (body_close >= toks.size())
+        return;
+    lambdas.push_back({q, body_close});
+    skip_to = std::min(body_close + 1, limit);
+}
+
+/** Scan the token range of a condition/header: always evaluated, so
+ *  every call on it transfers unconditionally. */
+void
+CfgWalker::header(std::size_t begin, std::size_t end, CfgState &state)
+{
+    for (std::size_t i = begin; i < end; ++i) {
+        if (toks[i].kind == TokKind::Punct && toks[i].text == "[") {
+            std::size_t skip_to = i + 1;
+            noteLambdaAt(i, end, skip_to);
+            i = skip_to - 1;
+            continue;
+        }
+        if (toks[i].kind != TokKind::Ident)
+            continue;
+        if (!isPunct(toks, skipComments(toks, i + 1), "("))
+            continue;
+        out.onCall(toks[i], state);
+    }
+}
+
+CfgState
+CfgWalker::statement(std::size_t i, std::size_t limit, CfgState in,
+                     std::size_t &next)
+{
+    i = skipComments(toks, i);
+    if (i >= limit) {
+        next = limit;
+        return in;
+    }
+
+    if (isPunct(toks, i, "{")) {
+        const std::size_t close = matchForward(toks, i);
+        next = std::min(close + 1, limit);
+        return seq(i + 1, std::min(close, limit), std::move(in));
+    }
+
+    if (isIdent(toks, i, "if"))
+        return ifStatement(i, limit, std::move(in), next);
+    if (isIdent(toks, i, "while") || isIdent(toks, i, "for"))
+        return loopStatement(i, limit, std::move(in), next);
+    if (isIdent(toks, i, "do"))
+        return doStatement(i, limit, std::move(in), next);
+    if (isIdent(toks, i, "switch"))
+        return switchStatement(i, limit, std::move(in), next);
+    if (isIdent(toks, i, "return")) {
+        next = skipToSemicolon(i, limit);
+        // The return expression is evaluated before the exit:
+        // `return dma.startWrite(...)` creates the obligation the
+        // caller inherits; `return stepTransfer(id)` clears.
+        header(i + 1, next > i ? next - 1 : i, in);
+        out.onExit(in, toks[i].line);
+        CfgState outs;
+        outs.terminated = true;
+        return outs;
+    }
+
+    // Plain statement: scan to ';' at this nesting level. Braced
+    // groups (initialisers) are opaque; lambdas are collected.
+    bool aborted = false;
+    std::size_t j = i;
+    while (j < limit) {
+        const Token &t = toks[j];
+        if (t.kind == TokKind::Punct && t.text == ";")
+            break;
+        if (t.kind == TokKind::Punct && t.text == "[") {
+            std::size_t skip_to = j + 1;
+            noteLambdaAt(j, limit, skip_to);
+            j = skip_to;
+            continue;
+        }
+        if (t.kind == TokKind::Punct && t.text == "{") {
+            j = std::min(matchForward(toks, j) + 1, limit);
+            continue;
+        }
+        if (t.kind == TokKind::Ident) {
+            if (isPunct(toks, skipComments(toks, j + 1), "(")) {
+                if (out.onCall(t, in))
+                    aborted = true;
+            } else if (t.text == "throw") {
+                aborted = true;
+            }
+        }
+        ++j;
+    }
+    next = std::min(j + 1, limit);
+    if (aborted) {
+        CfgState outs;
+        outs.terminated = true;
+        return outs;
+    }
+    return in;
+}
+
+CfgState
+CfgWalker::ifStatement(std::size_t i, std::size_t limit, CfgState in,
+                       std::size_t &next)
+{
+    const std::size_t cond_open = skipComments(toks, i + 1);
+    const std::size_t cond_close = matchForward(toks, cond_open);
+    header(cond_open + 1, std::min(cond_close, limit), in);
+
+    std::size_t after_then = limit;
+    CfgState then_s = statement(cond_close + 1, limit, in, after_then);
+
+    std::size_t e = skipComments(toks, after_then);
+    if (isIdent(toks, e, "else")) {
+        std::size_t after_else = limit;
+        CfgState else_s = statement(skipComments(toks, e + 1), limit,
+                                    in, after_else);
+        next = after_else;
+        CfgState outs;
+        outs.terminated = then_s.terminated && else_s.terminated;
+        if (!then_s.terminated)
+            mergeFacts(outs.facts, then_s.facts);
+        if (!else_s.terminated)
+            mergeFacts(outs.facts, else_s.facts);
+        return outs;
+    }
+
+    next = after_then;
+    CfgState outs;
+    outs.facts = in.facts;  // the branch-not-taken path
+    if (!then_s.terminated)
+        mergeFacts(outs.facts, then_s.facts);
+    return outs;
+}
+
+CfgState
+CfgWalker::loopStatement(std::size_t i, std::size_t limit, CfgState in,
+                         std::size_t &next)
+{
+    const std::size_t cond_open = skipComments(toks, i + 1);
+    const std::size_t cond_close = matchForward(toks, cond_open);
+    header(cond_open + 1, std::min(cond_close, limit), in);
+
+    std::size_t after_body = limit;
+    CfgState body_s = statement(cond_close + 1, limit, in, after_body);
+    next = after_body;
+
+    // Zero-iteration path: clears inside the body do not count for
+    // incoming facts; facts created inside the body stay pending.
+    CfgState outs;
+    outs.facts = in.facts;
+    if (!body_s.terminated)
+        mergeFacts(outs.facts, body_s.facts);
+    return outs;
+}
+
+CfgState
+CfgWalker::doStatement(std::size_t i, std::size_t limit, CfgState in,
+                       std::size_t &next)
+{
+    std::size_t after_body = limit;
+    CfgState body_s = statement(skipComments(toks, i + 1), limit,
+                                std::move(in), after_body);
+    std::size_t w = skipComments(toks, after_body);
+    CfgState outs = body_s.terminated ? CfgState{} : body_s;
+    if (isIdent(toks, w, "while")) {
+        const std::size_t cond_open = skipComments(toks, w + 1);
+        const std::size_t cond_close = matchForward(toks, cond_open);
+        header(cond_open + 1, std::min(cond_close, limit), outs);
+        next = skipToSemicolon(cond_close, limit);
+    } else {
+        next = w;
+    }
+    outs.terminated = false;  // do-while always falls through
+    return outs;
+}
+
+CfgState
+CfgWalker::switchStatement(std::size_t i, std::size_t limit,
+                           CfgState in, std::size_t &next)
+{
+    const std::size_t cond_open = skipComments(toks, i + 1);
+    const std::size_t cond_close = matchForward(toks, cond_open);
+    header(cond_open + 1, std::min(cond_close, limit), in);
+
+    std::size_t after_body = limit;
+    // Linear (fallthrough) view of the case bodies.
+    CfgState body_s = statement(cond_close + 1, limit, in, after_body);
+    next = after_body;
+
+    CfgState outs;
+    outs.facts = in.facts;  // no case may match
+    if (!body_s.terminated)
+        mergeFacts(outs.facts, body_s.facts);
+    return outs;
+}
+
+CfgState
+CfgWalker::seq(std::size_t begin, std::size_t end, CfgState in)
+{
+    std::size_t i = skipComments(toks, begin);
+    CfgState state = std::move(in);
+    while (i < end) {
+        // Labels are transparent: "case X :", "default :",
+        // "break ;", "continue ;".
+        if (isIdent(toks, i, "case")) {
+            while (i < end && !isPunct(toks, i, ":"))
+                ++i;
+            i = skipComments(toks, i + 1);
+            continue;
+        }
+        if (isIdent(toks, i, "default") || isIdent(toks, i, "break") ||
+            isIdent(toks, i, "continue")) {
+            while (i < end && !isPunct(toks, i, ";") &&
+                   !isPunct(toks, i, ":"))
+                ++i;
+            i = skipComments(toks, i + 1);
+            continue;
+        }
+        std::size_t nxt = end;
+        CfgState ss = statement(i, end, state, nxt);
+        if (ss.terminated) {
+            // Everything after this statement in the sequence is
+            // unreachable from it; a later `case` label can still
+            // enter, so keep scanning with an empty fact set.
+            state = CfgState();
+        } else {
+            state = std::move(ss);
+        }
+        if (nxt <= i)
+            nxt = i + 1;  // safety against degenerate parses
+        i = skipComments(toks, nxt);
+    }
+    return state;
+}
+
+std::size_t
+CfgWalker::skipToSemicolon(std::size_t i, std::size_t limit)
+{
+    std::size_t j = i;
+    while (j < limit && !isPunct(toks, j, ";")) {
+        if (isPunct(toks, j, "(") || isPunct(toks, j, "{") ||
+            isPunct(toks, j, "[")) {
+            j = matchForward(toks, j) + 1;
+            continue;
+        }
+        ++j;
+    }
+    return std::min(j + 1, limit);
+}
+
+} // namespace vic::analysis

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Reusable per-function control-flow walker.
+ *
+ * PR 8's drain pass carried a private brace-matched CFG; the
+ * interprocedural work needs the same walk for summary computation,
+ * violation reporting, and lambda islands, so the walker lives here
+ * as a reusable component. It interprets one function body as a
+ * path-sensitive flow of "obligation" facts:
+ *
+ *  - if/else: facts survive a branch only as the union of the
+ *    branches (an if without else keeps the fall-through path);
+ *  - loops: the condition/header is always evaluated at least once;
+ *    the body may run zero times, so facts cleared only in the body
+ *    stay live and facts created in the body stay pending;
+ *  - switch: the value is evaluated, the cases are scanned as a
+ *    linear (fallthrough) sequence, and the no-case-matches path is
+ *    kept;
+ *  - return exits the path; the return EXPRESSION is evaluated first
+ *    (a `return startWrite(...)` creates the obligation the caller
+ *    inherits), then the delegate sees the state at the return;
+ *    vic_panic/vic_fatal/abort/exit/throw terminate a path and
+ *    forgive its facts;
+ *  - lambda bodies are OPAQUE to the enclosing walk (neither their
+ *    facts nor their clears leak out), but every lambda body range
+ *    found is reported back so callers can analyse each as an
+ *    anonymous function of its own — a started transfer inside a
+ *    lambda is somebody's obligation, never silently dropped.
+ *
+ * The domain is supplied by a CfgDelegate: the walker only decides
+ * WHERE control can flow; the delegate decides WHAT each call does to
+ * the fact set.
+ */
+
+#ifndef VIC_ANALYSIS_CFG_HH
+#define VIC_ANALYSIS_CFG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/token.hh"
+
+namespace vic::analysis
+{
+
+/** One tracked fact: an obligation created at a source site. */
+struct CfgFact
+{
+    std::string label;  ///< e.g. the callee name that created it
+    std::uint32_t line = 0;
+    std::uint32_t col = 0;
+
+    bool operator==(const CfgFact &o) const
+    {
+        return line == o.line && col == o.col && label == o.label;
+    }
+};
+
+/** Path state: the pending facts, or a terminated (abort) path. */
+struct CfgState
+{
+    bool terminated = false;
+    std::vector<CfgFact> facts;
+};
+
+class CfgDelegate
+{
+  public:
+    virtual ~CfgDelegate() = default;
+
+    /**
+     * A call-shaped identifier (followed by '(') on a live path.
+     * Mutate @p state to add or clear facts. @return true when the
+     * call terminates the path (the abort family); the walker
+     * additionally terminates on a bare `throw`.
+     */
+    virtual bool onCall(const Token &name, CfgState &state) = 0;
+
+    /** A path reached function exit (an explicit return, or falling
+     *  off the closing brace) with @p state. */
+    virtual void onExit(const CfgState &state,
+                        std::uint32_t exit_line) = 0;
+};
+
+/** A lambda body found during a walk: [open, close] token indices of
+ *  its braces. */
+struct LambdaBody
+{
+    std::size_t open = 0;
+    std::size_t close = 0;
+};
+
+class CfgWalker
+{
+  public:
+    CfgWalker(const std::vector<Token> &tokens, CfgDelegate &delegate);
+
+    /**
+     * Walk the body whose braces are at token indices @p open and
+     * @p close, starting from @p in. The delegate sees every exit;
+     * the returned list holds every lambda body encountered (not
+     * analysed — they are the caller's to walk separately).
+     */
+    std::vector<LambdaBody> walk(std::size_t open, std::size_t close,
+                                 CfgState in = CfgState());
+
+  private:
+    const std::vector<Token> &toks;
+    CfgDelegate &out;
+    std::vector<LambdaBody> lambdas;
+
+    CfgState seq(std::size_t begin, std::size_t end, CfgState in);
+    CfgState statement(std::size_t i, std::size_t limit, CfgState in,
+                       std::size_t &next);
+    CfgState ifStatement(std::size_t i, std::size_t limit, CfgState in,
+                         std::size_t &next);
+    CfgState loopStatement(std::size_t i, std::size_t limit,
+                           CfgState in, std::size_t &next);
+    CfgState doStatement(std::size_t i, std::size_t limit, CfgState in,
+                         std::size_t &next);
+    CfgState switchStatement(std::size_t i, std::size_t limit,
+                             CfgState in, std::size_t &next);
+    void header(std::size_t begin, std::size_t end, CfgState &state);
+    void noteLambdaAt(std::size_t bracket, std::size_t limit,
+                      std::size_t &skip_to);
+    std::size_t skipToSemicolon(std::size_t i, std::size_t limit);
+};
+
+/** Merge @p from's facts into @p into (set union by site). */
+void mergeFacts(std::vector<CfgFact> &into,
+                const std::vector<CfgFact> &from);
+
+} // namespace vic::analysis
+
+#endif // VIC_ANALYSIS_CFG_HH

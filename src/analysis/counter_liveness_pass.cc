@@ -1,0 +1,632 @@
+/**
+ * @file
+ * Pass: counter-liveness — registered vs incremented, whole-program.
+ *
+ * The per-file counter pass (counter-name/counter-duplicate) checks
+ * the SYNTAX of `.counter("...")` registrations. What it cannot see
+ * is the gap this pass closes: a counter registered at construction
+ * but never bumped anywhere reports a forever-zero statistic in the
+ * paper's tables (silently wrong data), and a Counter bumped but
+ * never registered with a StatSet is invisible to the benches that
+ * read the registry back.
+ *
+ * The cross-check runs over the call graph:
+ *
+ *  1. REACHABILITY. Machine::Machine and Kernel::Kernel are the
+ *     roots. From a reached function, every called name's definitions
+ *     are reached, and every mentioned class (identifier matching a
+ *     class-with-a-body, e.g. `make_unique<Tlb>`) contributes its
+ *     constructors. From a reached class, its BODY's mentioned
+ *     classes follow too — a bare member init like Kernel's
+ *     `fileSystem(m.stats())` never names FileSystem, but the member
+ *     declaration in the class body does.
+ *
+ *  2. REGISTRATIONS. Every `<chain>.counter(...)` call in a reached
+ *     function is classified by its binding:
+ *       - `statX(chain.counter("n"))` in a constructor init list, or
+ *         `Counter &x = ...` / `p = &chain.counter(...)` — binds the
+ *         named member/variable;
+ *       - `return chain.counter(...)` — binds the enclosing accessor
+ *         function (increments then look like `++accessor(...)`);
+ *       - `chain.counter("n") += e` (and ++ forms) — self-live;
+ *       - anything else — untrackable, exempt from the dead check.
+ *
+ *  3. INCREMENTS. `++B` / `B++` / `B += e` (through `*ptr` derefs)
+ *     and the called forms `++B(...)` / `B(...) += e`. An increment
+ *     matches a registration when the names agree AND they plausibly
+ *     address the same object: same enclosing class when both are
+ *     known (Tlb::statHits vs Cache::statHits stay distinct), same
+ *     file otherwise.
+ *
+ * Rules:
+ *   counter-live-dead — a registration reachable from construction
+ *     whose binding is never incremented anywhere in its scope.
+ *   counter-live-unregistered — an increment of a Counter-typed
+ *     member/variable that no registration ever binds.
+ */
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "analysis/callgraph.hh"
+#include "analysis/cpp_scan.hh"
+#include "analysis/pass.hh"
+
+#include "common/logging.hh"
+
+namespace vic::analysis
+{
+namespace
+{
+
+const char *const kRuleDead = "counter-live-dead";
+const char *const kRuleUnregistered = "counter-live-unregistered";
+
+bool
+startsWith(const std::string &s, const char *prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+bool
+inScope(const std::string &path)
+{
+    // The analyzer's own sources discuss these idioms in strings and
+    // helpers constantly; everything else under src/ is checked.
+    return startsWith(path, "src/") &&
+           !startsWith(path, "src/analysis/");
+}
+
+/** Previous non-comment token index, or toks.size() when none. */
+std::size_t
+prevCode(const std::vector<Token> &toks, std::size_t i)
+{
+    while (i > 0) {
+        --i;
+        if (toks[i].kind != TokKind::Comment)
+            return i;
+    }
+    return toks.size();
+}
+
+/** Given @p i at a ')', index of its matching '(' walking backwards;
+ *  toks.size() when unbalanced. */
+std::size_t
+matchBackParen(const std::vector<Token> &toks, std::size_t i)
+{
+    int depth = 0;
+    for (std::size_t j = i + 1; j-- > 0;) {
+        if (toks[j].kind != TokKind::Punct)
+            continue;
+        if (toks[j].text == ")")
+            ++depth;
+        else if (toks[j].text == "(") {
+            --depth;
+            if (depth == 0)
+                return j;
+        }
+    }
+    return toks.size();
+}
+
+struct Registration
+{
+    std::string binding;   ///< member/var/accessor name; "" untracked
+    std::string name;      ///< literal counter name, "" if computed
+    std::string className; ///< owning class ("" when free)
+    std::size_t fileIndex = 0;
+    std::size_t fn = kNoFunction;  ///< enclosing function
+    std::uint32_t line = 0;
+    std::uint32_t col = 0;
+    bool selfLive = false;  ///< bumped at the registration site
+};
+
+struct Increment
+{
+    std::string binding;
+    std::string className;
+    std::size_t fileIndex = 0;
+    std::uint32_t line = 0;
+    std::uint32_t col = 0;
+};
+
+struct CounterDecl
+{
+    std::string binding;
+    std::string className;
+    std::size_t fileIndex = 0;
+};
+
+/** Innermost enclosing class name for token @p tok, or "". */
+std::string
+classAt(const CallGraph &g, std::size_t file_index, std::size_t tok)
+{
+    const std::vector<std::string> cls =
+        g.enclosingClasses(file_index, tok);
+    return cls.empty() ? std::string() : cls.back();
+}
+
+/** The class a function's code belongs to: its qualified class for
+ *  out-of-line definitions, else the lexically enclosing class. */
+std::string
+classOfFn(const CallGraph &g, std::size_t fn)
+{
+    const FnInfo &info = g.functions()[fn];
+    if (!info.className.empty())
+        return info.className;
+    return classAt(g, info.fileIndex, info.nameTok);
+}
+
+/** Do a registration and an increment plausibly hit the same
+ *  counter object? */
+bool
+sameScope(const std::string &class_a, std::size_t file_a,
+          const std::string &class_b, std::size_t file_b)
+{
+    if (!class_a.empty() && !class_b.empty())
+        return class_a == class_b;
+    return file_a == file_b;
+}
+
+/** Walk a `a.b().c` chain backwards from the '.' at @p dot; @return
+ *  the chain's head token index. */
+std::size_t
+chainHead(const std::vector<Token> &toks, std::size_t dot)
+{
+    std::size_t head = dot;
+    std::size_t p = prevCode(toks, dot);
+    while (p < toks.size()) {
+        if (isPunct(toks, p, ")")) {
+            const std::size_t open = matchBackParen(toks, p);
+            if (open >= toks.size())
+                break;
+            p = prevCode(toks, open);
+            continue;
+        }
+        if (toks[p].kind == TokKind::Ident) {
+            head = p;
+            const std::size_t q = prevCode(toks, p);
+            if (q < toks.size() && isPunct(toks, q, ".")) {
+                p = prevCode(toks, q);
+                continue;
+            }
+            // `->` lexes as '-' '>'.
+            if (q < toks.size() && isPunct(toks, q, ">")) {
+                const std::size_t r = prevCode(toks, q);
+                if (r < toks.size() && isPunct(toks, r, "-")) {
+                    p = prevCode(toks, r);
+                    continue;
+                }
+            }
+            break;
+        }
+        break;
+    }
+    return head;
+}
+
+class LivenessPass : public Pass
+{
+  public:
+    const char *name() const override { return "counter-liveness"; }
+
+    const char *summary() const override
+    {
+        return "every counter registered on the construction path "
+               "from Machine/Kernel is incremented somewhere, and "
+               "every incremented Counter is registered";
+    }
+
+    std::vector<RuleInfo> rules() const override
+    {
+        return {
+            {kRuleDead,
+             "counter registered on the Machine/Kernel construction "
+             "path but never incremented in its class/file scope — "
+             "it reports a forever-zero statistic"},
+            {kRuleUnregistered,
+             "Counter-typed member/variable incremented but never "
+             "bound to a StatSet registration — benches reading the "
+             "registry never see it"},
+        };
+    }
+
+    void run(const PassContext &ctx, Sink &sink,
+             PassStats &stats) const override
+    {
+        CallGraph local;
+        const CallGraph *gp = ctx.graph;
+        if (gp == nullptr) {
+            local = CallGraph::build(ctx.files);
+            gp = &local;
+        }
+        const CallGraph &g = *gp;
+
+        const std::set<std::size_t> reached = reachable(g);
+        std::vector<Registration> regs;
+        std::vector<Increment> incs;
+        std::vector<CounterDecl> decls;
+        collectRegistrations(g, regs);
+        collectIncrements(g, incs);
+        collectDecls(g, decls);
+
+        stats.functionsAnalyzed = g.functions().size();
+        stats.summariesComputed = regs.size() + incs.size();
+        stats.fixpointIterations = 1;
+
+        // Rule 1: registered (reachably) but never incremented.
+        for (const Registration &r : regs) {
+            if (r.binding.empty() || r.selfLive)
+                continue;
+            if (r.fn == kNoFunction || reached.count(r.fn) == 0)
+                continue;
+            bool live = false;
+            for (const Increment &inc : incs) {
+                if (inc.binding == r.binding &&
+                    sameScope(r.className, r.fileIndex, inc.className,
+                              inc.fileIndex)) {
+                    live = true;
+                    break;
+                }
+            }
+            if (live)
+                continue;
+            const std::string what =
+                r.name.empty() ? format("bound to '%s'",
+                                        r.binding.c_str())
+                               : format("'%s' (bound to '%s')",
+                                        r.name.c_str(),
+                                        r.binding.c_str());
+            sink.report(kRuleDead, g.files()[r.fileIndex].path, r.line,
+                        r.col,
+                        format("counter %s is registered on the "
+                               "construction path but never "
+                               "incremented — it reports a "
+                               "forever-zero statistic",
+                               what.c_str()));
+        }
+
+        // Rule 2: incremented but never registered. Only names we can
+        // PROVE are counters (a Counter-typed declaration in scope)
+        // are eligible; everything else incremented is just an int.
+        std::set<std::pair<std::string, std::uint32_t>> fired;
+        for (const Increment &inc : incs) {
+            bool is_counter = false;
+            for (const CounterDecl &d : decls) {
+                if (d.binding == inc.binding &&
+                    sameScope(d.className, d.fileIndex, inc.className,
+                              inc.fileIndex)) {
+                    is_counter = true;
+                    break;
+                }
+            }
+            if (!is_counter)
+                continue;
+            bool registered = false;
+            for (const Registration &r : regs) {
+                if (r.binding == inc.binding &&
+                    sameScope(r.className, r.fileIndex, inc.className,
+                              inc.fileIndex)) {
+                    registered = true;
+                    break;
+                }
+            }
+            if (registered)
+                continue;
+            const std::string &path = g.files()[inc.fileIndex].path;
+            if (!fired.insert({path + ":" + inc.binding, 0}).second)
+                continue;  // one diagnostic per binding per file
+            sink.report(kRuleUnregistered, path, inc.line, inc.col,
+                        format("counter '%s' is incremented but never "
+                               "registered with a StatSet — benches "
+                               "reading the registry never see it",
+                               inc.binding.c_str()));
+        }
+    }
+
+  private:
+    /** Functions reachable from Machine/Kernel construction via call
+     *  edges, class mentions, and class-body member types. */
+    std::set<std::size_t> reachable(const CallGraph &g) const
+    {
+        const std::vector<FnInfo> &fns = g.functions();
+
+        // Class name -> constructor function indices.
+        std::map<std::string, std::vector<std::size_t>> ctors;
+        for (std::size_t f = 0; f < fns.size(); ++f) {
+            if (!fns[f].className.empty() &&
+                fns[f].name == fns[f].className)
+                ctors[fns[f].className].push_back(f);
+        }
+        std::set<std::string> class_names;
+        for (const ClassInfo &c : g.classes())
+            class_names.insert(c.name);
+
+        std::set<std::size_t> reached_fns;
+        std::set<std::string> reached_classes;
+        std::vector<std::size_t> fn_work;
+        std::vector<std::string> class_work;
+
+        for (std::size_t f = 0; f < fns.size(); ++f) {
+            if ((fns[f].qualified == "Machine::Machine" ||
+                 fns[f].qualified == "Kernel::Kernel") &&
+                reached_fns.insert(f).second)
+                fn_work.push_back(f);
+        }
+
+        auto touch_class = [&](const std::string &cls) {
+            if (reached_classes.insert(cls).second)
+                class_work.push_back(cls);
+        };
+        auto touch_fn = [&](std::size_t f) {
+            if (reached_fns.insert(f).second)
+                fn_work.push_back(f);
+        };
+
+        while (!fn_work.empty() || !class_work.empty()) {
+            if (!fn_work.empty()) {
+                const std::size_t f = fn_work.back();
+                fn_work.pop_back();
+                const FnInfo &fn = fns[f];
+                const std::vector<Token> &toks =
+                    g.files()[fn.fileIndex].tokens;
+                for (std::size_t cs : g.callsOf(f)) {
+                    for (std::size_t callee :
+                         g.resolve(g.calls()[cs].callee))
+                        touch_fn(callee);
+                }
+                for (std::size_t i = fn.extentBegin; i < fn.close;
+                     ++i) {
+                    if (toks[i].kind == TokKind::Ident &&
+                        class_names.count(toks[i].text))
+                        touch_class(toks[i].text);
+                }
+                continue;
+            }
+            const std::string cls = class_work.back();
+            class_work.pop_back();
+            const auto it = ctors.find(cls);
+            if (it != ctors.end()) {
+                for (std::size_t f : it->second)
+                    touch_fn(f);
+            }
+            // Member declarations pull in member types.
+            for (const ClassInfo &c : g.classes()) {
+                if (c.name != cls)
+                    continue;
+                const std::vector<Token> &toks =
+                    g.files()[c.fileIndex].tokens;
+                for (std::size_t i = c.open + 1; i < c.close; ++i) {
+                    if (toks[i].kind == TokKind::Ident &&
+                        toks[i].text != cls &&
+                        class_names.count(toks[i].text))
+                        touch_class(toks[i].text);
+                }
+            }
+        }
+        return reached_fns;
+    }
+
+    void collectRegistrations(const CallGraph &g,
+                              std::vector<Registration> &regs) const
+    {
+        for (std::size_t fi = 0; fi < g.files().size(); ++fi) {
+            const SourceFile &f = g.files()[fi];
+            if (!inScope(f.path))
+                continue;
+            const std::vector<Token> &toks = f.tokens;
+            for (std::size_t i = 0; i < toks.size(); ++i) {
+                if (!isIdent(toks, i, "counter"))
+                    continue;
+                const std::size_t dot = prevCode(toks, i);
+                if (dot >= toks.size() || !isPunct(toks, dot, "."))
+                    continue;
+                const std::size_t open = skipComments(toks, i + 1);
+                if (!isPunct(toks, open, "("))
+                    continue;
+                const std::size_t close = matchForward(toks, open);
+                if (close >= toks.size())
+                    continue;
+
+                Registration r;
+                r.fileIndex = fi;
+                r.line = toks[i].line;
+                r.col = toks[i].col;
+                r.fn = g.enclosingFunction(fi, i);
+                r.className = r.fn == kNoFunction
+                                  ? classAt(g, fi, i)
+                                  : classOfFn(g, r.fn);
+
+                // Literal name when the argument is one string.
+                const std::size_t a = skipComments(toks, open + 1);
+                if (a < close && toks[a].kind == TokKind::String &&
+                    skipComments(toks, a + 1) == close) {
+                    const std::string &s = toks[a].text;
+                    if (s.size() >= 2)
+                        r.name = s.substr(1, s.size() - 2);
+                }
+
+                classify(g, toks, i, dot, close, r);
+                regs.push_back(std::move(r));
+            }
+        }
+    }
+
+    /** Decide the binding for the `.counter(...)` whose name ident is
+     *  at @p name_tok, '.' at @p dot, argument ')' at @p close. */
+    void classify(const CallGraph &g, const std::vector<Token> &toks,
+                  std::size_t name_tok, std::size_t dot,
+                  std::size_t close, Registration &r) const
+    {
+        (void)name_tok;
+        const std::size_t head = chainHead(toks, dot);
+        const std::size_t pre = prevCode(toks, head);
+        const std::size_t post = skipComments(toks, close + 1);
+
+        // Self-live: `chain.counter("n") += e;` / `++chain.counter()`.
+        if (post < toks.size() && isPunct(toks, post, "+")) {
+            const std::size_t post2 = skipComments(toks, post + 1);
+            if (isPunct(toks, post2, "=") || isPunct(toks, post2, "+")) {
+                r.selfLive = true;
+                return;
+            }
+        }
+        if (pre < toks.size() && isPunct(toks, pre, "+")) {
+            const std::size_t pre2 = prevCode(toks, pre);
+            if (pre2 < toks.size() && isPunct(toks, pre2, "+")) {
+                r.selfLive = true;
+                return;
+            }
+        }
+
+        if (pre >= toks.size())
+            return;
+
+        // Constructor member init: `statX(chain.counter("n"))`.
+        if ((isPunct(toks, pre, "(") || isPunct(toks, pre, "{")) &&
+            r.fn != kNoFunction) {
+            const FnInfo &fn = g.functions()[r.fn];
+            const std::size_t binder = prevCode(toks, pre);
+            if (fn.name == fn.className && dot < fn.open &&
+                binder < toks.size() &&
+                toks[binder].kind == TokKind::Ident) {
+                r.binding = toks[binder].text;
+                return;
+            }
+        }
+
+        // Reference bind: `Counter &x = chain.counter("n")`.
+        if (isPunct(toks, pre, "=")) {
+            const std::size_t lhs = prevCode(toks, pre);
+            if (lhs < toks.size() &&
+                toks[lhs].kind == TokKind::Ident) {
+                r.binding = toks[lhs].text;
+                return;
+            }
+        }
+
+        // Pointer bind: `p = &chain.counter("n")`.
+        if (isPunct(toks, pre, "&")) {
+            const std::size_t eq = prevCode(toks, pre);
+            if (eq < toks.size() && isPunct(toks, eq, "=")) {
+                const std::size_t lhs = prevCode(toks, eq);
+                if (lhs < toks.size() &&
+                    toks[lhs].kind == TokKind::Ident) {
+                    r.binding = toks[lhs].text;
+                    return;
+                }
+            }
+        }
+
+        // Accessor: `return chain.counter(...)` binds the function;
+        // increments look like `++accessor("k", reason)`.
+        if (toks[pre].kind == TokKind::Ident &&
+            toks[pre].text == "return" && r.fn != kNoFunction) {
+            r.binding = g.functions()[r.fn].name;
+            return;
+        }
+    }
+
+    void collectIncrements(const CallGraph &g,
+                           std::vector<Increment> &incs) const
+    {
+        for (std::size_t fi = 0; fi < g.files().size(); ++fi) {
+            const SourceFile &f = g.files()[fi];
+            if (!inScope(f.path))
+                continue;
+            const std::vector<Token> &toks = f.tokens;
+            for (std::size_t i = 0; i < toks.size(); ++i) {
+                if (toks[i].kind != TokKind::Ident)
+                    continue;
+                // Never treat a member access tail as the binding:
+                // `obj.statX += e` still names statX (tail ident is
+                // fine), but `statX.value()` must not count.
+                if (!isIncrement(toks, i))
+                    continue;
+                Increment inc;
+                inc.binding = toks[i].text;
+                inc.fileIndex = fi;
+                inc.line = toks[i].line;
+                inc.col = toks[i].col;
+                const std::size_t fn = g.enclosingFunction(fi, i);
+                inc.className = fn == kNoFunction
+                                    ? classAt(g, fi, i)
+                                    : classOfFn(g, fn);
+                incs.push_back(std::move(inc));
+            }
+        }
+    }
+
+    /** Is the ident at @p i the target of ++ / += (directly, through
+     *  a '*' deref, or in called `accessor(...)++` form)? */
+    bool isIncrement(const std::vector<Token> &toks,
+                     std::size_t i) const
+    {
+        // Prefix: `++x`, `++*x`, `++accessor(...)`.
+        std::size_t p = prevCode(toks, i);
+        if (p < toks.size() && isPunct(toks, p, "*"))
+            p = prevCode(toks, p);
+        if (p < toks.size() && isPunct(toks, p, "+")) {
+            const std::size_t p2 = prevCode(toks, p);
+            if (p2 < toks.size() && isPunct(toks, p2, "+"))
+                return true;
+        }
+        // Postfix / compound: `x++`, `x += e`, `accessor(...) += e`.
+        std::size_t n = skipComments(toks, i + 1);
+        if (isPunct(toks, n, "(")) {
+            const std::size_t close = matchForward(toks, n);
+            if (close >= toks.size())
+                return false;
+            n = skipComments(toks, close + 1);
+        }
+        if (n < toks.size() && isPunct(toks, n, "+")) {
+            const std::size_t n2 = skipComments(toks, n + 1);
+            if (isPunct(toks, n2, "+") || isPunct(toks, n2, "="))
+                return true;
+        }
+        return false;
+    }
+
+    void collectDecls(const CallGraph &g,
+                      std::vector<CounterDecl> &decls) const
+    {
+        for (std::size_t fi = 0; fi < g.files().size(); ++fi) {
+            const SourceFile &f = g.files()[fi];
+            if (!inScope(f.path) ||
+                startsWith(f.path, "src/common/stats."))
+                continue;  // the registry's own internals
+            const std::vector<Token> &toks = f.tokens;
+            for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+                if (!isIdent(toks, i, "Counter"))
+                    continue;
+                std::size_t n = skipComments(toks, i + 1);
+                while (n < toks.size() && (isPunct(toks, n, "&") ||
+                                           isPunct(toks, n, "*")))
+                    n = skipComments(toks, n + 1);
+                if (n >= toks.size() ||
+                    toks[n].kind != TokKind::Ident)
+                    continue;
+                const std::size_t t = skipComments(toks, n + 1);
+                if (!isPunct(toks, t, ";") && !isPunct(toks, t, "=") &&
+                    !isPunct(toks, t, "{"))
+                    continue;
+                CounterDecl d;
+                d.binding = toks[n].text;
+                d.fileIndex = fi;
+                d.className = classAt(g, fi, i);
+                decls.push_back(std::move(d));
+            }
+        }
+    }
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Pass>
+makeCounterLivenessPass()
+{
+    return std::make_unique<LivenessPass>();
+}
+
+} // namespace vic::analysis

@@ -123,7 +123,8 @@ class CounterPass : public Pass
         };
     }
 
-    void run(const PassContext &ctx, Sink &sink) const override
+    void run(const PassContext &ctx, Sink &sink,
+             PassStats &) const override
     {
         std::vector<CounterSite> sites;
         for (const SourceFile &f : ctx.files) {

@@ -1,0 +1,43 @@
+#include "analysis/dataflow.hh"
+
+#include <set>
+#include <vector>
+
+namespace vic::analysis
+{
+
+FixpointStats
+solveFixpoint(const CallGraph &graph,
+              const std::function<bool(std::size_t)> &recompute)
+{
+    FixpointStats stats;
+    const std::size_t n = graph.functions().size();
+    stats.functionsAnalyzed = n;
+
+    std::set<std::size_t> pending;
+    for (std::size_t f = 0; f < n; ++f)
+        pending.insert(f);
+
+    // A monotone domain with n nodes stabilises in O(n * height)
+    // rounds; the guard only exists to turn a non-monotone client bug
+    // into termination instead of a hang.
+    const std::uint64_t max_rounds =
+        static_cast<std::uint64_t>(n) * 4 + 16;
+
+    while (!pending.empty() && stats.iterations < max_rounds) {
+        ++stats.iterations;
+        const std::vector<std::size_t> round(pending.begin(),
+                                             pending.end());
+        pending.clear();
+        for (std::size_t f : round) {
+            ++stats.summariesComputed;
+            if (!recompute(f))
+                continue;
+            for (std::size_t caller : graph.callersOf(f))
+                pending.insert(caller);
+        }
+    }
+    return stats;
+}
+
+} // namespace vic::analysis

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Summary-based fixed-point dataflow over the call graph.
+ *
+ * The engine knows nothing about any particular domain. A client owns
+ * a table of per-function summaries and supplies `recompute(fn)`,
+ * which re-derives function @p fn's summary from its body plus the
+ * CURRENT summaries of its callees, and returns true when the stored
+ * summary changed. The engine drives that to a fixed point bottom-up:
+ * every function is computed at least once, and whenever a summary
+ * changes, every caller of that function is queued for recomputation.
+ *
+ * Cycles (recursion, mutual recursion) need no special casing: the
+ * client's domain must be monotone (summaries start at bottom and
+ * only grow), so iteration converges; the engine simply keeps
+ * re-queuing around the cycle until nothing moves. A generous sweep
+ * guard bounds the worst case against a non-monotone client bug.
+ *
+ * Determinism: each round processes its pending set in ascending
+ * function-index order, and the pending set itself is ordered, so
+ * the sequence of recompute calls — and therefore any diagnostics a
+ * client emits from them — is identical across runs and machines.
+ */
+
+#ifndef VIC_ANALYSIS_DATAFLOW_HH
+#define VIC_ANALYSIS_DATAFLOW_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "analysis/callgraph.hh"
+
+namespace vic::analysis
+{
+
+/** Wall-independent effort counters for one fixed-point solve; these
+ *  surface in the v2 report so CI can watch analysis cost without
+ *  timestamps breaking determinism. */
+struct FixpointStats
+{
+    std::uint64_t functionsAnalyzed = 0;  ///< nodes in the solve
+    std::uint64_t summariesComputed = 0;  ///< recompute invocations
+    std::uint64_t iterations = 0;         ///< rounds until stable
+
+    void accumulate(const FixpointStats &o)
+    {
+        functionsAnalyzed += o.functionsAnalyzed;
+        summariesComputed += o.summariesComputed;
+        iterations += o.iterations;
+    }
+};
+
+/**
+ * Run @p recompute over every function of @p graph to a fixed point.
+ * @p recompute must return true iff the summary it maintains for the
+ * given function index changed.
+ */
+FixpointStats
+solveFixpoint(const CallGraph &graph,
+              const std::function<bool(std::size_t)> &recompute);
+
+} // namespace vic::analysis
+
+#endif // VIC_ANALYSIS_DATAFLOW_HH

@@ -111,7 +111,8 @@ class DeterminismPass : public Pass
         };
     }
 
-    void run(const PassContext &ctx, Sink &sink) const override
+    void run(const PassContext &ctx, Sink &sink,
+             PassStats &) const override
     {
         for (const SourceFile &f : ctx.files) {
             scanBans(f, sink);

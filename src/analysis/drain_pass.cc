@@ -1,43 +1,59 @@
 /**
  * @file
- * Pass 2: drain-pairing — the static twin of the interleaving model
- * checker's flush-after-start and lost-write-back findings.
+ * Pass 2: interprocedural drain-pairing — the static twin of the
+ * interleaving model checker's flush-after-start and lost-write-back
+ * findings.
  *
- * Every asynchronous DMA start (DmaEngine::startWrite/startRead,
- * Disk::writeBlockAsync/readBlockAsync) opens a window in which
- * device beats race CPU accesses to the frame. The kernel's
- * choreography closes that window by draining (Machine::drainDma,
- * DmaEngine::drainAll, or a `while (stepTransfer/stepBeat(...))`
- * loop) before the function returns. This pass proves the pairing
- * structurally: a lightweight brace-matched CFG over every function
- * body in src/os, src/mc and src/dma checks that each start is
- * followed by a drain on ALL paths to function exit.
+ * Every asynchronous DMA start opens a window in which device beats
+ * race CPU accesses to the frame; the kernel's choreography closes it
+ * by draining before the work item completes. PR 8 proved the pairing
+ * only within one function and papered over calls with a "*Async"
+ * name exemption. This pass replaces the naming convention with real
+ * callee summaries driven to a fixed point over the call graph:
  *
- * The CFG is deliberately conservative and simple:
- *  - if/else: a drain guarantees only if every branch drains (an
- *    if without else never does);
- *  - loops: a drain in the CONDITION counts (it is evaluated at
- *    least once — the `while (stepTransfer(id)) {}` idiom); a drain
- *    only in the body does not (zero iterations), and starts made
- *    inside the body stay pending after it;
- *  - switch bodies are analysed as a linear sequence (fallthrough
- *    view) — exact per-case joins are not needed by this tree;
- *  - return with a pending start is a violation; vic_panic/vic_fatal/
- *    throw/abort terminate the path and forgive pending starts;
- *  - lambda bodies are skipped entirely (neither their starts nor
- *    their drains are attributed to the enclosing function).
+ *   mayLeak(f)   — some path through f reaches an exit with a
+ *                  transfer it started (directly or via a callee)
+ *                  still pending. Calling f is then itself a start:
+ *                  the drain obligation transfers to the caller.
+ *   drainsAll(f) — EVERY non-aborting path through f drains whatever
+ *                  was pending when f was entered. Calling f is then
+ *                  itself a drain.
  *
- * Functions whose NAME ends in "Async", or is itself one of the
- * start/drain primitives, are exempt: returning the DmaTransferId is
- * their contract — the drain obligation transfers to the caller.
- * Call sites that hand the obligation to a scheduler (the model
- * checker's executor forks a beat thread per transfer) carry a
- * documented `// vic-lint: allow(drain-unpaired): ...` suppression.
+ * Seeds anchor the domain at the true primitives: startWrite/
+ * startRead defined under src/dma are leak origins by contract;
+ * drainAll/stepTransfer/stepBeat under src/dma and Machine::drainDma
+ * under src/machine are drains (drainDma's `while (pending) stepBeat`
+ * places the step in the loop BODY, so its drain-ness is its spec,
+ * not derivable from the zero-iteration-safe walk). Calls that
+ * resolve to no definition in the tree fall back to those same
+ * primitive names, which keeps fixture mini-trees analysable without
+ * cloning the DMA layer.
+ *
+ * A call site is a start when ANY same-named definition may leak, and
+ * a drain only when ALL same-named definitions drain — the joins a
+ * conservative analysis owes to name-based resolution.
+ *
+ * Reporting: functions under src/os, src/mc and src/dma are walked
+ * with the final summaries. A function that leaks but has callers is
+ * silent at its own exits — its contract is "returns with a transfer
+ * in flight", and every call site inherits the obligation and is
+ * checked in ITS enclosing function. A leaking function nobody calls
+ * has no one to hand the obligation to, so its pending sites are
+ * reported directly. Lambda bodies are anonymous islands: no caller
+ * can be responsible for them, so a start left pending inside one is
+ * always reported (the per-file pass silently skipped these).
+ *
+ * Suppression interplay: a site under `// vic-lint: allow(...)` is
+ * excluded from SUMMARY computation (so one forgiven start does not
+ * poison every transitive caller) but still reported in the report
+ * phase, where the Sink swallows it and marks the allow() used.
  */
 
 #include <algorithm>
 
-#include "analysis/cpp_scan.hh"
+#include "analysis/callgraph.hh"
+#include "analysis/cfg.hh"
+#include "analysis/dataflow.hh"
 #include "analysis/pass.hh"
 
 #include "common/logging.hh"
@@ -47,10 +63,13 @@ namespace vic::analysis
 namespace
 {
 
-const char *const kStartCalls[] = {"startWrite", "startRead",
-                                   "writeBlockAsync", "readBlockAsync"};
-const char *const kDrainCalls[] = {"drainDma", "drainAll",
-                                   "stepTransfer", "stepBeat"};
+const char *const kRule = "drain-unpaired";
+
+const char *const kStartFallback[] = {"startWrite", "startRead",
+                                      "writeBlockAsync",
+                                      "readBlockAsync"};
+const char *const kDrainFallback[] = {"drainDma", "drainAll",
+                                      "stepTransfer", "stepBeat"};
 const char *const kAbortCalls[] = {"vic_panic", "vic_fatal", "abort",
                                    "exit", "throw"};
 
@@ -64,321 +83,192 @@ inList(const std::string &s, const char *const *list, std::size_t n)
     return false;
 }
 
-/** A DMA start a path has not yet drained. */
-struct StartSite
-{
-    std::string callee;
-    std::uint32_t line = 0;
-    std::uint32_t col = 0;
-
-    bool operator==(const StartSite &o) const
-    {
-        return line == o.line && col == o.col;
-    }
-};
-
-struct Flow
-{
-    /** Every remaining path ended in return/abort (nothing falls
-     *  through). */
-    bool terminated = false;
-    std::vector<StartSite> pending;
-};
-
-void
-merge(std::vector<StartSite> &into, const std::vector<StartSite> &from)
-{
-    for (const StartSite &s : from) {
-        if (std::find(into.begin(), into.end(), s) == into.end())
-            into.push_back(s);
-    }
-}
-
-class Analyzer
-{
-  public:
-    Analyzer(const SourceFile &file, bool exempt_fn, Sink &sink)
-        : f(file), toks(file.tokens), exempt(exempt_fn), out(sink)
-    {}
-
-    /** Analyse the body range (open/close at the braces); report any
-     *  start pending at an exit. */
-    void runBody(std::size_t open, std::size_t close)
-    {
-        Flow in;
-        Flow end = seq(open + 1, close, in);
-        reportPending(end, toks[close].line);
-    }
-
-  private:
-    const SourceFile &f;
-    const std::vector<Token> &toks;
-    bool exempt;
-    Sink &out;
-
-    void reportPending(const Flow &flow, std::uint32_t exit_line)
-    {
-        if (flow.terminated)
-            return;
-        for (const StartSite &s : flow.pending) {
-            out.report("drain-unpaired", f.path, s.line, s.col,
-                       format("DMA start '%s' reaches function exit "
-                              "(line %u) without a drain on every "
-                              "path",
-                              s.callee.c_str(), exit_line));
-        }
-    }
-
-    /** Scan the token range of a condition/header: drains clear all
-     *  pending (the header is always evaluated), starts add. */
-    void header(std::size_t begin, std::size_t end, Flow &flow)
-    {
-        for (std::size_t i = begin; i < end; ++i) {
-            if (toks[i].kind != TokKind::Ident)
-                continue;
-            if (!isPunct(toks, skipComments(toks, i + 1), "("))
-                continue;
-            if (!exempt && inList(toks[i].text, kStartCalls, 4))
-                flow.pending.push_back(
-                    {toks[i].text, toks[i].line, toks[i].col});
-            else if (inList(toks[i].text, kDrainCalls, 4))
-                flow.pending.clear();
-        }
-    }
-
-    /** Analyse one statement starting at @p i (which must be a code
-     *  token); returns the flow and sets @p next past it. */
-    Flow statement(std::size_t i, std::size_t limit, Flow in,
-                   std::size_t &next)
-    {
-        i = skipComments(toks, i);
-        if (i >= limit) {
-            next = limit;
-            return in;
-        }
-
-        if (isPunct(toks, i, "{")) {
-            const std::size_t close = matchForward(toks, i);
-            next = std::min(close + 1, limit);
-            return seq(i + 1, std::min(close, limit), in);
-        }
-
-        if (isIdent(toks, i, "if"))
-            return ifStatement(i, limit, in, next);
-        if (isIdent(toks, i, "while") || isIdent(toks, i, "for"))
-            return loopStatement(i, limit, in, next);
-        if (isIdent(toks, i, "do"))
-            return doStatement(i, limit, in, next);
-        if (isIdent(toks, i, "switch"))
-            return switchStatement(i, limit, in, next);
-        if (isIdent(toks, i, "return")) {
-            reportPending(in, toks[i].line);
-            next = skipToSemicolon(i, limit);
-            Flow outf;
-            outf.terminated = true;
-            return outf;
-        }
-
-        // Plain statement: scan to ';' at this nesting level,
-        // tracking starts/drains/aborts. Lambda bodies are skipped.
-        bool aborted = false;
-        std::size_t j = i;
-        while (j < limit) {
-            const Token &t = toks[j];
-            if (t.kind == TokKind::Punct && t.text == ";")
-                break;
-            if (t.kind == TokKind::Punct &&
-                (t.text == "{" || t.text == "[")) {
-                j = std::min(matchForward(toks, j) + 1, limit);
-                continue;
-            }
-            if (t.kind == TokKind::Ident) {
-                if (isPunct(toks, skipComments(toks, j + 1), "(")) {
-                    if (!exempt && inList(t.text, kStartCalls, 4))
-                        in.pending.push_back(
-                            {t.text, t.line, t.col});
-                    else if (inList(t.text, kDrainCalls, 4))
-                        in.pending.clear();
-                    else if (inList(t.text, kAbortCalls, 5))
-                        aborted = true;
-                } else if (t.text == "throw") {
-                    aborted = true;
-                }
-            }
-            ++j;
-        }
-        next = std::min(j + 1, limit);
-        if (aborted) {
-            Flow outf;
-            outf.terminated = true;
-            return outf;
-        }
-        return in;
-    }
-
-    Flow ifStatement(std::size_t i, std::size_t limit, Flow in,
-                     std::size_t &next)
-    {
-        const std::size_t cond_open = skipComments(toks, i + 1);
-        const std::size_t cond_close = matchForward(toks, cond_open);
-        header(cond_open + 1, std::min(cond_close, limit), in);
-
-        std::size_t after_then = limit;
-        Flow then_f = statement(cond_close + 1, limit, in, after_then);
-
-        std::size_t e = skipComments(toks, after_then);
-        if (isIdent(toks, e, "else")) {
-            std::size_t after_else = limit;
-            Flow else_f =
-                statement(skipComments(toks, e + 1), limit, in,
-                          after_else);
-            next = after_else;
-            Flow outf;
-            outf.terminated = then_f.terminated && else_f.terminated;
-            if (!then_f.terminated)
-                merge(outf.pending, then_f.pending);
-            if (!else_f.terminated)
-                merge(outf.pending, else_f.pending);
-            return outf;
-        }
-
-        next = after_then;
-        Flow outf;
-        outf.pending = in.pending;  // the branch-not-taken path
-        if (!then_f.terminated)
-            merge(outf.pending, then_f.pending);
-        return outf;
-    }
-
-    Flow loopStatement(std::size_t i, std::size_t limit, Flow in,
-                       std::size_t &next)
-    {
-        const std::size_t cond_open = skipComments(toks, i + 1);
-        const std::size_t cond_close = matchForward(toks, cond_open);
-        header(cond_open + 1, std::min(cond_close, limit), in);
-
-        std::size_t after_body = limit;
-        Flow body_f =
-            statement(cond_close + 1, limit, in, after_body);
-        next = after_body;
-
-        // Zero-iteration path: drains inside the body do not clear
-        // incoming starts; starts inside the body stay pending.
-        Flow outf;
-        outf.pending = in.pending;
-        if (!body_f.terminated)
-            merge(outf.pending, body_f.pending);
-        return outf;
-    }
-
-    Flow doStatement(std::size_t i, std::size_t limit, Flow in,
-                     std::size_t &next)
-    {
-        std::size_t after_body = limit;
-        Flow body_f = statement(skipComments(toks, i + 1), limit, in,
-                                after_body);
-        std::size_t w = skipComments(toks, after_body);
-        Flow outf = body_f.terminated ? Flow{} : body_f;
-        if (isIdent(toks, w, "while")) {
-            const std::size_t cond_open = skipComments(toks, w + 1);
-            const std::size_t cond_close =
-                matchForward(toks, cond_open);
-            header(cond_open + 1, std::min(cond_close, limit), outf);
-            next = skipToSemicolon(cond_close, limit);
-        } else {
-            next = w;
-        }
-        outf.terminated = false;  // do-while always falls through
-        return outf;
-    }
-
-    Flow switchStatement(std::size_t i, std::size_t limit, Flow in,
-                         std::size_t &next)
-    {
-        const std::size_t cond_open = skipComments(toks, i + 1);
-        const std::size_t cond_close = matchForward(toks, cond_open);
-        header(cond_open + 1, std::min(cond_close, limit), in);
-
-        std::size_t after_body = limit;
-        // Linear (fallthrough) view of the case bodies.
-        Flow body_f =
-            statement(cond_close + 1, limit, in, after_body);
-        next = after_body;
-
-        Flow outf;
-        outf.pending = in.pending;  // no case may match
-        if (!body_f.terminated)
-            merge(outf.pending, body_f.pending);
-        return outf;
-    }
-
-    /** Statement sequence in [begin, end). */
-    Flow seq(std::size_t begin, std::size_t end, Flow in)
-    {
-        std::size_t i = skipComments(toks, begin);
-        Flow flow = in;
-        while (i < end) {
-            // Labels are transparent: "case X :", "default :",
-            // "break ;", "continue ;".
-            if (isIdent(toks, i, "case")) {
-                while (i < end && !isPunct(toks, i, ":"))
-                    ++i;
-                i = skipComments(toks, i + 1);
-                continue;
-            }
-            if (isIdent(toks, i, "default") || isIdent(toks, i, "break") ||
-                isIdent(toks, i, "continue")) {
-                while (i < end && !isPunct(toks, i, ";") &&
-                       !isPunct(toks, i, ":"))
-                    ++i;
-                i = skipComments(toks, i + 1);
-                continue;
-            }
-            std::size_t nxt = end;
-            Flow sf = statement(i, end, flow, nxt);
-            if (sf.terminated) {
-                // Everything after this statement in the sequence is
-                // unreachable from it; a later `case` label can still
-                // enter, so keep scanning with an empty pending set.
-                Flow fresh;
-                flow = fresh;
-            } else {
-                flow = sf;
-            }
-            if (nxt <= i)
-                nxt = i + 1;  // safety against degenerate parses
-            i = skipComments(toks, nxt);
-        }
-        return flow;
-    }
-
-    std::size_t skipToSemicolon(std::size_t i, std::size_t limit)
-    {
-        std::size_t j = i;
-        while (j < limit && !isPunct(toks, j, ";")) {
-            if (isPunct(toks, j, "(") || isPunct(toks, j, "{") ||
-                isPunct(toks, j, "[")) {
-                j = matchForward(toks, j) + 1;
-                continue;
-            }
-            ++j;
-        }
-        return std::min(j + 1, limit);
-    }
-};
-
 bool
 startsWith(const std::string &s, const char *prefix)
 {
     return s.rfind(prefix, 0) == 0;
 }
 
-bool
-endsWith(const std::string &s, const char *suffix)
+struct DrainSummary
 {
-    const std::size_t n = std::string(suffix).size();
-    return s.size() >= n &&
-           s.compare(s.size() - n, n, suffix) == 0;
+    bool mayLeak = false;
+    bool drainsAll = false;
+};
+
+/** Call classification against the current summary table. */
+class DrainDomain
+{
+  public:
+    DrainDomain(const CallGraph &graph,
+                const std::vector<DrainSummary> &summaries)
+        : g(graph), sums(summaries)
+    {}
+
+    bool isAbort(const std::string &name) const
+    {
+        return inList(name, kAbortCalls, 5);
+    }
+
+    bool isStart(const std::string &name) const
+    {
+        const std::vector<std::size_t> &defs = g.resolve(name);
+        if (defs.empty())
+            return inList(name, kStartFallback, 4);
+        for (std::size_t d : defs) {
+            if (sums[d].mayLeak)
+                return true;
+        }
+        return false;
+    }
+
+    bool isDrain(const std::string &name) const
+    {
+        const std::vector<std::size_t> &defs = g.resolve(name);
+        if (defs.empty())
+            return inList(name, kDrainFallback, 4);
+        for (std::size_t d : defs) {
+            if (!sums[d].drainsAll)
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    const CallGraph &g;
+    const std::vector<DrainSummary> &sums;
+};
+
+/** Phase 1 delegate: does a sentinel fact survive to any exit? */
+class SentinelProbe : public CfgDelegate
+{
+  public:
+    explicit SentinelProbe(const DrainDomain &domain) : dom(domain) {}
+
+    bool survived = false;
+
+    bool onCall(const Token &name, CfgState &state) override
+    {
+        if (dom.isAbort(name.text))
+            return true;
+        if (dom.isDrain(name.text))
+            state.facts.clear();
+        return false;
+    }
+
+    void onExit(const CfgState &state, std::uint32_t) override
+    {
+        if (!state.facts.empty())
+            survived = true;
+    }
+
+  private:
+    const DrainDomain &dom;
+};
+
+/** Phase 2 delegate: does a start reach any exit still pending?
+ *  Suppressed sites stay out of the fact set. */
+class LeakProbe : public CfgDelegate
+{
+  public:
+    LeakProbe(const DrainDomain &domain, const Sink &sink,
+              const std::string &path)
+        : dom(domain), snk(sink), file(path)
+    {}
+
+    bool leaked = false;
+
+    bool onCall(const Token &name, CfgState &state) override
+    {
+        if (dom.isAbort(name.text))
+            return true;
+        if (dom.isDrain(name.text))
+            state.facts.clear();
+        if (dom.isStart(name.text) &&
+            !snk.wouldSuppress(kRule, file, name.line))
+            state.facts.push_back({name.text, name.line, name.col});
+        return false;
+    }
+
+    void onExit(const CfgState &state, std::uint32_t) override
+    {
+        if (!state.facts.empty())
+            leaked = true;
+    }
+
+  private:
+    const DrainDomain &dom;
+    const Sink &snk;
+    const std::string &file;
+};
+
+/** Report phase delegate: every pending site at an exit becomes a
+ *  diagnostic — unless the function's leak is its contract
+ *  (@p silent), in which case the call sites carry the obligation. */
+class Reporter : public CfgDelegate
+{
+  public:
+    Reporter(const DrainDomain &domain, Sink &sink,
+             const std::string &path, bool silent_exits)
+        : dom(domain), snk(sink), file(path), silent(silent_exits)
+    {}
+
+    bool onCall(const Token &name, CfgState &state) override
+    {
+        if (dom.isAbort(name.text))
+            return true;
+        if (dom.isDrain(name.text))
+            state.facts.clear();
+        if (dom.isStart(name.text))
+            state.facts.push_back({name.text, name.line, name.col});
+        return false;
+    }
+
+    void onExit(const CfgState &state, std::uint32_t exit_line) override
+    {
+        if (silent)
+            return;
+        for (const CfgFact &f : state.facts) {
+            snk.report(kRule, file, f.line, f.col,
+                       format("DMA start '%s' reaches function exit "
+                              "(line %u) without a drain on every "
+                              "path",
+                              f.label.c_str(), exit_line));
+        }
+    }
+
+  private:
+    const DrainDomain &dom;
+    Sink &snk;
+    const std::string &file;
+    bool silent;
+};
+
+/** The seeded primitives: summary facts that are the DMA layer's
+ *  contract rather than derivable from its token stream. */
+void
+seedSummaries(const CallGraph &g, std::vector<DrainSummary> &sums,
+              std::vector<bool> &seeded)
+{
+    const std::vector<FnInfo> &fns = g.functions();
+    for (std::size_t f = 0; f < fns.size(); ++f) {
+        const FnInfo &fn = fns[f];
+        const std::string &path = g.files()[fn.fileIndex].path;
+        if (startsWith(path, "src/dma/") &&
+            (fn.name == "startWrite" || fn.name == "startRead")) {
+            sums[f].mayLeak = true;
+            seeded[f] = true;
+        }
+        if (startsWith(path, "src/dma/") &&
+            (fn.name == "drainAll" || fn.name == "stepTransfer" ||
+             fn.name == "stepBeat")) {
+            sums[f].drainsAll = true;
+            seeded[f] = true;
+        }
+        if (startsWith(path, "src/machine/") && fn.name == "drainDma") {
+            sums[f].drainsAll = true;
+            seeded[f] = true;
+        }
+    }
 }
 
 class DrainPass : public Pass
@@ -389,31 +279,101 @@ class DrainPass : public Pass
     const char *summary() const override
     {
         return "every asynchronous DMA start in src/os, src/mc and "
-               "src/dma is drained on all paths before function exit";
+               "src/dma reaches a drain on all paths, through calls "
+               "(interprocedural summaries over the call graph)";
     }
 
     std::vector<RuleInfo> rules() const override
     {
         return {
-            {"drain-unpaired",
-             "DMA start (startWrite/startRead/writeBlockAsync/"
-             "readBlockAsync) can reach function exit without "
-             "drainDma/drainAll/stepTransfer/stepBeat on every path"},
+            {kRule,
+             "a DMA start (a primitive, or a call to a function "
+             "summarised as leaking a transfer) can reach function "
+             "exit without a drain on every path through calls"},
         };
     }
 
-    void run(const PassContext &ctx, Sink &sink) const override
+    void run(const PassContext &ctx, Sink &sink,
+             PassStats &stats) const override
     {
-        for (const SourceFile &f : ctx.files) {
-            if (!startsWith(f.path, "src/os/") &&
-                !startsWith(f.path, "src/mc/") &&
-                !startsWith(f.path, "src/dma/"))
+        CallGraph local;
+        const CallGraph *gp = ctx.graph;
+        if (gp == nullptr) {
+            local = CallGraph::build(ctx.files);
+            gp = &local;
+        }
+        const CallGraph &g = *gp;
+        const std::vector<FnInfo> &fns = g.functions();
+
+        std::vector<DrainSummary> sums(fns.size());
+        std::vector<bool> seeded(fns.size(), false);
+        seedSummaries(g, sums, seeded);
+        const DrainDomain dom(g, sums);
+
+        // Phase 1 — drainsAll, bottom-up. Monotone: callee drains
+        // only ever add clears, so false -> true is one-way.
+        FixpointStats p1 = solveFixpoint(g, [&](std::size_t f) {
+            if (seeded[f] || sums[f].drainsAll)
+                return false;
+            const SourceFile &src = g.files()[fns[f].fileIndex];
+            SentinelProbe probe(dom);
+            CfgWalker walker(src.tokens, probe);
+            CfgState in;
+            in.facts.push_back({"<incoming>", 0, 0});
+            walker.walk(fns[f].open, fns[f].close, std::move(in));
+            if (probe.survived)
+                return false;
+            sums[f].drainsAll = true;
+            return true;
+        });
+
+        // Phase 2 — mayLeak, with drains now fixed. Monotone: callee
+        // leaks only ever add start facts.
+        FixpointStats p2 = solveFixpoint(g, [&](std::size_t f) {
+            if (seeded[f] || sums[f].mayLeak)
+                return false;
+            const SourceFile &src = g.files()[fns[f].fileIndex];
+            LeakProbe probe(dom, sink, src.path);
+            CfgWalker walker(src.tokens, probe);
+            walker.walk(fns[f].open, fns[f].close);
+            if (!probe.leaked)
+                return false;
+            sums[f].mayLeak = true;
+            return true;
+        });
+
+        stats.functionsAnalyzed = fns.size();
+        stats.summariesComputed =
+            p1.summariesComputed + p2.summariesComputed;
+        stats.fixpointIterations = p1.iterations + p2.iterations;
+
+        // Report phase over the scoped directories.
+        for (std::size_t f = 0; f < fns.size(); ++f) {
+            const FnInfo &fn = fns[f];
+            const SourceFile &src = g.files()[fn.fileIndex];
+            if (!startsWith(src.path, "src/os/") &&
+                !startsWith(src.path, "src/mc/") &&
+                !startsWith(src.path, "src/dma/"))
                 continue;
-            for (const FnBody &fn : findFunctions(f.tokens)) {
-                const bool ex = endsWith(fn.name, "Async") ||
-                                inList(fn.name, kStartCalls, 4) ||
-                                inList(fn.name, kDrainCalls, 4);
-                Analyzer(f, ex, sink).runBody(fn.open, fn.close);
+            // A leaking function with callers leaks by contract:
+            // every call site inherits the obligation and is checked
+            // in its own enclosing function instead.
+            const bool silent =
+                sums[f].mayLeak && g.hasExternalCaller(f);
+            Reporter rep(dom, sink, src.path, silent);
+            CfgWalker walker(src.tokens, rep);
+            std::vector<LambdaBody> isles =
+                walker.walk(fn.open, fn.close);
+            // Lambda bodies: anonymous islands, always accountable.
+            while (!isles.empty()) {
+                const LambdaBody isle = isles.back();
+                isles.pop_back();
+                Reporter island_rep(dom, sink, src.path, false);
+                CfgWalker island_walker(src.tokens, island_rep);
+                std::vector<LambdaBody> nested =
+                    island_walker.walk(isle.open, isle.close);
+                isles.insert(isles.end(), nested.begin(),
+                             nested.end());
             }
         }
     }

@@ -84,7 +84,8 @@ class LayeringPass : public Pass
         };
     }
 
-    void run(const PassContext &ctx, Sink &sink) const override
+    void run(const PassContext &ctx, Sink &sink,
+             PassStats &) const override
     {
         for (const SourceFile &f : ctx.files) {
             if (f.path.rfind("src/", 0) != 0)

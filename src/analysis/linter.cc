@@ -1,5 +1,9 @@
 #include "analysis/linter.hh"
 
+#include <stdexcept>
+
+#include "analysis/callgraph.hh"
+
 #include "common/logging.hh"
 
 namespace vic::analysis
@@ -11,8 +15,10 @@ makeAllPasses()
     std::vector<std::unique_ptr<Pass>> passes;
     passes.push_back(makeDeterminismPass());
     passes.push_back(makeDrainPass());
+    passes.push_back(makeAddrKindPass());
     passes.push_back(makeSpecTablePass());
     passes.push_back(makeCounterPass());
+    passes.push_back(makeCounterLivenessPass());
     passes.push_back(makeLayeringPass());
     return passes;
 }
@@ -21,7 +27,7 @@ JsonValue
 LintReport::toJson() const
 {
     JsonValue doc = JsonValue::object();
-    doc.set("schema", JsonValue::str("vic-lint-report-v1"));
+    doc.set("schema", JsonValue::str("vic-lint-report-v2"));
     doc.set("root", JsonValue::str(root));
 
     JsonValue passes = JsonValue::array();
@@ -32,6 +38,20 @@ LintReport::toJson() const
     doc.set("files_scanned",
             JsonValue::number(std::uint64_t(filesScanned)));
     doc.set("clean", JsonValue::boolean(clean()));
+
+    JsonValue pstats = JsonValue::array();
+    for (const PassRunStats &p : passStats) {
+        JsonValue j = JsonValue::object();
+        j.set("pass", JsonValue::str(p.pass));
+        j.set("functions_analyzed",
+              JsonValue::number(p.stats.functionsAnalyzed));
+        j.set("summaries_computed",
+              JsonValue::number(p.stats.summariesComputed));
+        j.set("fixpoint_iterations",
+              JsonValue::number(p.stats.fixpointIterations));
+        pstats.push(std::move(j));
+    }
+    doc.set("pass_stats", std::move(pstats));
 
     JsonValue diags = JsonValue::array();
     for (const Diagnostic &d : diagnostics) {
@@ -59,6 +79,66 @@ LintReport::toJson() const
     return doc;
 }
 
+LintReport
+LintReport::fromJson(const JsonValue &doc)
+{
+    const JsonValue *schema = doc.find("schema");
+    if (schema == nullptr ||
+        (schema->asString() != "vic-lint-report-v1" &&
+         schema->asString() != "vic-lint-report-v2"))
+        throw std::runtime_error("not a vic-lint report");
+
+    LintReport r;
+    if (const JsonValue *v = doc.find("root"))
+        r.root = v->asString();
+    if (const JsonValue *v = doc.find("passes")) {
+        for (const JsonValue &p : v->items())
+            r.passesRun.push_back(p.asString());
+    }
+    if (const JsonValue *v = doc.find("files_scanned"))
+        r.filesScanned = static_cast<std::size_t>(v->asU64());
+    if (const JsonValue *v = doc.find("diagnostics")) {
+        for (const JsonValue &j : v->items()) {
+            Diagnostic d;
+            d.rule = j.find("rule")->asString();
+            d.file = j.find("file")->asString();
+            d.line =
+                static_cast<std::uint32_t>(j.find("line")->asU64());
+            d.col =
+                static_cast<std::uint32_t>(j.find("col")->asU64());
+            d.message = j.find("message")->asString();
+            r.diagnostics.push_back(std::move(d));
+        }
+    }
+    if (const JsonValue *v = doc.find("suppressions")) {
+        for (const JsonValue &j : v->items()) {
+            Suppression s;
+            s.rule = j.find("rule")->asString();
+            s.file = j.find("file")->asString();
+            s.commentLine =
+                static_cast<std::uint32_t>(j.find("line")->asU64());
+            s.reason = j.find("reason")->asString();
+            s.used = j.find("used")->asBool();
+            r.suppressions.push_back(std::move(s));
+        }
+    }
+    // v1 simply has no pass_stats; everything else reads the same.
+    if (const JsonValue *v = doc.find("pass_stats")) {
+        for (const JsonValue &j : v->items()) {
+            PassRunStats p;
+            p.pass = j.find("pass")->asString();
+            p.stats.functionsAnalyzed =
+                j.find("functions_analyzed")->asU64();
+            p.stats.summariesComputed =
+                j.find("summaries_computed")->asU64();
+            p.stats.fixpointIterations =
+                j.find("fixpoint_iterations")->asU64();
+            r.passStats.push_back(std::move(p));
+        }
+    }
+    return r;
+}
+
 std::vector<std::string>
 LintReport::renderLines() const
 {
@@ -80,7 +160,11 @@ runLintOnFiles(const std::string &root, std::vector<SourceFile> files,
     Sink sink;
     sink.collectSuppressions(files);
 
-    const PassContext ctx{report.root, files};
+    // One call graph for every interprocedural pass in the run.
+    const CallGraph graph = CallGraph::build(files);
+    PassContext ctx{report.root, files};
+    ctx.graph = &graph;
+
     std::vector<std::string> active_rules;
     for (const auto &pass : makeAllPasses()) {
         bool selected = pass_names.empty();
@@ -89,10 +173,20 @@ runLintOnFiles(const std::string &root, std::vector<SourceFile> files,
         if (!selected)
             continue;
         report.passesRun.push_back(pass->name());
-        for (const RuleInfo &r : pass->rules())
+        for (const RuleInfo &r : pass->rules()) {
             active_rules.push_back(r.id);
-        pass->run(ctx, sink);
+            report.activeRules.push_back({r.id, r.summary});
+        }
+        PassStats stats;
+        pass->run(ctx, sink, stats);
+        report.passStats.push_back({pass->name(), stats});
     }
+    report.activeRules.push_back(
+        {kRuleSuppressUndocumented,
+         "a vic-lint: allow() without a reason"});
+    report.activeRules.push_back(
+        {kRuleSuppressUnused,
+         "a vic-lint: allow() that silences nothing"});
 
     sink.finalize(active_rules);
     report.diagnostics = sink.diagnostics();

@@ -4,10 +4,13 @@
  * passes, apply suppressions, render the report.
  *
  * One Linter run is one LintReport — the in-memory form of the
- * LINT_report.json artifact (schema "vic-lint-report-v1"). The JSON
- * is built with the repo's insertion-ordered JsonValue, so a report
- * is byte-identical across runs on the same tree, like every other
- * vic artifact.
+ * LINT_report.json artifact (schema "vic-lint-report-v2"; v1 reports
+ * are still readable through fromJson). The JSON is built with the
+ * repo's insertion-ordered JsonValue, so a report is byte-identical
+ * across runs on the same tree, like every other vic artifact. v2
+ * adds per-pass effort counters ("pass_stats") from the
+ * interprocedural engine: functions analyzed, summaries computed,
+ * fixpoint iterations.
  */
 
 #ifndef VIC_ANALYSIS_LINTER_HH
@@ -23,6 +26,20 @@
 namespace vic::analysis
 {
 
+/** One pass's effort counters, as recorded in "pass_stats". */
+struct PassRunStats
+{
+    std::string pass;
+    PassStats stats;
+};
+
+/** One active rule (id + summary), kept for the SARIF driver. */
+struct ActiveRule
+{
+    std::string id;
+    std::string summary;
+};
+
 struct LintReport
 {
     std::string root;
@@ -31,11 +48,21 @@ struct LintReport
     std::vector<Diagnostic> diagnostics;
     /** Every allow() marker found, used or not. */
     std::vector<Suppression> suppressions;
+    /** Per-pass effort counters, in run order (v2). */
+    std::vector<PassRunStats> passStats;
+    /** Rules of the selected passes plus the suppression-hygiene
+     *  rules, in registration order. */
+    std::vector<ActiveRule> activeRules;
 
     bool clean() const { return diagnostics.empty(); }
 
-    /** The "vic-lint-report-v1" document. */
+    /** The "vic-lint-report-v2" document. */
     JsonValue toJson() const;
+
+    /** Read back a v1 or v2 document (v1 has no pass_stats; its
+     *  other fields are unchanged). Throws std::runtime_error on an
+     *  unknown schema. */
+    static LintReport fromJson(const JsonValue &doc);
 
     /** One "file:line:col: rule: message" line per diagnostic. */
     std::vector<std::string> renderLines() const;

@@ -1,0 +1,88 @@
+#include "analysis/sarif.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace vic::analysis
+{
+
+JsonValue
+sarifReport(const LintReport &report)
+{
+    // Rules, deduped and sorted by id so the index assignment is
+    // stable no matter which passes registered them first.
+    std::map<std::string, std::string> by_id;
+    for (const ActiveRule &r : report.activeRules)
+        by_id.emplace(r.id, r.summary);
+    std::map<std::string, std::size_t> rule_index;
+
+    JsonValue rules = JsonValue::array();
+    for (const auto &kv : by_id) {
+        rule_index[kv.first] = rules.items().size();
+        JsonValue rule = JsonValue::object();
+        rule.set("id", JsonValue::str(kv.first));
+        JsonValue desc = JsonValue::object();
+        desc.set("text", JsonValue::str(kv.second));
+        rule.set("shortDescription", std::move(desc));
+        rules.push(std::move(rule));
+    }
+
+    JsonValue driver = JsonValue::object();
+    driver.set("name", JsonValue::str("vic_lint"));
+    driver.set("rules", std::move(rules));
+    JsonValue tool = JsonValue::object();
+    tool.set("driver", std::move(driver));
+
+    JsonValue results = JsonValue::array();
+    for (const Diagnostic &d : report.diagnostics) {
+        JsonValue res = JsonValue::object();
+        res.set("ruleId", JsonValue::str(d.rule));
+        const auto it = rule_index.find(d.rule);
+        if (it != rule_index.end())
+            res.set("ruleIndex",
+                    JsonValue::number(std::uint64_t(it->second)));
+        res.set("level", JsonValue::str("warning"));
+        JsonValue msg = JsonValue::object();
+        msg.set("text", JsonValue::str(d.message));
+        res.set("message", std::move(msg));
+
+        JsonValue artifact = JsonValue::object();
+        artifact.set("uri", JsonValue::str(d.file));
+        artifact.set("uriBaseId", JsonValue::str("SRCROOT"));
+        JsonValue region = JsonValue::object();
+        region.set("startLine",
+                   JsonValue::number(std::uint64_t(d.line)));
+        region.set("startColumn",
+                   JsonValue::number(std::uint64_t(d.col)));
+        JsonValue phys = JsonValue::object();
+        phys.set("artifactLocation", std::move(artifact));
+        phys.set("region", std::move(region));
+        JsonValue loc = JsonValue::object();
+        loc.set("physicalLocation", std::move(phys));
+        JsonValue locs = JsonValue::array();
+        locs.push(std::move(loc));
+        res.set("locations", std::move(locs));
+        results.push(std::move(res));
+    }
+
+    JsonValue run = JsonValue::object();
+    run.set("tool", std::move(tool));
+    JsonValue bases = JsonValue::object();
+    JsonValue srcroot = JsonValue::object();
+    srcroot.set("uri", JsonValue::str("file://" + report.root + "/"));
+    bases.set("SRCROOT", std::move(srcroot));
+    run.set("originalUriBaseIds", std::move(bases));
+    run.set("results", std::move(results));
+
+    JsonValue doc = JsonValue::object();
+    doc.set("$schema",
+            JsonValue::str(
+                "https://json.schemastore.org/sarif-2.1.0.json"));
+    doc.set("version", JsonValue::str("2.1.0"));
+    JsonValue runs = JsonValue::array();
+    runs.push(std::move(run));
+    doc.set("runs", std::move(runs));
+    return doc;
+}
+
+} // namespace vic::analysis

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * SARIF 2.1.0 rendering of a lint report.
+ *
+ * SARIF (Static Analysis Results Interchange Format, OASIS) is what
+ * code-review UIs and CI annotators ingest; emitting it lets the
+ * lint findings surface inline on changed lines instead of living
+ * only in the build log. The document is built with the repo's
+ * insertion-ordered JsonValue and contains nothing run-dependent (no
+ * timestamps, no invocation block, rules sorted by id), so it is
+ * byte-identical across runs on the same tree — the same contract
+ * every other vic artifact honours.
+ */
+
+#ifndef VIC_ANALYSIS_SARIF_HH
+#define VIC_ANALYSIS_SARIF_HH
+
+#include "analysis/linter.hh"
+
+#include "common/json_writer.hh"
+
+namespace vic::analysis
+{
+
+/**
+ * The SARIF 2.1.0 document for @p report: one run, driver "vic_lint",
+ * every active rule under tool.driver.rules (sorted by id, deduped),
+ * one result per diagnostic with a physicalLocation region. File URIs
+ * are root-relative under uriBaseId SRCROOT.
+ */
+JsonValue sarifReport(const LintReport &report);
+
+} // namespace vic::analysis
+
+#endif // VIC_ANALYSIS_SARIF_HH

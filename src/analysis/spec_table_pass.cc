@@ -339,7 +339,8 @@ class SpecTablePass : public Pass
         };
     }
 
-    void run(const PassContext &ctx, Sink &sink) const override
+    void run(const PassContext &ctx, Sink &sink,
+             PassStats &) const override
     {
         checkTable2(ctx, sink);
         checkMesi(ctx, sink);

@@ -80,6 +80,7 @@ class CacheGeometry
      *  right one via Cache). Inline: this runs once per simulated
      *  access on the pipeline fast path. */
     std::uint32_t
+    // vic-lint: allow(addr-kind-mixed): the paper's virtually-vs-physically-indexed split IS this channel — Cache::indexBits picks va or pa bits by Indexing, so this parameter is polymorphic by design
     setIndex(std::uint64_t addr_bits) const
     {
         return static_cast<std::uint32_t>((addr_bits / line) &

@@ -640,8 +640,13 @@ Executor::execute(int t, StepRecord &cur)
             readBufs.emplace_back(nwords, 0u);
             // The beat thread spawned below drains this transfer;
             // the scheduler's DmaWait events gate every
-            // interleaving on its completion.
-            // vic-lint: allow(drain-unpaired): beat thread drains it
+            // interleaving on its completion. The lint summary
+            // domain is per-call-path (bottom-up over the call
+            // graph); an obligation handed to ANOTHER THREAD's
+            // schedule has no call edge to follow, so this is
+            // exactly the cross-thread hand-off the interprocedural
+            // proof cannot see.
+            // vic-lint: allow(drain-unpaired): drained cross-thread by the forked beat thread; no call edge for the summary domain to follow
             id = machine.dma().startRead(machine.frameAddr(frame),
                                          readBufs.back().data(),
                                          nwords);
@@ -651,7 +656,8 @@ Executor::execute(int t, StepRecord &cur)
                 words[i] = 0x80000000u +
                            (std::uint32_t(stamp) << 8) + i;
             ++stamp;
-            // vic-lint: allow(drain-unpaired): beat thread drains it
+            // Same cross-thread hand-off as the read case above.
+            // vic-lint: allow(drain-unpaired): drained cross-thread by the forked beat thread; no call edge for the summary domain to follow
             id = machine.dma().startWrite(machine.frameAddr(frame),
                                           words.data(), nwords);
         }

@@ -1,0 +1,45 @@
+// Address-kind fixture: virtual and physical bits laundered through
+// raw uint64_t channels.
+//
+// pickBits receives va-bits from probeVirt and pa-bits from probePhys
+// — the classic washed-out helper (addr-kind-mixed at its parameter).
+// launder re-wraps untranslated virtual bits as a PhysAddr
+// (addr-kind-rewrap); translate composes the bits with a frame base,
+// which is a real translation and must stay silent.
+
+#include "common/types.hh"
+
+namespace vic
+{
+
+std::uint64_t
+pickBits(std::uint64_t raw_bits)
+{
+    return raw_bits / 32;
+}
+
+std::uint64_t
+probeVirt(VirtAddr va)
+{
+    return pickBits(va.value);
+}
+
+std::uint64_t
+probePhys(PhysAddr pa)
+{
+    return pickBits(pa.value);
+}
+
+PhysAddr
+launder(VirtAddr va)
+{
+    return PhysAddr{va.value};
+}
+
+PhysAddr
+translate(VirtAddr va, std::uint64_t frame_base)
+{
+    return PhysAddr{frame_base | (va.value % 4096)};
+}
+
+} // namespace vic

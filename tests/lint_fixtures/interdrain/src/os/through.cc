@@ -1,0 +1,40 @@
+// Interprocedural drain fixture: the obligation crosses a call.
+//
+// Under the PR 8 per-file pass the helper's "*Async" name bought an
+// exemption and the caller was never checked — both leaks below were
+// invisible. The summary engine derives beginFlushAsync's leak from
+// its body and bills the unpaired call site in flushThroughHelper.
+
+#include "dma/dma_engine.hh"
+
+namespace vic
+{
+
+TransferId
+beginFlushAsync(DmaEngine &dma)
+{
+    return dma.startWrite(FrameId(1), BlockId(2));
+}
+
+void
+flushThroughHelper(DmaEngine &dma)
+{
+    beginFlushAsync(dma);
+}
+
+void
+flushAndDrain(DmaEngine &dma)
+{
+    beginFlushAsync(dma);
+    dma.drainAll();
+}
+
+void
+deferLeakyLambda(WorkQueue &queue, DmaEngine &dma)
+{
+    queue.defer([&dma] {
+        dma.startWrite(FrameId(3), BlockId(4));
+    });
+}
+
+} // namespace vic

@@ -1,0 +1,38 @@
+// Counter-liveness fixture: a dead registration and an orphan
+// increment, both reachable from Machine construction.
+//
+// statHits is registered and bumped — live. statGhost is registered
+// in the same init list but never incremented anywhere
+// (counter-live-dead: it reports a forever-zero statistic). statOrphan
+// is a Counter member that is incremented but never bound to a
+// StatSet registration (counter-live-unregistered: benches reading
+// the registry never see it).
+
+#include "common/stats.hh"
+
+namespace vic
+{
+
+class Machine
+{
+  public:
+    Machine()
+        : statHits(statSet.counter("machine.hits")),
+          statGhost(statSet.counter("machine.ghost"))
+    {}
+
+    void
+    touch()
+    {
+        ++statHits;
+        ++statOrphan;
+    }
+
+  private:
+    StatSet statSet;
+    Counter &statHits;
+    Counter &statGhost;
+    Counter &statOrphan;
+};
+
+} // namespace vic

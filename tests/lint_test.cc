@@ -17,9 +17,13 @@
  *    above and against the source text from below.
  */
 
+#include <algorithm>
+#include <stdexcept>
+
 #include <gtest/gtest.h>
 
 #include "analysis/linter.hh"
+#include "analysis/sarif.hh"
 
 #include "cache/mesi_spec.hh"
 #include "machine/cpu.hh"
@@ -94,6 +98,54 @@ TEST(LintFixtures, DrainCatchesLeakedTransferOnly)
     // flushPaired and fillStepped drain on every path: exactly the
     // one diagnostic.
     EXPECT_EQ(countRule(r, "drain-unpaired"), 1u);
+}
+
+TEST(LintFixtures, DrainCrossesCallsAndLambdas)
+{
+    const LintReport r =
+        runLint(fixtureRoot("interdrain"), {"drain"});
+    const std::string f = "src/os/through.cc";
+    // The per-file pass exempted "*Async" names and never looked at
+    // callers; both findings below prove the old blind spots.
+    // flushThroughHelper inherits beginFlushAsync's summarised leak
+    // at the call site (line 22)...
+    EXPECT_TRUE(hasDiag(r, "drain-unpaired", f, 22));
+    // ...and the start inside the deferred lambda (line 36) is an
+    // anonymous island nobody else can drain.
+    EXPECT_TRUE(hasDiag(r, "drain-unpaired", f, 36));
+    // beginFlushAsync itself leaks BY CONTRACT (it has callers), so
+    // its own `return dma.startWrite(...)` stays silent, and
+    // flushAndDrain pairs the helper call with drainAll.
+    EXPECT_EQ(countRule(r, "drain-unpaired"), 2u);
+}
+
+TEST(LintFixtures, AddrKindMixedAndRewrap)
+{
+    const LintReport r =
+        runLint(fixtureRoot("addrkind"), {"addr-kind"});
+    const std::string f = "src/cache/mix.cc";
+    // pickBits's raw parameter sees va-bits (via probeVirt) and
+    // pa-bits (via probePhys): one washed-out channel.
+    EXPECT_TRUE(hasDiag(r, "addr-kind-mixed", f, 16));
+    // launder re-wraps untranslated virtual bits as PhysAddr.
+    EXPECT_TRUE(hasDiag(r, "addr-kind-rewrap", f, 36));
+    // translate composes with a frame base (real arithmetic) and
+    // must stay silent: exactly the two diagnostics.
+    EXPECT_EQ(r.diagnostics.size(), 2u);
+}
+
+TEST(LintFixtures, CounterLivenessDeadAndOrphan)
+{
+    const LintReport r =
+        runLint(fixtureRoot("liveness"), {"counter-liveness"});
+    const std::string f = "src/machine/machine.cc";
+    // statGhost is registered on the construction path but never
+    // bumped (line 21 is its registration).
+    EXPECT_TRUE(hasDiag(r, "counter-live-dead", f, 21));
+    // statOrphan is bumped (line 28) but bound to no registration.
+    EXPECT_TRUE(hasDiag(r, "counter-live-unregistered", f, 28));
+    // statHits is registered AND bumped: exactly the two findings.
+    EXPECT_EQ(r.diagnostics.size(), 2u);
 }
 
 TEST(LintFixtures, SpecCatchesTheDirtyDmaReadBugClass)
@@ -172,7 +224,7 @@ TEST(LintCleanTree, ZeroDiagnosticsAllPasses)
 {
     const LintReport r = runLint(VIC_LINT_SOURCE_ROOT, {});
     ASSERT_GT(r.filesScanned, 100u);  // sanity: found the real tree
-    EXPECT_EQ(r.passesRun.size(), 5u);
+    EXPECT_EQ(r.passesRun.size(), 7u);
     for (const Diagnostic &d : r.diagnostics)
         ADD_FAILURE() << d.render();
     // Every inline suppression carries a reason and silences a real
@@ -182,6 +234,17 @@ TEST(LintCleanTree, ZeroDiagnosticsAllPasses)
         EXPECT_FALSE(s.reason.empty())
             << s.file << ":" << s.commentLine;
     }
+    // The interprocedural passes did real whole-program work.
+    bool saw_fixpoint = false;
+    for (const PassRunStats &p : r.passStats) {
+        if (p.pass == "drain" || p.pass == "addr-kind" ||
+            p.pass == "counter-liveness") {
+            EXPECT_GT(p.stats.functionsAnalyzed, 100u) << p.pass;
+            EXPECT_GT(p.stats.fixpointIterations, 0u) << p.pass;
+            saw_fixpoint = true;
+        }
+    }
+    EXPECT_TRUE(saw_fixpoint);
 }
 
 TEST(LintCleanTree, JsonReportShape)
@@ -190,12 +253,125 @@ TEST(LintCleanTree, JsonReportShape)
         runLint(VIC_LINT_SOURCE_ROOT, {"layering"});
     const JsonValue doc = r.toJson();
     ASSERT_NE(doc.find("schema"), nullptr);
-    EXPECT_EQ(doc.find("schema")->asString(), "vic-lint-report-v1");
+    EXPECT_EQ(doc.find("schema")->asString(), "vic-lint-report-v2");
     EXPECT_TRUE(doc.find("clean")->asBool());
     EXPECT_EQ(doc.find("files_scanned")->asU64(), r.filesScanned);
     EXPECT_EQ(doc.find("diagnostics")->items().size(), 0u);
+    // v2: one pass_stats entry per pass run.
+    ASSERT_NE(doc.find("pass_stats"), nullptr);
+    EXPECT_EQ(doc.find("pass_stats")->items().size(), 1u);
+    EXPECT_EQ(doc.find("pass_stats")
+                  ->items()[0]
+                  .find("pass")
+                  ->asString(),
+              "layering");
     // Determinism: serialising twice is byte-identical.
     EXPECT_EQ(doc.dump(2), r.toJson().dump(2));
+}
+
+TEST(LintCleanTree, ByteIdenticalAcrossRuns)
+{
+    // The acceptance bar for every vic artifact: two independent
+    // runs over the same tree serialise byte-identically — JSON and
+    // SARIF both.
+    const LintReport a = runLint(VIC_LINT_SOURCE_ROOT, {});
+    const LintReport b = runLint(VIC_LINT_SOURCE_ROOT, {});
+    EXPECT_EQ(a.toJson().dump(2), b.toJson().dump(2));
+    EXPECT_EQ(sarifReport(a).dump(2), sarifReport(b).dump(2));
+}
+
+// ---------------------------------------------------------------------
+// Report round-trips: v2 writer, v1-compatible reader, SARIF shape
+// ---------------------------------------------------------------------
+
+TEST(LintReportFormats, V2RoundTripAndV1Reader)
+{
+    const LintReport r =
+        runLint(fixtureRoot("addrkind"), {"addr-kind"});
+    ASSERT_EQ(r.diagnostics.size(), 2u);
+
+    // v2 round trip through serialise -> parse -> fromJson.
+    const JsonValue doc =
+        JsonValue::parse(r.toJson().dump(2));
+    const LintReport back = LintReport::fromJson(doc);
+    ASSERT_EQ(back.diagnostics.size(), r.diagnostics.size());
+    EXPECT_EQ(back.diagnostics[0].rule, r.diagnostics[0].rule);
+    EXPECT_EQ(back.diagnostics[0].file, r.diagnostics[0].file);
+    EXPECT_EQ(back.diagnostics[0].line, r.diagnostics[0].line);
+    EXPECT_EQ(back.filesScanned, r.filesScanned);
+    EXPECT_EQ(back.passesRun, r.passesRun);
+    ASSERT_EQ(back.passStats.size(), 1u);
+    EXPECT_EQ(back.passStats[0].pass, "addr-kind");
+    EXPECT_EQ(back.passStats[0].stats.functionsAnalyzed,
+              r.passStats[0].stats.functionsAnalyzed);
+
+    // A v1 document (no pass_stats) still reads: archived PR 8
+    // artifacts stay diffable.
+    JsonValue v1 = JsonValue::parse(r.toJson().dump(2));
+    v1.set("schema", JsonValue::str("vic-lint-report-v1"));
+    JsonValue stripped = JsonValue::object();
+    for (auto &kv : v1.members()) {
+        if (kv.first != "pass_stats")
+            stripped.set(kv.first, std::move(kv.second));
+    }
+    const LintReport old = LintReport::fromJson(stripped);
+    EXPECT_EQ(old.diagnostics.size(), r.diagnostics.size());
+    EXPECT_TRUE(old.passStats.empty());
+
+    // Unknown schemas are rejected, not misread.
+    JsonValue bogus = JsonValue::object();
+    bogus.set("schema", JsonValue::str("vic-lint-report-v99"));
+    EXPECT_THROW(LintReport::fromJson(bogus), std::runtime_error);
+}
+
+TEST(LintReportFormats, SarifShape)
+{
+    const LintReport r =
+        runLint(fixtureRoot("addrkind"), {"addr-kind"});
+    const JsonValue doc = sarifReport(r);
+
+    EXPECT_EQ(doc.find("version")->asString(), "2.1.0");
+    ASSERT_NE(doc.find("runs"), nullptr);
+    ASSERT_EQ(doc.find("runs")->items().size(), 1u);
+    const JsonValue &run = doc.find("runs")->items()[0];
+
+    const JsonValue &driver =
+        *run.find("tool")->find("driver");
+    EXPECT_EQ(driver.find("name")->asString(), "vic_lint");
+    // Rules are sorted by id and cover the pass's families plus the
+    // suppression-hygiene pair.
+    const auto &rules = driver.find("rules")->items();
+    ASSERT_GE(rules.size(), 4u);
+    std::vector<std::string> ids;
+    for (const JsonValue &rule : rules)
+        ids.push_back(rule.find("id")->asString());
+    EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+    EXPECT_NE(std::find(ids.begin(), ids.end(), "addr-kind-mixed"),
+              ids.end());
+
+    // One result per diagnostic, each with a physical location
+    // under the SRCROOT base.
+    const auto &results = run.find("results")->items();
+    ASSERT_EQ(results.size(), r.diagnostics.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const JsonValue &res = results[i];
+        EXPECT_EQ(res.find("ruleId")->asString(),
+                  r.diagnostics[i].rule);
+        EXPECT_EQ(res.find("level")->asString(), "warning");
+        const JsonValue &phys =
+            *res.find("locations")->items()[0].find(
+                "physicalLocation");
+        EXPECT_EQ(phys.find("artifactLocation")
+                      ->find("uri")
+                      ->asString(),
+                  r.diagnostics[i].file);
+        EXPECT_EQ(phys.find("artifactLocation")
+                      ->find("uriBaseId")
+                      ->asString(),
+                  "SRCROOT");
+        EXPECT_EQ(phys.find("region")->find("startLine")->asU64(),
+                  r.diagnostics[i].line);
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -3,13 +3,14 @@
  * vic_lint — the repo's static analyzer.
  *
  *   vic_lint [--root DIR] [--pass NAME]... [--json FILE]
- *            [--list-rules]
+ *            [--sarif FILE] [--list-rules]
  *
- * Runs the five invariant passes (determinism, drain, spec, counter,
- * layering) over the tree at --root (default: the current
- * directory), prints one "file:line:col: rule: message" line per
- * diagnostic, and optionally writes the deterministic
- * "vic-lint-report-v1" JSON artifact.
+ * Runs the seven invariant passes (determinism, drain, addr-kind,
+ * spec, counter, counter-liveness, layering) over the tree at --root
+ * (default: the current directory), prints one
+ * "file:line:col: rule: message" line per diagnostic, and optionally
+ * writes the deterministic "vic-lint-report-v2" JSON artifact and/or
+ * a SARIF 2.1.0 document for CI annotators.
  *
  * Exit status: 0 clean, 1 diagnostics found, 2 usage/IO error.
  */
@@ -21,6 +22,7 @@
 #include <vector>
 
 #include "analysis/linter.hh"
+#include "analysis/sarif.hh"
 
 namespace
 {
@@ -31,6 +33,7 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--root DIR] [--pass NAME]... [--json FILE]\n"
+        "          [--sarif FILE]\n"
         "       %s --list-rules\n"
         "\n"
         "Passes (default: all):\n",
@@ -65,6 +68,7 @@ main(int argc, char **argv)
 {
     std::string root = ".";
     std::string json_path;
+    std::string sarif_path;
     std::vector<std::string> passes;
 
     for (int i = 1; i < argc; ++i) {
@@ -87,6 +91,11 @@ main(int argc, char **argv)
             if (v == nullptr)
                 return usage(argv[0]);
             json_path = v;
+        } else if (std::strcmp(arg, "--sarif") == 0) {
+            const char *v = value();
+            if (v == nullptr)
+                return usage(argv[0]);
+            sarif_path = v;
         } else if (std::strcmp(arg, "--list-rules") == 0) {
             return listRules();
         } else if (std::strcmp(arg, "--help") == 0 ||
@@ -139,6 +148,17 @@ main(int argc, char **argv)
             return 2;
         }
         out << report.toJson().dump(2) << '\n';
+    }
+
+    if (!sarif_path.empty()) {
+        std::ofstream out(sarif_path,
+                          std::ios::binary | std::ios::trunc);
+        if (!out) {
+            std::fprintf(stderr, "%s: cannot write '%s'\n", argv[0],
+                         sarif_path.c_str());
+            return 2;
+        }
+        out << vic::analysis::sarifReport(report).dump(2) << '\n';
     }
 
     std::size_t used = 0;
