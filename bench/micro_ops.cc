@@ -15,12 +15,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/arena.hh"
 #include "common/bitvector.hh"
 #include "core/classic_pmap.hh"
 #include "core/lazy_pmap.hh"
 #include "machine/cpu.hh"
 #include "core/spec_executor.hh"
 #include "machine/machine.hh"
+#include "mmu/page_table.hh"
 
 #include <unordered_map>
 
@@ -91,6 +93,67 @@ BM_BitVectorStaleUpdate(benchmark::State &state)
     }
 }
 BENCHMARK(BM_BitVectorStaleUpdate)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_CacheTagProbeHit(benchmark::State &state)
+{
+    // The SoA tag probe in isolation: a 2-way geometry so findWay()
+    // walks more than one way-slot per probe. Layout regressions in
+    // the column store (cache.hh) surface here before any workload
+    // notices.
+    MachineParams p = MachineParams::hp720();
+    p.dcacheWays = 2;
+    Machine m{p};
+    Cache &c = m.dcache();
+    c.read(VirtAddr(0), PhysAddr(0));
+    c.read(VirtAddr(64 * 1024), PhysAddr(64 * 1024));
+    bool flip = false;
+    for (auto _ : state) {
+        // Both lines stay resident in the two ways: every read is a
+        // pure probe-hit, alternating the matching way.
+        benchmark::DoNotOptimize(
+            flip ? c.read(VirtAddr(64 * 1024), PhysAddr(64 * 1024))
+                 : c.read(VirtAddr(0), PhysAddr(0)));
+        flip = !flip;
+    }
+}
+BENCHMARK(BM_CacheTagProbeHit);
+
+void
+BM_ArenaAllocRelease(benchmark::State &state)
+{
+    // Steady-state arena churn: after warm-up every alloc() pops the
+    // slot the previous release() pushed — the page-table's
+    // enter/remove pattern under mapping turnover.
+    struct Rec
+    {
+        std::uint64_t a = 0, b = 0;
+    };
+    Arena<Rec> arena;
+    for (auto _ : state) {
+        Rec *r = arena.alloc();
+        benchmark::DoNotOptimize(r);
+        arena.release(r);
+    }
+}
+BENCHMARK(BM_ArenaAllocRelease);
+
+void
+BM_PageTableEnterRemove(benchmark::State &state)
+{
+    // One mapping-turnover round trip through the arena-backed
+    // separate-chaining table (enter + remove on a warm table).
+    PageTable pt(4096);
+    for (std::uint32_t i = 0; i < 64; ++i)
+        pt.enter(SpaceVa(1, VirtAddr(i * 4096)), i,
+                 Protection::readWrite());
+    for (auto _ : state) {
+        pt.enter(SpaceVa(2, VirtAddr(0x10000)), 99,
+                 Protection::readWrite());
+        benchmark::DoNotOptimize(pt.remove(SpaceVa(2, VirtAddr(0x10000))));
+    }
+}
+BENCHMARK(BM_PageTableEnterRemove);
 
 void
 BM_TlbTranslateHit(benchmark::State &state)

@@ -221,6 +221,9 @@ suiteMain(const std::string &name, int argc, char **argv)
         if (arg == "--jobs" || arg == "-j") {
             engine_opts.jobs =
                 static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--shards") {
+            engine_opts.shards =
+                static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
         } else if (arg == "--smoke") {
             suite_opts.smoke = true;
         } else if (arg == "--json") {
@@ -230,8 +233,8 @@ suiteMain(const std::string &name, int argc, char **argv)
         } else if (arg == "--progress") {
             engine_opts.echoProgress = true;
         } else if (arg == "--help" || arg == "-h") {
-            std::printf("usage: %s [--jobs N] [--smoke] [--json PATH] "
-                        "[--trace N] [--progress]\n",
+            std::printf("usage: %s [--jobs N] [--shards N] [--smoke] "
+                        "[--json PATH] [--trace N] [--progress]\n",
                         argv[0]);
             return 0;
         } else {
@@ -271,6 +274,7 @@ suiteMain(const std::string &name, int argc, char **argv)
     if (!json_path.empty()) {
         ArtifactMeta meta;
         meta.jobs = engine_opts.jobs;
+        meta.shards = engine_opts.shards;
         meta.smoke = suite_opts.smoke;
         meta.filter = suite->name;
         meta.wallSeconds = wall;

@@ -37,16 +37,18 @@
 #      the same sweep rerun serially must produce an artifact
 #      equivalent to the parallel one modulo wall-clock — the
 #      engine's determinism contract;
-#   7. perf smoke: vic_bench --smoke rebuilt at Release (-O2), its
-#      artifact asserted equivalent to the default build's (the
-#      pipeline's functional behaviour must not depend on the
-#      optimisation level), and the throughput numbers archived
-#      (BENCH_throughput.json) as the perf baseline for later
-#      commits to regress against;
+#   7. perf smoke: vic_bench --smoke rebuilt at Release (-O2) and run
+#      with --shards 2 (the intra-run shard path must be exercised by
+#      every CI pass), its artifact asserted equivalent to the
+#      default build's (the pipeline's functional behaviour must not
+#      depend on the optimisation level OR the shard count), gated by
+#      the throughput ratchet (--ratchet: >10% regression in
+#      cycles_per_host_second vs the archived baseline fails CI),
+#      and the refreshed baseline archived (BENCH_throughput.json);
 #   8. thread sanitizer: the threaded fan-outs (experiment engine
-#      tests + the smoke sweep + the model checker's exploreMany +
-#      the CoherenceBus head-to-head paths) rebuilt and rerun under
-#      TSan;
+#      tests + the shard runner tests + the smoke sweep + the model
+#      checker's exploreMany + the CoherenceBus head-to-head paths +
+#      a sharded fleet sweep) rebuilt and rerun under TSan;
 #   9. static analysis: tools/vic_lint runs all seven invariant
 #      passes (determinism, interprocedural DMA drain-pairing,
 #      address-kind laundering, spec-table completeness, counter
@@ -122,29 +124,45 @@ step "bench determinism (--jobs 1 vs --jobs 2 artifacts)"
 ./build/tools/vic_bench --diff BENCH_smoke_j1.json BENCH_smoke.json
 rm -f BENCH_smoke_j1.json
 
-step "perf smoke (Release -O2, artifact equivalence + throughput)"
+step "perf smoke (Release -O2, shards, artifact equivalence, ratchet)"
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-release -j "$JOBS" --target vic_bench
-./build-release/tools/vic_bench --smoke --jobs 2 \
+# --shards 2 exercises the intra-run shard path; the artifact must
+# stay equivalent to the Debug --shards 1 sweep. The ratchet gates on
+# >10% cycles_per_host_second regression vs the archived baseline,
+# and only a passing sweep refreshes it (--throughput).
+./build-release/tools/vic_bench --smoke --jobs 2 --shards 2 \
     --json BENCH_smoke_release.json \
-    --throughput BENCH_throughput.json >/dev/null
+    --ratchet BENCH_throughput.json \
+    --throughput BENCH_throughput.json
 ./build/tools/vic_bench --diff BENCH_smoke.json BENCH_smoke_release.json
 rm -f BENCH_smoke_release.json
 ./build-release/tools/vic_bench --list --throughput BENCH_throughput.json
-echo "artifact archived: BENCH_throughput.json"
+echo "artifact archived: BENCH_throughput.json (ratchet baseline)"
 
 if [[ "$FULL" == 1 ]]; then
     step "full-scale Table 1 sweep (opt-in, calibrated shape checks)"
     ./build/tools/vic_bench --filter table1 --jobs "$JOBS" \
         --json BENCH_table1_full.json
     echo "artifact archived: BENCH_table1_full.json"
+
+    step "full-scale coherence head-to-head (opt-in, Release)"
+    # The hardware-vs-software suite at calibrated scale: its shape
+    # checks (zero software ops on the HW rows, nonzero bus/snoop
+    # work, lazy <= classic software cycles) gate rather than advise.
+    # Release build — full-scale 2-CPU MESI runs are the most
+    # expensive in the tree. Numbers are recorded in EXPERIMENTS.md.
+    cmake --build build-release -j "$JOBS" --target vic_bench
+    ./build-release/tools/vic_bench --filter coherence --jobs "$JOBS" \
+        --json BENCH_coherence_full.json
+    echo "artifact archived: BENCH_coherence_full.json"
 fi
 
 step "thread sanitizer build (experiment engine + model checker + coherence)"
 cmake -B build-tsan -S . -DVIC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
-    --target experiment_engine_test vic_bench mc_test weak_order_test \
-             multiprocessor_test
+    --target experiment_engine_test shard_test vic_bench mc_test \
+             weak_order_test multiprocessor_test
 
 step "thread sanitizer: engine tests + smoke sweep + explorer + coherence"
 ./build-tsan/tests/experiment_engine_test
@@ -158,6 +176,11 @@ step "thread sanitizer: engine tests + smoke sweep + explorer + coherence"
 ./build-tsan/tests/multiprocessor_test >/dev/null
 ./build-tsan/tools/vic_bench --smoke --filter coherence --jobs 4 \
     --json /dev/null >/dev/null
+# Intra-run sharding: the shard runner's worker threads (unit tests),
+# then jobs x shards nested fan-out through the whole fleet suite.
+./build-tsan/tests/shard_test >/dev/null
+./build-tsan/tools/vic_bench --smoke --filter fleet --jobs 2 \
+    --shards 4 --json /dev/null >/dev/null
 echo "TSan: clean"
 
 step "static analysis (vic_lint, all passes)"

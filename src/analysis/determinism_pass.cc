@@ -26,9 +26,14 @@
  *   det-std-random  std random engines/distributions, std::shuffle
  *   det-unordered   unordered containers in src/mc (exploration
  *                   results must be identical across --jobs; hash
- *                   iteration order is seed- and ASLR-dependent) and
+ *                   iteration order is seed- and ASLR-dependent),
  *                   in src/common *headers* (the sim-visible APIs
- *                   every artifact flows through)
+ *                   every artifact flows through — including the
+ *                   Arena, whose allocation order must stay a pure
+ *                   function of the call sequence), and in all of
+ *                   src/mmu (the arena-backed page table derives its
+ *                   chains from a fixed key mix precisely so no
+ *                   host-dependent hash can slip back in)
  */
 
 #include "analysis/cpp_scan.hh"
@@ -107,7 +112,7 @@ class DeterminismPass : public Pass
              "implementation-defined; use src/common/random.hh"},
             {"det-unordered",
              "unordered container where iteration order escapes "
-             "(src/mc, src/common headers)"},
+             "(src/mc, src/common headers, src/mmu)"},
         };
     }
 
@@ -117,6 +122,7 @@ class DeterminismPass : public Pass
         for (const SourceFile &f : ctx.files) {
             scanBans(f, sink);
             if (startsWith(f.path, "src/mc/") ||
+                startsWith(f.path, "src/mmu/") ||
                 (startsWith(f.path, "src/common/") &&
                  f.path.size() > 3 &&
                  f.path.compare(f.path.size() - 3, 3, ".hh") == 0))

@@ -13,7 +13,10 @@
  * Layer ranks (include allowed iff target dir rank is strictly
  * lower, or the same directory):
  *
- *   0  common                      pure utilities
+ *   0  common                      pure utilities (incl. the
+ *                                  column-store and arena layout
+ *                                  helpers — leaf containers with no
+ *                                  upward knowledge)
  *   1  mem, mmu, oracle            leaf models
  *   2  cache, tlb                  indexed hardware (cache needs mem)
  *   3  dma                         engines driving cache+mem
@@ -21,6 +24,11 @@
  *   5  core                        pmaps + protocol spec tables
  *   6  os                          kernel, VM, buffer cache
  *   7  workload, mc                drivers of a whole OS/machine
+ *                                  (incl. the shard runner, which is
+ *                                  deliberately BELOW experiment:
+ *                                  replica seeds are computed in the
+ *                                  experiment layer and passed down,
+ *                                  never derived by reaching up)
  *   8  verify, experiment, analysis   harnesses over everything
  *   9  (src/vic.hh)                the umbrella header
  *

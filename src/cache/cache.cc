@@ -3,6 +3,8 @@
 #include "cache/coherence.hh"
 #include "common/logging.hh"
 
+#include <algorithm>
+
 namespace vic
 {
 
@@ -27,7 +29,8 @@ Cache::Cache(std::string cache_name, const CacheGeometry &geom,
              PhysicalMemory &memory, CycleClock &clock, StatSet &stat_set)
     : cacheName(std::move(cache_name)), geo(geom), costs(cache_costs),
       policy(write_policy), mem(memory), clk(clock), statSet(stat_set),
-      lines(geo.numLines()),
+      lineCols(geo.numLines()), lineState(lineCols.column<0>()),
+      lineTag(lineCols.column<1>()), lineUse(lineCols.column<2>()),
       data(std::uint64_t(geo.numLines()) * geo.wordsPerLine(), 0),
       statReads(stat_set.counter(cacheName + ".reads")),
       statWrites(stat_set.counter(cacheName + ".writes")),
@@ -65,11 +68,11 @@ Cache::victimWay(std::uint32_t set) const
     std::uint32_t victim = 0;
     std::uint64_t oldest = ~std::uint64_t(0);
     for (std::uint32_t w = 0; w < geo.associativity(); ++w) {
-        const Line &l = lines[lineId(set, w)];
-        if (!l.valid())
+        const std::uint32_t id = lineId(set, w);
+        if (!lineValid(id))
             return w;
-        if (l.lastUse < oldest) {
-            oldest = l.lastUse;
+        if (lineUse[id] < oldest) {
+            oldest = lineUse[id];
             victim = w;
         }
     }
@@ -79,11 +82,10 @@ Cache::victimWay(std::uint32_t set) const
 void
 Cache::writeBack(std::uint32_t line_id)
 {
-    Line &l = lines[line_id];
-    vic_assert(l.valid() && l.dirty(), "write-back of non-dirty line");
-    PhysAddr base(l.tag * geo.lineBytes());
+    vic_assert(lineDirty(line_id), "write-back of non-dirty line");
+    PhysAddr base(lineTag[line_id] * geo.lineBytes());
     mem.writeWords(base, lineData(line_id), geo.wordsPerLine());
-    l.state = MesiState::Exclusive;
+    lineState[line_id] = MesiState::Exclusive;
     ++statWriteBacks;
     clk.advance(costs.writeBackPenalty);
 }
@@ -97,12 +99,11 @@ Cache::selfSnoopSynonyms(std::uint32_t keep_id, PhysAddr pa_line)
             const std::uint32_t id = lineId(set, w);
             if (id == keep_id)
                 continue;
-            Line &l = lines[id];
-            if (!l.valid() || l.tag != tag)
+            if (!lineValid(id) || lineTag[id] != tag)
                 continue;
-            if (l.dirty())
+            if (lineDirty(id))
                 writeBack(id);
-            l.state = MesiState::Invalid;
+            lineState[id] = MesiState::Invalid;
             if (statSynonymSnoops != nullptr) {
                 ++*statSynonymSnoops;
                 *statSynonymSnoopCycles += selfSnoopPenalty;
@@ -115,7 +116,6 @@ Cache::selfSnoopSynonyms(std::uint32_t keep_id, PhysAddr pa_line)
 void
 Cache::fill(std::uint32_t line_id, PhysAddr pa, bool for_write)
 {
-    Line &l = lines[line_id];
     PhysAddr base(geo.lineBase(pa.value));
     // Coherence actions first, so peer (and synonym) write-backs land
     // in memory before this fill reads it.
@@ -129,8 +129,9 @@ Cache::fill(std::uint32_t line_id, PhysAddr pa, bool for_write)
     if (selfSnoop)
         selfSnoopSynonyms(line_id, base);
     mem.readWords(base, lineData(line_id), geo.wordsPerLine());
-    l.state = shared ? MesiState::Shared : MesiState::Exclusive;
-    l.tag = pa.value / geo.lineBytes();
+    lineState[line_id] =
+        shared ? MesiState::Shared : MesiState::Exclusive;
+    lineTag[line_id] = pa.value / geo.lineBytes();
     ++statFills;
     clk.advance(costs.missPenalty);
 }
@@ -148,7 +149,7 @@ Cache::read(VirtAddr va, PhysAddr pa)
         ++statMisses;
         const std::uint32_t victim = victimWay(set);
         const std::uint32_t id = lineId(set, victim);
-        if (lines[id].dirty())
+        if (lineDirty(id))
             writeBack(id);
         fill(id, pa, false);
         way = static_cast<int>(victim);
@@ -156,7 +157,7 @@ Cache::read(VirtAddr va, PhysAddr pa)
         ++statHits;
     }
     const std::uint32_t id = lineId(set, static_cast<std::uint32_t>(way));
-    lines[id].lastUse = ++useTick;
+    lineUse[id] = ++useTick;
     const std::uint32_t word_in_line =
         static_cast<std::uint32_t>((pa.value / 4) % geo.wordsPerLine());
     return lineData(id)[word_in_line];
@@ -182,7 +183,7 @@ Cache::write(VirtAddr va, PhysAddr pa, std::uint32_t value)
         ++statHits;
         const std::uint32_t id =
             lineId(set, static_cast<std::uint32_t>(way));
-        lines[id].lastUse = ++useTick;
+        lineUse[id] = ++useTick;
         const std::uint32_t word_in_line =
             static_cast<std::uint32_t>((pa.value / 4) %
                                        geo.wordsPerLine());
@@ -195,7 +196,7 @@ Cache::write(VirtAddr va, PhysAddr pa, std::uint32_t value)
         ++statMisses;
         const std::uint32_t victim = victimWay(set);
         const std::uint32_t id = lineId(set, victim);
-        if (lines[id].dirty())
+        if (lineDirty(id))
             writeBack(id);
         fill(id, pa, true);
         way = static_cast<int>(victim);
@@ -204,12 +205,12 @@ Cache::write(VirtAddr va, PhysAddr pa, std::uint32_t value)
         const std::uint32_t id =
             lineId(set, static_cast<std::uint32_t>(way));
         // A Shared hit must win exclusive ownership before writing.
-        if (bus != nullptr && lines[id].state == MesiState::Shared)
+        if (bus != nullptr && lineState[id] == MesiState::Shared)
             bus->busUpgrade(this, PhysAddr(geo.lineBase(pa.value)));
     }
     const std::uint32_t id = lineId(set, static_cast<std::uint32_t>(way));
-    lines[id].lastUse = ++useTick;
-    lines[id].state = MesiState::Modified;
+    lineUse[id] = ++useTick;
+    lineState[id] = MesiState::Modified;
     const std::uint32_t word_in_line =
         static_cast<std::uint32_t>((pa.value / 4) % geo.wordsPerLine());
     lineData(id)[word_in_line] = value;
@@ -239,9 +240,9 @@ Cache::removeLine(VirtAddr va, PhysAddr pa, bool write_back)
         return false;
 
     const std::uint32_t id = lineId(set, static_cast<std::uint32_t>(way));
-    if (write_back && lines[id].dirty())
+    if (write_back && lineDirty(id))
         writeBack(id);
-    lines[id].state = MesiState::Invalid;
+    lineState[id] = MesiState::Invalid;
     return true;
 }
 
@@ -284,8 +285,8 @@ Cache::purgePage(VirtAddr page_va, PhysAddr page_pa)
 void
 Cache::purgeAll()
 {
-    for (auto &l : lines)
-        l.state = MesiState::Invalid;
+    std::fill(lineState, lineState + geo.numLines(),
+              MesiState::Invalid);
 }
 
 void
@@ -294,9 +295,9 @@ Cache::snoopInvalidateLine(PhysAddr pa_line)
     const std::uint64_t tag = pa_line.value / geo.lineBytes();
     forEachCandidateSet(pa_line, [&](std::uint32_t set) {
         for (std::uint32_t w = 0; w < geo.associativity(); ++w) {
-            Line &l = lines[lineId(set, w)];
-            if (l.valid() && l.tag == tag)
-                l.state = MesiState::Invalid;
+            const std::uint32_t id = lineId(set, w);
+            if (lineValid(id) && lineTag[id] == tag)
+                lineState[id] = MesiState::Invalid;
         }
     });
 }
@@ -309,8 +310,8 @@ Cache::snoopWriteBackLine(PhysAddr pa_line)
     forEachCandidateSet(pa_line, [&](std::uint32_t set) {
         for (std::uint32_t w = 0; w < geo.associativity(); ++w) {
             const std::uint32_t id = lineId(set, w);
-            Line &l = lines[id];
-            if (l.valid() && l.tag == tag && l.dirty()) {
+            if (lineValid(id) && lineTag[id] == tag &&
+                lineDirty(id)) {
                 writeBack(id);
                 wrote = true;
             }
@@ -327,15 +328,14 @@ Cache::snoopBusRead(PhysAddr pa_line)
     forEachCandidateSet(pa_line, [&](std::uint32_t set) {
         for (std::uint32_t w = 0; w < geo.associativity(); ++w) {
             const std::uint32_t id = lineId(set, w);
-            Line &l = lines[id];
-            if (!l.valid() || l.tag != tag)
+            if (!lineValid(id) || lineTag[id] != tag)
                 continue;
             reply.hadCopy = true;
-            if (l.dirty()) {
+            if (lineDirty(id)) {
                 writeBack(id);
                 reply.intervened = true;
             }
-            l.state = MesiState::Shared;
+            lineState[id] = MesiState::Shared;
         }
     });
     return reply;
@@ -349,15 +349,14 @@ Cache::snoopBusInvalidate(PhysAddr pa_line)
     forEachCandidateSet(pa_line, [&](std::uint32_t set) {
         for (std::uint32_t w = 0; w < geo.associativity(); ++w) {
             const std::uint32_t id = lineId(set, w);
-            Line &l = lines[id];
-            if (!l.valid() || l.tag != tag)
+            if (!lineValid(id) || lineTag[id] != tag)
                 continue;
             reply.hadCopy = true;
-            if (l.dirty()) {
+            if (lineDirty(id)) {
                 writeBack(id);
                 reply.intervened = true;
             }
-            l.state = MesiState::Invalid;
+            lineState[id] = MesiState::Invalid;
         }
     });
     return reply;
@@ -373,8 +372,8 @@ Cache::probe(VirtAddr va, PhysAddr pa) const
         return p;
     const std::uint32_t id = lineId(set, static_cast<std::uint32_t>(way));
     p.present = true;
-    p.dirty = lines[id].dirty();
-    p.state = lines[id].state;
+    p.dirty = lineDirty(id);
+    p.state = lineState[id];
     const std::uint32_t word_in_line =
         static_cast<std::uint32_t>((pa.value / 4) % geo.wordsPerLine());
     p.word = lineData(id)[word_in_line];

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "cache/cache_geometry.hh"
+#include "common/column_store.hh"
 #include "common/cycle_clock.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -157,7 +158,7 @@ class Cache
         clk.advance(costs.hit);
         const std::uint32_t id =
             lineId(set, static_cast<std::uint32_t>(way));
-        lines[id].lastUse = ++useTick;
+        lineUse[id] = ++useTick;
         value = lineData(id)[
             static_cast<std::uint32_t>((pa.value / 4) %
                                        geo.wordsPerLine())];
@@ -183,13 +184,13 @@ class Cache
             return false;
         const std::uint32_t id =
             lineId(set, static_cast<std::uint32_t>(way));
-        if (bus != nullptr && lines[id].state == MesiState::Shared)
+        if (bus != nullptr && lineState[id] == MesiState::Shared)
             return false;
         ++statWrites;
         ++statHits;
         clk.advance(costs.hit);
-        lines[id].lastUse = ++useTick;
-        lines[id].state = MesiState::Modified;
+        lineUse[id] = ++useTick;
+        lineState[id] = MesiState::Modified;
         lineData(id)[static_cast<std::uint32_t>(
             (pa.value / 4) % geo.wordsPerLine())] = value;
         return true;
@@ -267,16 +268,6 @@ class Cache
     Probe probe(VirtAddr va, PhysAddr pa) const;
 
   private:
-    struct Line
-    {
-        MesiState state = MesiState::Invalid;
-        std::uint64_t tag = 0; ///< physical line number (pa / lineBytes)
-        std::uint64_t lastUse = 0;
-
-        bool valid() const { return state != MesiState::Invalid; }
-        bool dirty() const { return state == MesiState::Modified; }
-    };
-
     std::string cacheName;
     CacheGeometry geo;
     CacheCosts costs;
@@ -286,7 +277,22 @@ class Cache
     StatSet &statSet;
     CoherenceBus *bus = nullptr;
 
-    std::vector<Line> lines;
+    /**
+     * Per-line metadata in structure-of-arrays layout
+     * (common/column_store.hh): column 0 = MESI state, column 1 =
+     * physical tag (pa / lineBytes), column 2 = LRU use tick. The tag
+     * probe touches only the state and tag columns, so a whole set's
+     * candidates land in one or two host cache lines and the
+     * branchless compare in findWay() vectorises; the LRU tick —
+     * written on every hit but read only by victim selection — stays
+     * out of the probe's way. Raw column pointers are resolved once
+     * (the store never reallocates).
+     */
+    ColumnStore<MesiState, std::uint64_t, std::uint64_t> lineCols;
+    MesiState *lineState = nullptr;
+    std::uint64_t *lineTag = nullptr;
+    std::uint64_t *lineUse = nullptr;
+
     std::vector<std::uint32_t> data;
     std::uint64_t useTick = 0;
 
@@ -320,18 +326,37 @@ class Cache
     const std::uint32_t *lineData(std::uint32_t line_id) const
     { return data.data() + std::uint64_t(line_id) * geo.wordsPerLine(); }
 
-    /** Find a valid way in @p set whose tag covers @p pa.
-     *  @return way index or -1. */
+    bool lineValid(std::uint32_t id) const
+    { return lineState[id] != MesiState::Invalid; }
+    bool lineDirty(std::uint32_t id) const
+    { return lineState[id] == MesiState::Modified; }
+
+    /**
+     * Find a valid way in @p set whose tag covers @p pa.
+     * @return way index or -1.
+     *
+     * Branchless probe over the set's way-vector: every way's
+     * (valid, tag-equal) conjunction is computed with data-dependent
+     * arithmetic only, and since at most one way can match (fills
+     * only happen after a failed probe) OR-ing way+1 under the match
+     * mask yields the unique hit with no early-exit branch for the
+     * predictor to miss.
+     */
     int
     findWay(std::uint32_t set, PhysAddr pa) const
     {
         const std::uint64_t tag = pa.value / geo.lineBytes();
-        for (std::uint32_t w = 0; w < geo.associativity(); ++w) {
-            const Line &l = lines[lineId(set, w)];
-            if (l.valid() && l.tag == tag)
-                return static_cast<int>(w);
+        const std::uint32_t ways = geo.associativity();
+        const std::uint32_t base = set * ways;
+        std::uint32_t hit = 0;
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            const std::uint32_t id = base + w;
+            const bool match =
+                (lineState[id] != MesiState::Invalid) &
+                (lineTag[id] == tag);
+            hit |= match * (w + 1);
         }
-        return -1;
+        return static_cast<int>(hit) - 1;
     }
 
     /** Choose a victim way in @p set (invalid first, else LRU). */

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Structure-of-arrays column store.
+ *
+ * Hot lookup loops (the cache's tag probe, above all) touch one or
+ * two fields of every element in a set; an array-of-structs layout
+ * drags the untouched fields through the data cache with them and
+ * defeats vectorisation of the compare loop. A ColumnStore keeps each
+ * field in its own contiguous array so a scan over N elements reads
+ * exactly N * sizeof(field) bytes, and the branchless tag-compare in
+ * Cache::findWay() auto-vectorises.
+ *
+ * The store is fixed-size after construction; columns therefore never
+ * reallocate, and raw column pointers obtained once (via column<I>())
+ * stay valid for the store's lifetime — the same stability contract
+ * the access pipeline's pre-resolved handles rely on elsewhere.
+ */
+
+#ifndef VIC_COMMON_COLUMN_STORE_HH
+#define VIC_COMMON_COLUMN_STORE_HH
+
+#include <cstddef>
+#include <tuple>
+#include <vector>
+
+namespace vic
+{
+
+template <typename... Columns>
+class ColumnStore
+{
+  public:
+    ColumnStore() = default;
+
+    /** @p n elements per column, value-initialised. */
+    explicit ColumnStore(std::size_t n)
+        : count(n), cols(std::vector<Columns>(n)...)
+    {}
+
+    std::size_t size() const { return count; }
+
+    /** Raw pointer to column @p I; stable for the store's lifetime. */
+    template <std::size_t I>
+    auto *
+    column()
+    {
+        return std::get<I>(cols).data();
+    }
+
+    template <std::size_t I>
+    const auto *
+    column() const
+    {
+        return std::get<I>(cols).data();
+    }
+
+    /** Value-initialise every element of column @p I (bulk reset). */
+    template <std::size_t I>
+    void
+    clearColumn()
+    {
+        auto &c = std::get<I>(cols);
+        c.assign(c.size(), {});
+    }
+
+  private:
+    std::size_t count = 0;
+    std::tuple<std::vector<Columns>...> cols;
+};
+
+} // namespace vic
+
+#endif // VIC_COMMON_COLUMN_STORE_HH

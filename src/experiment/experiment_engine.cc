@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "workload/shard_runner.hh"
 
 namespace vic
 {
@@ -55,7 +56,7 @@ ExperimentEngine::matchesFilter(const std::string &id,
 }
 
 RunOutcome
-ExperimentEngine::runOne(const RunSpec &spec)
+ExperimentEngine::runOne(const RunSpec &spec, unsigned shards)
 {
     RunOutcome out;
     out.id = spec.id;
@@ -63,6 +64,7 @@ ExperimentEngine::runOne(const RunSpec &spec)
     out.policy = spec.policy.name;
     out.seed = spec.seed;
     out.replica = spec.replica;
+    out.replicaCount = spec.replicaCount < 1 ? 1 : spec.replicaCount;
     out.effectiveSeed = effectiveSeed(spec.seed, spec.replica);
 
     const auto t0 = std::chrono::steady_clock::now();
@@ -70,11 +72,25 @@ ExperimentEngine::runOne(const RunSpec &spec)
         vic_assert(static_cast<bool>(spec.make),
                    "RunSpec '%s' has no workload factory",
                    spec.id.c_str());
-        std::unique_ptr<Workload> workload = spec.make();
-        workload->reseed(out.effectiveSeed);
-        out.workload = workload->name();
-        out.result = runWorkload(*workload, spec.policy, spec.machine,
-                                 spec.os, spec.traceEvents);
+        if (out.replicaCount > 1) {
+            // Seeds are derived HERE (the experiment layer owns seed
+            // policy) and passed down — the shard runner stays a pure
+            // mechanism.
+            std::vector<std::uint64_t> seeds(out.replicaCount);
+            for (std::uint32_t k = 0; k < out.replicaCount; ++k)
+                seeds[k] = effectiveSeed(spec.seed, spec.replica + k);
+            out.result = runWorkloadSharded(spec.make, seeds, shards,
+                                            spec.policy, spec.machine,
+                                            spec.os, spec.traceEvents);
+            out.workload = out.result.workload;
+        } else {
+            std::unique_ptr<Workload> workload = spec.make();
+            workload->reseed(out.effectiveSeed);
+            out.workload = workload->name();
+            out.result = runWorkload(*workload, spec.policy,
+                                     spec.machine, spec.os,
+                                     spec.traceEvents);
+        }
         out.ok = true;
     } catch (const std::exception &e) {
         out.ok = false;
@@ -118,7 +134,7 @@ ExperimentEngine::run(const std::vector<RunSpec> &specs,
 
     if (jobs == 1) {
         for (std::size_t i = 0; i < specs.size(); ++i) {
-            outcomes[i] = runOne(specs[i]);
+            outcomes[i] = runOne(specs[i], options.shards);
             report(outcomes[i]);
         }
         return outcomes;
@@ -137,7 +153,7 @@ ExperimentEngine::run(const std::vector<RunSpec> &specs,
                     next.fetch_add(1, std::memory_order_relaxed);
                 if (i >= specs.size())
                     return;
-                outcomes[i] = runOne(specs[i]);
+                outcomes[i] = runOne(specs[i], options.shards);
                 report(outcomes[i]);
             }
         });

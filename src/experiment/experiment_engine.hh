@@ -34,6 +34,13 @@ class ExperimentEngine
          *  batch serially on the calling thread. */
         unsigned jobs = 1;
 
+        /** Host threads for the replicas INSIDE one run (specs with
+         *  replicaCount > 1; see shard_runner.hh). Orthogonal to
+         *  @c jobs: jobs fans out across runs, shards fans out within
+         *  a run. Values < 2 run each run's replicas serially —
+         *  merged output is identical either way. */
+        unsigned shards = 1;
+
         /** Print one progress line per completed run to stderr. */
         bool echoProgress = false;
     };
@@ -53,8 +60,9 @@ class ExperimentEngine
         return run(specs, Options());
     }
 
-    /** Execute one spec on the calling thread. */
-    static RunOutcome runOne(const RunSpec &spec);
+    /** Execute one spec; replicas (replicaCount > 1) use up to
+     *  @p shards host threads, merged deterministically. */
+    static RunOutcome runOne(const RunSpec &spec, unsigned shards = 1);
 
     /** SplitMix64 mix step (public for tests and seed derivation). */
     static std::uint64_t splitmix64(std::uint64_t x);

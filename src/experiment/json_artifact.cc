@@ -106,6 +106,11 @@ outcomeToJson(const RunOutcome &out)
     v.set("policy", JsonValue::str(out.policy));
     v.set("seed", JsonValue::number(out.seed));
     v.set("replica", JsonValue::number(std::uint64_t(out.replica)));
+    // Emitted only for merged multi-replica runs, so single-replica
+    // artifacts stay byte-identical to the pre-sharding schema.
+    if (out.replicaCount > 1)
+        v.set("replicas",
+              JsonValue::number(std::uint64_t(out.replicaCount)));
     v.set("effective_seed", JsonValue::number(out.effectiveSeed));
     v.set("ok", JsonValue::boolean(out.ok));
     if (!out.ok)
@@ -133,6 +138,7 @@ artifactToJson(const ArtifactMeta &meta,
           JsonValue::number(std::int64_t(kBenchSchemaVersion)));
     v.set("smoke", JsonValue::boolean(meta.smoke));
     v.set("jobs", JsonValue::number(std::uint64_t(meta.jobs)));
+    v.set("shards", JsonValue::number(std::uint64_t(meta.shards)));
     v.set("filter", JsonValue::str(meta.filter));
     v.set("wall_seconds", JsonValue::number(meta.wallSeconds));
     std::uint64_t total_cycles = 0;
@@ -174,6 +180,7 @@ throughputToJson(const ArtifactMeta &meta,
           JsonValue::number(std::int64_t(kBenchSchemaVersion)));
     v.set("smoke", JsonValue::boolean(meta.smoke));
     v.set("jobs", JsonValue::number(std::uint64_t(meta.jobs)));
+    v.set("shards", JsonValue::number(std::uint64_t(meta.shards)));
     v.set("filter", JsonValue::str(meta.filter));
 
     std::uint64_t total_cycles = 0;
@@ -310,14 +317,21 @@ artifactsEquivalent(const std::string &a_text,
             *why = e.what();
         return false;
     }
-    // The batch header legitimately differs in "jobs"; everything
-    // else outside wall-clock must agree.
+    // The batch header legitimately differs in "jobs" and "shards"
+    // (neither may change results); everything else outside wall-clock
+    // must agree. "shards" is ERASED rather than zeroed so artifacts
+    // written before the field existed still compare equivalent.
     stripWallClock(a);
     stripWallClock(b);
-    if (auto *jobs = a.find("jobs"))
-        *jobs = JsonValue::number(std::uint64_t(0));
-    if (auto *jobs = b.find("jobs"))
-        *jobs = JsonValue::number(std::uint64_t(0));
+    for (JsonValue *v : {&a, &b}) {
+        if (v->kind() != JsonValue::Kind::Object)
+            continue;
+        if (auto *jobs = v->find("jobs"))
+            *jobs = JsonValue::number(std::uint64_t(0));
+        std::erase_if(v->members(), [](const auto &m) {
+            return m.first == "shards";
+        });
+    }
 
     const std::string diff = firstDifference(a, b, "$");
     if (diff.empty())

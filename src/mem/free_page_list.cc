@@ -29,19 +29,38 @@ FreePageList::free(FrameId frame, std::optional<CachePageId> last_colour)
             idx = colours;
         }
     }
-    lists[idx].push_back(Entry{frame, last_colour});
+    if (frame >= pool.size())
+        pool.resize(frame + 1);
+    Node &n = pool[frame];
+    vic_assert(!n.queued, "double free of frame %llu",
+               (unsigned long long)frame);
+    n.next = kNil;
+    n.lastColour = last_colour;
+    n.queued = true;
+    Fifo &f = lists[idx];
+    if (f.tail == kNil)
+        f.head = frame;
+    else
+        pool[f.tail].next = frame;
+    f.tail = frame;
     ++total;
 }
 
 std::optional<FreePageList::Allocation>
 FreePageList::popFrom(std::size_t idx)
 {
-    if (lists[idx].empty())
+    Fifo &f = lists[idx];
+    if (f.head == kNil)
         return std::nullopt;
-    Entry e = lists[idx].front();
-    lists[idx].pop_front();
+    const std::uint64_t frame = f.head;
+    Node &n = pool[frame];
+    f.head = n.next;
+    if (f.head == kNil)
+        f.tail = kNil;
+    n.next = kNil;
+    n.queued = false;
     --total;
-    return Allocation{e.frame, e.lastColour};
+    return Allocation{FrameId(frame), n.lastColour};
 }
 
 std::optional<FreePageList::Allocation>

@@ -16,13 +16,19 @@
  *    frame's data last occupied. An allocation that states its intended
  *    colour receives, when possible, a frame whose stale/dirty cache
  *    footprint already aligns — eliminating the purge (ablation A2).
+ *
+ * Storage is a flat per-frame node pool threaded into intrusive FIFOs
+ * (head/tail indices per list) instead of one std::deque per list:
+ * free/allocate touch a single pool slot, no host allocation happens
+ * after the pool reaches the machine's frame count, and the node
+ * doubles as a double-free guard (a frame can be on at most one list).
+ * FIFO order is exactly the deque's push_back/pop_front order.
  */
 
 #ifndef VIC_MEM_FREE_PAGE_LIST_HH
 #define VIC_MEM_FREE_PAGE_LIST_HH
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
@@ -73,10 +79,21 @@ class FreePageList
     std::uint64_t colourMisses() const { return misses; }
 
   private:
-    struct Entry
+    static constexpr std::uint64_t kNil = ~std::uint64_t(0);
+
+    /** One slot per frame id; a frame is on at most one FIFO. */
+    struct Node
     {
-        FrameId frame;
+        std::uint64_t next = kNil;
         std::optional<CachePageId> lastColour;
+        bool queued = false;
+    };
+
+    /** Intrusive FIFO: indices into the pool. */
+    struct Fifo
+    {
+        std::uint64_t head = kNil;
+        std::uint64_t tail = kNil;
     };
 
     Organisation org;
@@ -87,7 +104,11 @@ class FreePageList
 
     /** Single organisation uses lists[0]; PerColour uses one list per
      *  colour plus a final list for colourless frames. */
-    std::vector<std::deque<Entry>> lists;
+    std::vector<Fifo> lists;
+
+    /** Flat pool indexed by FrameId, grown lazily to the largest frame
+     *  ever freed. */
+    std::vector<Node> pool;
 
     std::optional<Allocation> popFrom(std::size_t idx);
 };

@@ -7,63 +7,113 @@
 namespace vic
 {
 
-PageTable::PageTable(std::uint32_t page_bytes) : pageSize(page_bytes)
+PageTable::PageTable(std::uint32_t page_bytes)
+    : pageSize(page_bytes), buckets(64, nullptr)
 {
     vic_assert(std::has_single_bit(page_bytes),
                "page size %u not a power of two", page_bytes);
 }
 
+PageTable::Node *
+PageTable::findNode(SpaceVa canon) const
+{
+    for (Node *n = buckets[bucketOf(canon)]; n != nullptr; n = n->next) {
+        if (n->key == canon)
+            return n;
+    }
+    return nullptr;
+}
+
+void
+PageTable::grow()
+{
+    // Double the bucket array and relink every node. Nodes themselves
+    // never move, so live PageTableEntry pointers survive the rehash.
+    std::vector<Node *> old = std::move(buckets);
+    buckets.assign(old.size() * 2, nullptr);
+    for (Node *n : old) {
+        while (n != nullptr) {
+            Node *next = n->next;
+            Node *&head = buckets[bucketOf(n->key)];
+            n->next = head;
+            head = n;
+            n = next;
+        }
+    }
+}
+
 void
 PageTable::enter(SpaceVa key, FrameId frame, Protection prot)
 {
-    entries[canonical(key)] = PageTableEntry{frame, prot, false, false};
+    const SpaceVa canon = canonical(key);
+    if (Node *n = findNode(canon)) {
+        n->pte = PageTableEntry{frame, prot, false, false};
+        return;
+    }
+    if (live + 1 > buckets.size())
+        grow();
+    Node *n = nodes.alloc();
+    n->key = canon;
+    n->pte = PageTableEntry{frame, prot, false, false};
+    Node *&head = buckets[bucketOf(canon)];
+    n->next = head;
+    head = n;
+    ++live;
 }
 
 bool
 PageTable::remove(SpaceVa key)
 {
-    auto it = entries.find(canonical(key));
-    if (it == entries.end())
-        return false;
-    bool modified = it->second.modified;
-    entries.erase(it);
-    return modified;
+    const SpaceVa canon = canonical(key);
+    Node **link = &buckets[bucketOf(canon)];
+    while (*link != nullptr) {
+        Node *n = *link;
+        if (n->key == canon) {
+            const bool modified = n->pte.modified;
+            *link = n->next;
+            nodes.release(n);
+            --live;
+            return modified;
+        }
+        link = &n->next;
+    }
+    return false;
 }
 
 void
 PageTable::setProtection(SpaceVa key, Protection prot)
 {
-    auto it = entries.find(canonical(key));
-    vic_assert(it != entries.end(),
+    Node *n = findNode(canonical(key));
+    vic_assert(n != nullptr,
                "setProtection on unmapped page space=%u va=%llx",
                key.space, (unsigned long long)key.va.value);
-    it->second.prot = prot;
+    n->pte.prot = prot;
 }
 
 const PageTableEntry *
 PageTable::lookup(SpaceVa key) const
 {
     ++walks;
-    auto it = entries.find(canonical(key));
-    return it == entries.end() ? nullptr : &it->second;
+    const Node *n = findNode(canonical(key));
+    return n == nullptr ? nullptr : &n->pte;
 }
 
 PageTableEntry *
 PageTable::lookupMutable(SpaceVa key)
 {
     ++walks;
-    auto it = entries.find(canonical(key));
-    return it == entries.end() ? nullptr : &it->second;
+    Node *n = findNode(canonical(key));
+    return n == nullptr ? nullptr : &n->pte;
 }
 
 bool
 PageTable::clearModified(SpaceVa key)
 {
-    auto it = entries.find(canonical(key));
-    if (it == entries.end())
+    Node *n = findNode(canonical(key));
+    if (n == nullptr)
         return false;
-    bool was = it->second.modified;
-    it->second.modified = false;
+    const bool was = n->pte.modified;
+    n->pte.modified = false;
     return was;
 }
 

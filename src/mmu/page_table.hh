@@ -14,14 +14,27 @@
  * optimisation of setting P[p].cache_dirty from the page-modified bit
  * when exactly one cache page is mapped (Section 4.1), avoiding a
  * write-protection fault per page.
+ *
+ * Storage is a separate-chaining hash over Arena-allocated nodes
+ * rather than a node-based standard container: enter/remove recycle
+ * arena slots instead of hitting the host allocator, and a translate
+ * walk chases chains through chunked contiguous memory. Node pointers
+ * are stable for the table's lifetime — rehashing relinks chains but
+ * never moves a node — which preserves the contract the TLB relies on:
+ * cached PageTableEntry handles stay valid until an explicit remove,
+ * and enter() on an already-mapped page assigns in place. The bucket
+ * index is derived from a fixed multiplicative mix of the key (never
+ * std::hash, never pointer values), so chain order — and therefore
+ * behaviour — is identical on every host.
  */
 
 #ifndef VIC_MMU_PAGE_TABLE_HH
 #define VIC_MMU_PAGE_TABLE_HH
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
+#include "common/arena.hh"
 #include "common/types.hh"
 
 namespace vic
@@ -48,7 +61,8 @@ class PageTable
     { return VirtAddr(va.value & ~std::uint64_t(pageSize - 1)); }
 
     /** Install (or replace) the translation for the page containing
-     *  @p key.va. */
+     *  @p key.va. Replacement assigns in place — the entry's address
+     *  does not change. */
     void enter(SpaceVa key, FrameId frame, Protection prot);
 
     /** Remove the translation; no-op if absent.
@@ -69,7 +83,7 @@ class PageTable
     bool clearModified(SpaceVa key);
 
     /** Number of live entries (for tests). */
-    std::size_t size() const { return entries.size(); }
+    std::size_t size() const { return live; }
 
     /**
      * Total page-table walks served (lookup + lookupMutable calls) —
@@ -83,12 +97,42 @@ class PageTable
     std::uint64_t walkCount() const { return walks; }
 
   private:
+    struct Node
+    {
+        SpaceVa key;
+        PageTableEntry pte;
+        Node *next = nullptr;
+    };
+
     std::uint32_t pageSize;
-    std::unordered_map<SpaceVa, PageTableEntry> entries;
+    std::size_t live = 0;
+    std::vector<Node *> buckets;
+    Arena<Node> nodes;
     mutable std::uint64_t walks = 0;
 
     SpaceVa canonical(SpaceVa key) const
     { return SpaceVa(key.space, pageBase(key.va)); }
+
+    /** Fixed multiplicative mix (splitmix64 finaliser) of the
+     *  canonical key — host-independent by construction. */
+    static std::uint64_t
+    mix(SpaceVa key)
+    {
+        std::uint64_t x =
+            (std::uint64_t(key.space) << 48) ^ key.va.value;
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ULL;
+        x ^= x >> 27;
+        x *= 0x94d049bb133111ebULL;
+        x ^= x >> 31;
+        return x;
+    }
+
+    std::size_t bucketOf(SpaceVa key) const
+    { return mix(key) & (buckets.size() - 1); }
+
+    Node *findNode(SpaceVa canon) const;
+    void grow();
 };
 
 } // namespace vic

@@ -18,7 +18,9 @@
 #define VIC_VIC_HH
 
 // Support library
+#include "common/arena.hh"
 #include "common/bitvector.hh"
+#include "common/column_store.hh"
 #include "common/cycle_clock.hh"
 #include "common/event_log.hh"
 #include "common/logging.hh"
@@ -72,6 +74,7 @@
 #include "workload/latex_bench.hh"
 #include "workload/multiprog.hh"
 #include "workload/runner.hh"
+#include "workload/shard_runner.hh"
 #include "workload/workload.hh"
 
 #endif // VIC_VIC_HH

@@ -1,0 +1,104 @@
+#include "workload/shard_runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace vic
+{
+
+RunResult
+mergeRunResults(const std::vector<RunResult> &parts)
+{
+    vic_assert(!parts.empty(), "merge of zero run results");
+    RunResult merged;
+    merged.workload = parts.front().workload;
+    merged.policy = parts.front().policy;
+    for (const RunResult &p : parts) {
+        merged.cycles += p.cycles;
+        merged.seconds += p.seconds;
+        merged.oracleViolations += p.oracleViolations;
+        merged.oracleChecked += p.oracleChecked;
+        for (const auto &[name, value] : p.stats)
+            merged.stats[name] += value;
+        merged.traceTail.insert(merged.traceTail.end(),
+                                p.traceTail.begin(), p.traceTail.end());
+    }
+    return merged;
+}
+
+RunResult
+runWorkloadSharded(
+    const std::function<std::unique_ptr<Workload>()> &make,
+    const std::vector<std::uint64_t> &replica_seeds, unsigned shards,
+    const PolicyConfig &policy, const MachineParams &machine_params,
+    const OsParams &os_params, std::size_t trace_events)
+{
+    vic_assert(static_cast<bool>(make), "sharded run has no factory");
+    vic_assert(!replica_seeds.empty(), "sharded run has no replicas");
+
+    const std::size_t replicas = replica_seeds.size();
+    std::vector<RunResult> parts(replicas);
+    std::vector<std::exception_ptr> errors(replicas);
+
+    const auto run_replica = [&](std::size_t k) {
+        try {
+            std::unique_ptr<Workload> workload = make();
+            workload->reseed(replica_seeds[k]);
+            parts[k] = runWorkload(*workload, policy, machine_params,
+                                   os_params, trace_events);
+        } catch (...) {
+            errors[k] = std::current_exception();
+        }
+    };
+
+    // Rethrown on the calling thread AFTER all replicas settle, always
+    // the lowest-index failure — error reporting is as deterministic
+    // as the merge.
+    const auto rethrow_first = [&] {
+        for (const std::exception_ptr &e : errors) {
+            if (e)
+                std::rethrow_exception(e);
+        }
+    };
+
+    const unsigned threads =
+        shards < 2 || replicas < 2
+            ? 1
+            : std::min<unsigned>(shards,
+                                 static_cast<unsigned>(replicas));
+
+    if (threads == 1) {
+        for (std::size_t k = 0; k < replicas; ++k)
+            run_replica(k);
+        rethrow_first();
+        return mergeRunResults(parts);
+    }
+
+    // Work-stealing by atomic index; each worker writes only its
+    // claimed slot, and the merge below walks slots in replica order,
+    // so scheduling cannot reach the merged result.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.emplace_back([&] {
+            while (true) {
+                const std::size_t k =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (k >= replicas)
+                    return;
+                run_replica(k);
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    rethrow_first();
+    return mergeRunResults(parts);
+}
+
+} // namespace vic

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Intra-run sharding: replicas of one workload/policy configuration
+ * partitioned across host threads, merged deterministically.
+ *
+ * The ExperimentEngine already fans out WHOLE runs (--jobs); sharding
+ * fans out the replicas INSIDE one run (--shards). Each replica is a
+ * fully isolated simulation — its own Machine, ConsistencyOracle,
+ * Kernel, Workload, and therefore its own StatSet and CycleClock, so
+ * no per-shard synchronisation exists on the simulation hot path. The
+ * only shared state is the next-replica atomic and each replica's
+ * private result slot, exactly the engine's isolation-by-construction
+ * recipe one level down.
+ *
+ * Determinism: a replica's behaviour depends only on its seed (passed
+ * in precomputed — seed derivation lives in the experiment layer and
+ * the workload layer must not reach up), and the merge folds results
+ * in replica-index order regardless of which host thread finished
+ * first. Hence `--shards N` output is byte-identical to `--shards 1`.
+ */
+
+#ifndef VIC_WORKLOAD_SHARD_RUNNER_HH
+#define VIC_WORKLOAD_SHARD_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "workload/runner.hh"
+
+namespace vic
+{
+
+/**
+ * Fold per-replica results into one RunResult in the order given
+ * (callers pass replica-index order): cycles, seconds, oracle counts
+ * and every stat counter are summed; trace tails concatenate.
+ * Workload/policy names come from the first result.
+ */
+RunResult mergeRunResults(const std::vector<RunResult> &parts);
+
+/**
+ * Run one replica per seed in @p replica_seeds — each on a fresh
+ * workload from @p make, reseeded with its seed — using up to
+ * @p shards host threads, and return the deterministic merge.
+ * @p shards < 2 (or a single replica) runs serially on the calling
+ * thread; the merged result is identical either way.
+ */
+RunResult runWorkloadSharded(
+    const std::function<std::unique_ptr<Workload>()> &make,
+    const std::vector<std::uint64_t> &replica_seeds, unsigned shards,
+    const PolicyConfig &policy,
+    const MachineParams &machine_params = MachineParams::hp720(),
+    const OsParams &os_params = {}, std::size_t trace_events = 0);
+
+} // namespace vic
+
+#endif // VIC_WORKLOAD_SHARD_RUNNER_HH

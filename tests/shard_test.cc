@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Intra-run sharding: deterministic replica merge, shard-count
+ * independence (--shards 1 == --shards 2 == --shards 8, byte for
+ * byte), orthogonality to --jobs, and the single-replica path staying
+ * exactly the classic runWorkload.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "experiment/experiment_engine.hh"
+#include "experiment/json_artifact.hh"
+#include "workload/contrived_alias.hh"
+#include "workload/shard_runner.hh"
+
+namespace vic
+{
+namespace
+{
+
+std::function<std::unique_ptr<Workload>()>
+aliasFactory(std::uint32_t writes)
+{
+    return [writes] {
+        return std::make_unique<ContrivedAlias>(
+            ContrivedAlias::Params{false, writes, false});
+    };
+}
+
+/** A replicated spec of the cheap contrived-alias workload. */
+RunSpec
+replicatedSpec(const std::string &id, std::uint32_t writes,
+               std::uint32_t replicas)
+{
+    RunSpec spec;
+    spec.id = id;
+    spec.suite = "test";
+    spec.make = aliasFactory(writes);
+    spec.policy = PolicyConfig::configF();
+    spec.seed = 0xaf5;
+    spec.replicaCount = replicas;
+    return spec;
+}
+
+TEST(ShardRunner, MergeSumsStatsLikeASerialStatSet)
+{
+    // The merge must behave exactly like accumulating every replica's
+    // counters into one StatSet: summed per name, union of names.
+    RunResult a, b;
+    a.workload = b.workload = "w";
+    a.policy = b.policy = "F";
+    a.cycles = 100;
+    b.cycles = 50;
+    a.seconds = 2.0;
+    b.seconds = 1.0;
+    a.oracleChecked = 10;
+    b.oracleChecked = 4;
+    a.oracleViolations = 1;
+    b.oracleViolations = 2;
+    a.stats = {{"dcache.hits", 7}, {"dcache.misses", 2}};
+    b.stats = {{"dcache.hits", 3}, {"tlb.misses", 5}};
+    a.traceTail = {"e1"};
+    b.traceTail = {"e2", "e3"};
+
+    StatSet reference;
+    for (const RunResult *r : {&a, &b}) {
+        for (const auto &[name, value] : r->stats)
+            reference.counter(name) += value;
+    }
+
+    const RunResult m = mergeRunResults({a, b});
+    EXPECT_EQ(m.workload, "w");
+    EXPECT_EQ(m.cycles, 150u);
+    EXPECT_DOUBLE_EQ(m.seconds, 3.0);
+    EXPECT_EQ(m.oracleChecked, 14u);
+    EXPECT_EQ(m.oracleViolations, 3u);
+    EXPECT_EQ(m.stats, reference.snapshot());
+    EXPECT_EQ(m.traceTail,
+              (std::vector<std::string>{"e1", "e2", "e3"}));
+}
+
+TEST(ShardRunner, ShardCountNeverChangesTheMergedResult)
+{
+    // Replica workloads with distinct seeds, merged under 1, 2 and 8
+    // host threads: the serialised result must be byte-identical.
+    std::vector<std::uint64_t> seeds;
+    for (std::uint32_t k = 0; k < 5; ++k)
+        seeds.push_back(ExperimentEngine::effectiveSeed(0xaf5, k));
+
+    const RunResult serial = runWorkloadSharded(
+        aliasFactory(300), seeds, 1, PolicyConfig::configF());
+    const RunResult two = runWorkloadSharded(
+        aliasFactory(300), seeds, 2, PolicyConfig::configF());
+    const RunResult eight = runWorkloadSharded(
+        aliasFactory(300), seeds, 8, PolicyConfig::configF());
+
+    const std::string s = runResultToJson(serial).dump(2);
+    EXPECT_EQ(s, runResultToJson(two).dump(2));
+    EXPECT_EQ(s, runResultToJson(eight).dump(2));
+    EXPECT_GT(serial.cycles, 0u);
+}
+
+TEST(ShardRunner, MergeEqualsManualSumOfSingleRuns)
+{
+    // The sharded run of N replicas must equal N classic runWorkload
+    // calls folded by hand — sharding adds machinery, never cycles.
+    std::vector<std::uint64_t> seeds;
+    for (std::uint32_t k = 0; k < 3; ++k)
+        seeds.push_back(ExperimentEngine::effectiveSeed(0x5eed, k));
+
+    std::vector<RunResult> singles;
+    for (const std::uint64_t seed : seeds) {
+        auto w = aliasFactory(200)();
+        w->reseed(seed);
+        singles.push_back(runWorkload(*w, PolicyConfig::configF()));
+    }
+    const RunResult manual = mergeRunResults(singles);
+    const RunResult sharded = runWorkloadSharded(
+        aliasFactory(200), seeds, 4, PolicyConfig::configF());
+
+    EXPECT_EQ(runResultToJson(manual).dump(2),
+              runResultToJson(sharded).dump(2));
+}
+
+TEST(ShardRunner, ArtifactsAreShardAndJobIndependent)
+{
+    // The full engine + artifact path: --shards and --jobs may vary
+    // independently without moving a byte of the artifact (outside
+    // wall-clock and the neutralised header fields).
+    std::vector<RunSpec> specs;
+    specs.push_back(replicatedSpec("fleet0", 300, 4));
+    specs.push_back(replicatedSpec("fleet1", 150, 3));
+    specs.push_back(replicatedSpec("single", 200, 1));
+
+    ExperimentEngine engine;
+    auto artifact = [&](unsigned jobs, unsigned shards) {
+        ExperimentEngine::Options opts;
+        opts.jobs = jobs;
+        opts.shards = shards;
+        ArtifactMeta meta;
+        meta.jobs = jobs;
+        meta.shards = shards;
+        return renderArtifact(meta, engine.run(specs, opts));
+    };
+
+    const std::string base = artifact(1, 1);
+    std::string why;
+    EXPECT_TRUE(artifactsEquivalent(base, artifact(1, 2), &why)) << why;
+    EXPECT_TRUE(artifactsEquivalent(base, artifact(1, 8), &why)) << why;
+    EXPECT_TRUE(artifactsEquivalent(base, artifact(2, 4), &why)) << why;
+    EXPECT_TRUE(artifactsEquivalent(base, artifact(3, 1), &why)) << why;
+}
+
+TEST(ShardRunner, SingleReplicaRunsStayOnTheClassicPath)
+{
+    // replicaCount == 1 must reproduce the pre-sharding outcome
+    // exactly — same effective seed, same result — whatever --shards
+    // says: sharding is invisible until a spec opts in.
+    RunSpec spec = replicatedSpec("classic", 250, 1);
+
+    const RunOutcome direct = ExperimentEngine::runOne(spec);
+    const RunOutcome sharded = ExperimentEngine::runOne(spec, 8);
+
+    ASSERT_TRUE(direct.ok);
+    ASSERT_TRUE(sharded.ok);
+    EXPECT_EQ(direct.effectiveSeed, spec.seed);
+    EXPECT_EQ(sharded.effectiveSeed, spec.seed);
+    EXPECT_EQ(runResultToJson(direct.result).dump(2),
+              runResultToJson(sharded.result).dump(2));
+
+    // And a single-replica artifact entry carries no "replicas" field
+    // (byte-compat with pre-sharding artifacts).
+    EXPECT_EQ(outcomeToJson(direct).find("replicas"), nullptr);
+
+    RunSpec multi = replicatedSpec("multi", 100, 2);
+    const RunOutcome merged = ExperimentEngine::runOne(multi, 2);
+    ASSERT_TRUE(merged.ok);
+    const JsonValue j = outcomeToJson(merged);
+    ASSERT_NE(j.find("replicas"), nullptr);
+    EXPECT_EQ(j.find("replicas")->asU64(), 2u);
+}
+
+TEST(ShardRunner, ReplicaSeedsFollowTheEngineDerivation)
+{
+    // A 2-replica merged run covers exactly the work of replica 0 and
+    // replica 1 run separately: seeds come from the same SplitMix64
+    // expansion the engine uses for whole-run replicas.
+    RunSpec multi = replicatedSpec("pair", 180, 2);
+    const RunOutcome merged = ExperimentEngine::runOne(multi, 1);
+
+    RunSpec r0 = replicatedSpec("r0", 180, 1);
+    r0.replica = 0;
+    RunSpec r1 = replicatedSpec("r1", 180, 1);
+    r1.replica = 1;
+    const RunOutcome o0 = ExperimentEngine::runOne(r0);
+    const RunOutcome o1 = ExperimentEngine::runOne(r1);
+    ASSERT_TRUE(merged.ok && o0.ok && o1.ok);
+
+    const RunResult manual = mergeRunResults({o0.result, o1.result});
+    EXPECT_EQ(runResultToJson(merged.result).dump(2),
+              runResultToJson(manual).dump(2));
+}
+
+} // anonymous namespace
+} // namespace vic

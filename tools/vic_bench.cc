@@ -12,9 +12,9 @@
  * exactly what --diff checks.
  *
  * Usage:
- *   vic_bench [--list] [--filter s1,s2] [--jobs N] [--smoke]
- *             [--json PATH] [--throughput PATH] [--trace N]
- *             [--progress]
+ *   vic_bench [--list] [--filter s1,s2] [--jobs N] [--shards N]
+ *             [--smoke] [--json PATH] [--throughput PATH]
+ *             [--ratchet BASELINE.json] [--trace N] [--progress]
  *   vic_bench --diff A.json B.json
  *
  * --filter takes comma-separated substrings matched against suite
@@ -23,10 +23,23 @@
  * selected run completed without oracle violations and every
  * non-advisory shape check passed.
  *
+ * --shards N fans the replicas INSIDE each multi-replica run (the
+ * fleet suite) out across N host threads; results merge
+ * deterministically, so artifacts are --shards-independent just as
+ * they are --jobs-independent.
+ *
  * --throughput writes the vic-bench-throughput companion artifact
  * (per-run host_seconds / sim_cycles / cycles_per_host_second) after
  * a sweep; --list reads the same file (default BENCH_throughput.json)
  * to fill its throughput column from the last archived sweep.
+ *
+ * --ratchet BASELINE.json gates on host throughput: the sweep's
+ * aggregate cycles_per_host_second — computed over the run ids
+ * present in BOTH the baseline and this sweep, so suite additions
+ * don't skew the ratio — must not regress more than 10% below the
+ * archived baseline, or the sweep exits non-zero. A missing baseline
+ * passes (bootstrap). Pair with --throughput to refresh the baseline
+ * on pass; the throughput file is not written when the ratchet fails.
  */
 
 #include <chrono>
@@ -136,6 +149,80 @@ diffArtifacts(const std::string &path_a, const std::string &path_b)
     return 1;
 }
 
+/**
+ * Throughput ratchet: compare this sweep's aggregate
+ * cycles_per_host_second against an archived baseline, over the run
+ * ids present in both (so adding or filtering suites cannot skew the
+ * ratio). Returns true when the sweep is no more than 10% below the
+ * baseline — or when no baseline/common runs exist (bootstrap).
+ */
+bool
+ratchetCheck(const std::string &baseline_path,
+             const std::vector<RunOutcome> &outcomes)
+{
+    std::ifstream in(baseline_path);
+    if (!in) {
+        std::printf("ratchet: no baseline at %s (bootstrap pass)\n",
+                    baseline_path.c_str());
+        return true;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+
+    // Baseline per-run throughput, keyed by run id.
+    std::map<std::string, std::pair<double, double>> base;
+    try {
+        const JsonValue v = JsonValue::parse(ss.str());
+        const JsonValue *runs = v.find("runs");
+        if (runs) {
+            for (const JsonValue &run : runs->items()) {
+                const JsonValue *id = run.find("id");
+                const JsonValue *cycles = run.find("sim_cycles");
+                const JsonValue *host = run.find("host_seconds");
+                if (id && cycles && host)
+                    base[id->asString()] = {cycles->asDouble(),
+                                            host->asDouble()};
+            }
+        }
+    } catch (const std::exception &e) {
+        std::printf("ratchet: unreadable baseline %s (%s) — "
+                    "bootstrap pass\n",
+                    baseline_path.c_str(), e.what());
+        return true;
+    }
+
+    double base_cycles = 0, base_seconds = 0;
+    double new_cycles = 0, new_seconds = 0;
+    std::size_t common = 0;
+    for (const RunOutcome &out : outcomes) {
+        if (!out.ok || out.wallSeconds <= 0)
+            continue;
+        const auto it = base.find(out.id);
+        if (it == base.end())
+            continue;
+        ++common;
+        base_cycles += it->second.first;
+        base_seconds += it->second.second;
+        new_cycles += double(std::uint64_t(out.result.cycles));
+        new_seconds += out.wallSeconds;
+    }
+    if (common == 0 || base_seconds <= 0 || new_seconds <= 0) {
+        std::printf("ratchet: no comparable runs vs %s "
+                    "(bootstrap pass)\n",
+                    baseline_path.c_str());
+        return true;
+    }
+
+    const double base_rate = base_cycles / base_seconds;
+    const double new_rate = new_cycles / new_seconds;
+    const double floor = 0.9 * base_rate;
+    std::printf("ratchet: %.3g cycles/host-s over %zu common run(s); "
+                "baseline %.3g (floor %.3g) -> %s\n",
+                new_rate, common, base_rate, floor,
+                new_rate >= floor ? "PASS" : "REGRESSION");
+    return new_rate >= floor;
+}
+
 } // anonymous namespace
 
 int
@@ -145,6 +232,7 @@ main(int argc, char **argv)
     SuiteOptions suite_opts;
     std::string json_path;
     std::string throughput_path;
+    std::string ratchet_path;
     std::string filter;
     std::size_t trace_events = 0;
     bool do_list = false;
@@ -173,6 +261,11 @@ main(int argc, char **argv)
         } else if (arg == "--jobs" || arg == "-j") {
             engine_opts.jobs = static_cast<unsigned>(
                 std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--shards") {
+            engine_opts.shards = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--ratchet") {
+            ratchet_path = next();
         } else if (arg == "--smoke") {
             suite_opts.smoke = true;
         } else if (arg == "--json") {
@@ -186,7 +279,8 @@ main(int argc, char **argv)
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "usage: %s [--list] [--filter s1,s2] [--jobs N] "
-                "[--smoke] [--json PATH] [--throughput PATH] "
+                "[--shards N] [--smoke] [--json PATH] "
+                "[--throughput PATH] [--ratchet BASELINE.json] "
                 "[--trace N] [--progress]\n"
                 "       %s --diff A.json B.json\n",
                 argv[0], argv[0]);
@@ -241,8 +335,9 @@ main(int argc, char **argv)
     }
 
     std::printf("vic_bench: %zu run(s) across %zu suite(s), "
-                "--jobs %u%s\n\n",
+                "--jobs %u, --shards %u%s\n\n",
                 batch.size(), slices.size(), engine_opts.jobs,
+                engine_opts.shards,
                 suite_opts.smoke ? ", --smoke" : "");
 
     const auto t0 = std::chrono::steady_clock::now();
@@ -283,6 +378,7 @@ main(int argc, char **argv)
     if (!json_path.empty()) {
         ArtifactMeta meta;
         meta.jobs = engine_opts.jobs;
+        meta.shards = engine_opts.shards;
         meta.smoke = suite_opts.smoke;
         meta.filter = filter;
         meta.wallSeconds = wall;
@@ -293,9 +389,15 @@ main(int argc, char **argv)
         }
         std::printf("wrote artifact: %s\n", json_path.c_str());
     }
+    // The ratchet gates BEFORE the throughput archive is refreshed: a
+    // regressing sweep must not overwrite the baseline it failed
+    // against.
+    if (!ratchet_path.empty() && !ratchetCheck(ratchet_path, outcomes))
+        return 1;
     if (!throughput_path.empty()) {
         ArtifactMeta meta;
         meta.jobs = engine_opts.jobs;
+        meta.shards = engine_opts.shards;
         meta.smoke = suite_opts.smoke;
         meta.filter = filter;
         meta.wallSeconds = wall;
